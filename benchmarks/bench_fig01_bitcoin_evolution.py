@@ -1,0 +1,29 @@
+"""E-F1: Fig 1 — evolution of Bitcoin mining ASIC chips.
+
+Regenerates the per-area performance / transistor-performance / CSR series,
+checking the paper's headline split (performance ~510x, transistor
+performance ~307x, CSR flat over the last generations).
+"""
+
+from conftest import emit
+
+from repro.reporting.figures import fig1_bitcoin_evolution
+from repro.reporting.tables import render_rows
+
+
+def test_fig1_bitcoin_evolution(benchmark, paper_model):
+    rows = benchmark(fig1_bitcoin_evolution, paper_model)
+    emit(
+        "Fig 1: Bitcoin ASIC evolution (vs 130nm ASIC)",
+        render_rows(rows),
+    )
+    best = max(rows, key=lambda r: r["performance"])
+    emit(
+        "Fig 1 headline",
+        f"performance {best['performance']:.0f}x, transistor performance "
+        f"{best['transistor_performance']:.0f}x, CSR {best['csr']:.2f}x "
+        "(paper: 510x / 307x / ~1.7x)",
+    )
+    assert best["performance"] > 100
+    assert best["transistor_performance"] > 10
+    assert best["csr"] < best["performance"] / 10

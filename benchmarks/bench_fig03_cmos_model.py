@@ -1,0 +1,68 @@
+"""E-F3a..E-F3d: regenerate the CMOS potential model figures (Fig 3).
+
+Covers: device scaling curves (3a), the density regression fitted over the
+full chip population (3b), the per-era TDP budget fits (3c), and the
+physical chip-gains grid (3d).
+"""
+
+from conftest import emit
+
+from repro.cmos.model import CmosPotentialModel
+from repro.datasheets.reference import reference_database
+from repro.reporting.figures import (
+    fig3a_device_scaling,
+    fig3b_transistor_density,
+    fig3c_tdp_budget,
+    fig3d_chip_gains,
+)
+from repro.reporting.tables import render_rows
+
+
+def test_fig3a_device_scaling(benchmark):
+    series = benchmark(fig3a_device_scaling)
+    rows = [
+        {"node": f"{node:g}nm", **{name: panel[node] for name, panel in series.items()}}
+        for node in sorted(next(iter(series.values())), reverse=True)
+    ]
+    emit("Fig 3a: device scaling (relative to 45nm)", render_rows(rows))
+
+
+def test_fig3b_density_fit_from_population(benchmark):
+    def refit():
+        return CmosPotentialModel.from_database(reference_database())
+
+    model = benchmark(refit)
+    data = fig3b_transistor_density(model)
+    emit(
+        "Fig 3b: transistor count vs density factor",
+        data["equation"]
+        + "\n"
+        + render_rows(
+            [{"D": d, "transistors_1e9": tc / 1e9} for d, tc in data["curve"].items()]
+        ),
+    )
+
+
+def test_fig3c_tdp_budget(benchmark, paper_model):
+    data = benchmark(fig3c_tdp_budget, paper_model)
+    emit("Fig 3c: per-era TDP transistor-budget fits", "\n".join(data["fits"]))
+
+
+def test_fig3d_chip_gains(benchmark, paper_model):
+    grid = benchmark(fig3d_chip_gains, paper_model)
+    rows = []
+    ordered = sorted(
+        grid.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2] or 0.0)
+    )
+    for (node, die, tdp), gains in ordered:
+        if die in (25.0, 800.0) and tdp in (None, 800.0):
+            rows.append(
+                {
+                    "node": f"{node:g}nm",
+                    "die_mm2": die,
+                    "tdp": "none" if tdp is None else f"{tdp:g}W",
+                    "throughput_x": gains["throughput"],
+                    "efficiency_x": gains["energy_efficiency"],
+                }
+            )
+    emit("Fig 3d: physical chip gains (selected corners)", render_rows(rows))

@@ -1,0 +1,24 @@
+"""E-F4: Fig 4 — ASIC video decoders (performance, budget, efficiency)."""
+
+from conftest import emit
+
+from repro.reporting.figures import fig4_video_decoders
+from repro.reporting.tables import render_rows
+
+
+def test_fig4_video_decoders(benchmark, paper_model):
+    data = benchmark(fig4_video_decoders, paper_model)
+    emit("Fig 4a: decoding throughput and CSR", render_rows(data["performance"]))
+    emit("Fig 4b: transistor budget and clock", render_rows(data["budget"]))
+    emit("Fig 4c: energy efficiency and CSR", render_rows(data["efficiency"]))
+
+    max_perf = max(r["gain"] for r in data["performance"])
+    max_eff = max(r["gain"] for r in data["efficiency"])
+    best = data["performance"][-1]
+    emit(
+        "Fig 4 headline",
+        f"throughput up {max_perf:.0f}x (paper ~64x); efficiency up "
+        f"{max_eff:.0f}x (paper ~34x); best performer CSR {best['csr']:.2f} "
+        "(paper: < 1)",
+    )
+    assert best["csr"] < 1.0

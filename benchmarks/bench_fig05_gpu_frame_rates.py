@@ -1,0 +1,32 @@
+"""E-F5: Fig 5 — GPU frame rates over five applications (2011-2017)."""
+
+from conftest import emit
+
+from repro.reporting.figures import fig5_gpu_frame_rates
+from repro.reporting.tables import render_rows
+
+
+def test_fig5_gpu_frame_rates(benchmark, paper_model):
+    data = benchmark(fig5_gpu_frame_rates, paper_model)
+    summary_rows = []
+    for app, series in data.items():
+        perf = series["performance"]
+        eff = series["efficiency"]
+        summary_rows.append(
+            {
+                "application": app,
+                "gpus": len(perf),
+                "max_fps_gain_x": max(r["gain"] for r in perf),
+                "final_perf_csr_x": perf[-1]["csr"],
+                "max_eff_gain_x": max(r["gain"] for r in eff),
+                "final_eff_csr_x": eff[-1]["csr"],
+            }
+        )
+    emit(
+        "Fig 5: per-application gains (paper: 4-6x fps, 4.5-7.5x "
+        "frames/J; CSR ~0.95-1.47)",
+        render_rows(summary_rows),
+    )
+    for row in summary_rows:
+        assert 3.0 <= row["max_fps_gain_x"] <= 8.0
+        assert 0.7 <= row["final_perf_csr_x"] <= 1.7

@@ -1,0 +1,21 @@
+"""E-F67: Figs 6-7 — GPU architecture + CMOS scaling (Eqs 3-4 relations)."""
+
+from conftest import emit
+
+from repro.reporting.figures import fig6_7_architecture_scaling
+from repro.reporting.tables import render_rows
+
+
+def test_fig6_7_architecture_scaling(benchmark, paper_model):
+    rows = benchmark(fig6_7_architecture_scaling, paper_model)
+    ordered = sorted(rows, key=lambda r: (-r["node_nm"], r["architecture"]))
+    emit(
+        "Figs 6-7: per-architecture gains vs Tesla and CSR "
+        "(paper: 13-16x absolute, CSR 1.0-1.6x)",
+        render_rows(ordered),
+    )
+    by_arch = {r["architecture"]: r for r in rows}
+    # First-on-node dip and Pascal~Tesla parity, as in the paper.
+    assert by_arch["Fermi"]["csr"] < by_arch["Tesla 2"]["csr"]
+    assert abs(by_arch["Pascal"]["csr"] - by_arch["Tesla"]["csr"]) < 0.3
+    assert by_arch["Pascal"]["gain_vs_tesla"] > 5

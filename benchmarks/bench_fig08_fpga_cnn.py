@@ -1,0 +1,25 @@
+"""E-F8: Fig 8 — FPGA implementations of AlexNet and VGG-16."""
+
+from conftest import emit
+
+from repro.reporting.figures import fig8_fpga_cnn
+from repro.reporting.tables import render_rows
+
+
+def test_fig8_fpga_cnn(benchmark, paper_model):
+    data = benchmark(fig8_fpga_cnn, paper_model)
+    for cnn, series in data.items():
+        emit(f"Fig 8a [{cnn}]: GOPS and CSR", render_rows(series["performance"]))
+        emit(f"Fig 8b [{cnn}]: utilisation/clock", render_rows(series["utilization"]))
+        emit(f"Fig 8c [{cnn}]: GOPS/J and CSR", render_rows(series["efficiency"]))
+
+    alexnet_gain = max(r["gain"] for r in data["alexnet"]["performance"])
+    vgg_gain = max(r["gain"] for r in data["vgg16"]["performance"])
+    alexnet_csr = max(r["csr"] for r in data["alexnet"]["performance"])
+    emit(
+        "Fig 8 headline",
+        f"AlexNet {alexnet_gain:.0f}x (paper ~24x), VGG-16 {vgg_gain:.0f}x "
+        f"(paper ~9x), CSR up to {alexnet_csr:.1f}x (paper: up to ~6x)",
+    )
+    assert alexnet_gain > vgg_gain
+    assert alexnet_csr > 2.0

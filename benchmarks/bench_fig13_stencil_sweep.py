@@ -1,0 +1,65 @@
+"""E-F13: Fig 13 — 3D stencil power/timing/CMOS design-space sweep.
+
+Sweeps the full Table III partitioning range with a representative set of
+simplification degrees and nodes, and reports the runtime-power Pareto
+frontier and the energy-efficiency optimum (paper: 5nm, high partitioning,
+high-but-not-extreme simplification).
+"""
+
+from conftest import emit
+
+from repro.accel.sweep import default_design_grid, sweep, table3_partitions
+from repro.reporting.figures import fig13_stencil_sweep
+from repro.reporting.tables import render_rows
+from repro.workloads import s3d
+
+NODES = (45.0, 32.0, 22.0, 14.0, 10.0, 7.0, 5.0)
+SIMPLIFICATIONS = (1, 3, 5, 7, 9, 11, 13)
+
+
+def test_fig13_stencil_sweep(benchmark):
+    kernel = s3d.build()
+
+    def run():
+        grid = default_design_grid(
+            nodes=NODES,
+            partitions=table3_partitions(4096),
+            simplifications=SIMPLIFICATIONS,
+        )
+        return sweep(kernel, grid)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    frontier = result.pareto_frontier()
+    emit(
+        f"Fig 13: {len(result)} design points; runtime-power frontier",
+        render_rows([
+            {
+                "design": r.design.describe(),
+                "runtime_ns": r.runtime_s * 1e9,
+                "power_w": r.power_w,
+            }
+            for r in frontier
+        ]),
+    )
+    best = result.best_energy_efficiency()
+    emit(
+        "Fig 13 optimum",
+        f"best energy efficiency at {best.design.describe()} "
+        "(paper: 5nm, highest non-tapering partitioning, highest "
+        "non-diminishing simplification)",
+    )
+    assert best.design.node_nm == 5.0
+    assert best.design.simplification >= 5
+
+    # CMOS advancement reduces power at a fixed design point.
+    by_key = {
+        (r.design.node_nm, r.design.partition, r.design.simplification): r
+        for r in result
+    }
+    assert by_key[(5.0, 64, 1)].power_w < by_key[(45.0, 64, 1)].power_w
+    # Partitioning improves runtime until the parallelism plateau.
+    assert by_key[(45.0, 64, 1)].runtime_s < by_key[(45.0, 1, 1)].runtime_s
+    assert (
+        by_key[(45.0, 4096, 1)].runtime_s
+        == by_key[(45.0, 2048, 1)].runtime_s
+    )

@@ -1,0 +1,80 @@
+"""E-F14: Fig 14 — specialization and CMOS accelerator gains, all kernels.
+
+Attributes each Table IV kernel's best-design gains (throughput and energy
+efficiency) to CMOS saving / heterogeneity / simplification / partitioning.
+Paper shapes asserted: partitioning dominates performance on average, CMOS
+saving dominates energy efficiency, and CSR is low for both.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.reporting.figures import fig14_gain_attribution
+from repro.reporting.tables import render_rows
+
+# Representative Table III sub-grid (full grid works; this keeps the bench
+# under a minute for all 16 kernels x 2 metrics).
+PARTITIONS = (1, 4, 16, 64, 256, 1024, 4096)
+SIMPLIFICATIONS = (1, 3, 5, 7, 9, 11, 13)
+
+
+def _rows(metric):
+    return fig14_gain_attribution(
+        metric=metric,
+        partitions=PARTITIONS,
+        simplifications=SIMPLIFICATIONS,
+    )
+
+
+def _render(rows):
+    flat = []
+    for row in rows:
+        flat.append(
+            {
+                "kernel": row["workload"],
+                "gain_x": row["total_gain"],
+                "csr_x": row["csr"],
+                **{k: f"{v:.0f}%" for k, v in row["shares"].items()},
+            }
+        )
+    return render_rows(flat)
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fig14a_performance(benchmark):
+    rows = benchmark.pedantic(_rows, args=("throughput",), rounds=1, iterations=1)
+    emit("Fig 14a: performance gain attribution", _render(rows))
+    avg_partition_share = _geomean(
+        [max(r["shares"]["partitioning"], 1.0) for r in rows]
+    )
+    emit(
+        "Fig 14a headline",
+        f"geomean partitioning share {avg_partition_share:.0f}% "
+        "(paper: partitioning is the primary performance source)",
+    )
+    assert avg_partition_share > 40
+    # CSR is low: orders below the total gain for every kernel.
+    for row in rows:
+        assert row["csr"] < row["total_gain"] / 3, row["workload"]
+
+
+def test_fig14b_energy_efficiency(benchmark):
+    rows = benchmark.pedantic(
+        _rows, args=("energy_efficiency",), rounds=1, iterations=1
+    )
+    emit("Fig 14b: energy-efficiency gain attribution", _render(rows))
+    cmos_dominant = sum(
+        1
+        for r in rows
+        if r["shares"]["cmos_saving"] == max(r["shares"].values())
+    )
+    emit(
+        "Fig 14b headline",
+        f"CMOS saving is the dominant efficiency source for "
+        f"{cmos_dominant}/{len(rows)} kernels (paper: dominating factor)",
+    )
+    assert cmos_dominant >= len(rows) * 0.6

@@ -1,0 +1,57 @@
+"""E-F15/E-F16/E-T5: Figs 15-16 + Table V — the accelerator wall.
+
+Regenerates the per-domain Pareto-frontier projections at the final 5nm
+node, reporting projected limits and remaining headroom per domain and
+metric against the paper's ranges.
+"""
+
+from conftest import emit
+
+from repro.reporting.figures import fig15_16_projections
+from repro.reporting.tables import render_rows, table5_wall_parameters
+
+#: Paper's projected headroom ranges, (metric, domain) -> (low, high).
+PAPER_RANGES = {
+    ("performance", "video_decoding"): (3.0, 130.0),
+    ("efficiency", "video_decoding"): (1.2, 14.0),
+    ("performance", "gaming_graphics"): (1.4, 2.5),
+    ("efficiency", "gaming_graphics"): (1.4, 1.7),
+    ("performance", "convolutional_nn"): (2.1, 3.4),
+    ("efficiency", "convolutional_nn"): (2.7, 3.5),
+    ("performance", "bitcoin_mining"): (2.0, 20.0),
+    ("efficiency", "bitcoin_mining"): (1.4, 5.0),
+}
+
+
+def test_table5_parameters(benchmark):
+    rows = benchmark(table5_wall_parameters)
+    emit("Table V: accelerator wall physical parameters", render_rows(rows))
+    assert len(rows) == 4
+
+
+def test_fig15_16_wall_projections(benchmark, paper_model):
+    rows = benchmark(fig15_16_projections, paper_model)
+    table = []
+    for row in rows:
+        low, high = row["headroom"]
+        paper_low, paper_high = PAPER_RANGES[(row["metric"], row["domain"])]
+        table.append(
+            {
+                "domain": row["domain"],
+                "metric": row["metric"],
+                "best_today": f"{row['current_best']:.4g} {row['unit']}",
+                "wall_log": f"{row['projected_log']:.4g}",
+                "wall_linear": f"{row['projected_linear']:.4g}",
+                "headroom": f"{low:.1f}-{high:.1f}x",
+                "paper": f"{paper_low:g}-{paper_high:g}x",
+            }
+        )
+    emit("Figs 15-16: accelerator wall projections vs paper", render_rows(table))
+
+    for row in rows:
+        low, high = row["headroom"]
+        paper_low, paper_high = PAPER_RANGES[(row["metric"], row["domain"])]
+        # Shape check: measured headroom band overlaps the paper's band
+        # within a 3x tolerance on each end.
+        assert low <= paper_high * 3
+        assert high >= paper_low / 3

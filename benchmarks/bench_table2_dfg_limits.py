@@ -1,0 +1,40 @@
+"""E-T2: Table II — theoretical limits of chip-specialization concepts.
+
+Evaluates the nine closed-form limits over every Table IV kernel's dynamic
+DFG and reports the spread — quantifying how much runtime headroom each
+concept has per kernel.
+"""
+
+from conftest import emit
+
+from repro.dfg.analysis import analyze
+from repro.dfg.complexity import Component, speedup_bound
+from repro.reporting.tables import render_rows, table2_concept_limits
+from repro.workloads import WORKLOADS, s3d
+
+
+def test_table2_example_kernel(benchmark):
+    stats = analyze(s3d.build().dfg)
+    rows = benchmark(table2_concept_limits, stats)
+    emit(f"Table II on {stats.describe()}", render_rows(rows))
+
+
+def test_table2_speedup_bounds_all_kernels(benchmark):
+    def compute():
+        table = []
+        for workload in WORKLOADS:
+            stats = analyze(workload.build().dfg)
+            table.append(
+                {
+                    "kernel": workload.abbrev,
+                    "memory_bound_x": speedup_bound(stats, Component.MEMORY),
+                    "comm_bound_x": speedup_bound(stats, Component.COMMUNICATION),
+                    "compute_bound_x": speedup_bound(stats, Component.COMPUTATION),
+                }
+            )
+        return table
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("Table II: per-kernel concept speedup bounds", render_rows(rows))
+    for row in rows:
+        assert row["memory_bound_x"] >= 1.0

@@ -1,0 +1,32 @@
+"""E-T1/E-T3/E-T4: regenerate the remaining paper tables.
+
+Table II has its own bench (``bench_table2_dfg_limits.py``) and Table V is
+covered with the projections (``bench_fig15_16_projections.py``).
+"""
+
+from conftest import emit
+
+from repro.reporting.tables import (
+    render_rows,
+    table1_specialization_concepts,
+    table3_sweep_parameters,
+    table4_applications,
+)
+
+
+def test_table1_concepts(benchmark):
+    rows = benchmark(table1_specialization_concepts)
+    emit("Table I: chip specialization concepts (TPU examples)", render_rows(rows))
+    assert len(rows) == 9
+
+
+def test_table3_sweep_parameters(benchmark):
+    rows = benchmark(table3_sweep_parameters)
+    emit("Table III: CMOS-specialization sweep parameters", render_rows(rows))
+    assert len(rows) == 3
+
+
+def test_table4_applications(benchmark):
+    rows = benchmark(table4_applications)
+    emit("Table IV: evaluated applications and domains", render_rows(rows))
+    assert len(rows) == 16

@@ -1,0 +1,78 @@
+"""Ablation: sensitivity of the accelerator wall to Table V assumptions.
+
+Perturbs each domain's assumed end-of-scaling die size and power budget by
+2x in both directions and reports how far the projected headroom band can
+move — quantifying the robustness of the Section VII conclusions.
+"""
+
+from conftest import emit
+
+from repro.reporting.tables import render_rows
+from repro.wall.limits import _limits, accelerator_wall
+from repro.wall.sensitivity import headroom_spread, wall_sensitivity
+
+
+def test_wall_sensitivity_all_domains(benchmark, paper_model):
+    def run():
+        rows = []
+        for domain in _limits():
+            for metric in ("performance", "efficiency"):
+                points = wall_sensitivity(domain, paper_model, metric=metric)
+                nominal = next(
+                    p for p in points
+                    if p.die_scale == 1.0 and p.tdp_scale == 1.0
+                )
+                low, high = headroom_spread(points)
+                rows.append(
+                    {
+                        "domain": domain,
+                        "metric": metric,
+                        "nominal": f"{nominal.headroom_low:.1f}-"
+                                   f"{nominal.headroom_high:.1f}x",
+                        "across_2x_perturbations": f"{low:.1f}-{high:.1f}x",
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Wall sensitivity to Table V parameters (die, TDP +/-2x)",
+        render_rows(rows),
+    )
+    for row in rows:
+        assert "x" in row["across_2x_perturbations"]
+
+
+def test_wall_projection_uncertainty(benchmark, paper_model):
+    """Bootstrap CIs on the projected walls: how sure are the headrooms?"""
+    from repro.cmos.bootstrap import bootstrap_projection
+    from repro.wall.projection import ProjectionKind
+
+    def run():
+        rows = []
+        for domain in _limits():
+            report = accelerator_wall(domain, paper_model)
+            study = _limits()[domain].study_factory()
+            series = study.performance_series(paper_model)
+            base = study.chips[0].metric(study.performance_metric)
+            points = [(p.physical, p.gain * base) for p in series]
+            interval = bootstrap_projection(
+                points,
+                report.physical_limit,
+                kind=ProjectionKind.LINEAR,
+                n_resamples=150,
+                seed=3,
+            )
+            rows.append(
+                {
+                    "domain": domain,
+                    "linear_wall": report.projected_linear,
+                    "bootstrap_90pct_ci": f"[{interval.low:.3g}, "
+                                          f"{interval.high:.3g}]",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Bootstrap uncertainty of the linear wall projections", render_rows(rows))
+    assert len(rows) == 4

@@ -1,0 +1,25 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one paper table or figure and prints
+the same rows/series the paper reports (run with ``-s`` to see them).
+Absolute numbers are not expected to match the authors' testbed — the
+*shape* is asserted by the test suite; the benches record regeneration cost
+and emit the data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmos.model import CmosPotentialModel
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled report block."""
+    print(f"\n==== {title} ====")
+    print(body)
+
+
+@pytest.fixture(scope="session")
+def paper_model() -> CmosPotentialModel:
+    return CmosPotentialModel.paper()

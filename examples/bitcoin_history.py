@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Replay the paper's Bitcoin-mining study (Figs 1 and 9).
+
+Walks the mining-hardware population from CPU through GPU and FPGA to the
+16nm ASICs, showing how per-area performance exploded while the chip
+specialization return (CSR) plateaued once the domain settled on ASICs.
+
+Run:  python examples/bitcoin_history.py
+"""
+
+from repro import CmosPotentialModel
+from repro.reporting.tables import render_rows
+from repro.studies import bitcoin
+
+
+def main() -> None:
+    model = CmosPotentialModel.paper()
+
+    # Fig 9: the full population, normalised to the Athlon 64 CPU miner.
+    study = bitcoin.study()
+    perf = study.performance_series(model)
+    print("=== Fig 9a: GHash/s/mm^2 vs the baseline CPU miner ===")
+    rows = [
+        {
+            "miner": point.name,
+            "node": f"{point.node_nm:g}nm",
+            "gain_x": point.gain,
+            "csr_x": point.csr,
+        }
+        for point in perf
+    ]
+    print(render_rows(rows))
+
+    best = perf.best_performer()
+    print(
+        f"\nbest ASIC beats the CPU by {best.gain:,.0f}x, of which "
+        f"{best.csr:,.0f}x is specialization (the platform jump) and "
+        f"{best.gain / best.csr:,.0f}x is physical."
+    )
+
+    # Fig 1: ASICs only — the maturity story.
+    asic = bitcoin.asic_study().performance_series(model)
+    print("\n=== Fig 1: ASIC evolution (vs the first 130nm ASIC) ===")
+    print(render_rows([
+        {
+            "asic": p.name,
+            "node": f"{p.node_nm:g}nm",
+            "performance_x": p.gain,
+            "transistor_perf_x": p.physical,
+            "csr_x": p.csr,
+        }
+        for p in asic
+    ]))
+    print(
+        "\nacross ASIC generations most of the gain is transistor "
+        "performance; CSR moves only a few x — the accelerator wall "
+        "argument in one table."
+    )
+
+    # The two-region efficiency structure (Fig 9b annotations 1 and 2).
+    eff = bitcoin.asic_study().efficiency_series(model)
+    print("\n=== Fig 9b: energy-efficiency CSR, two improvement regions ===")
+    print(render_rows([
+        {"asic": p.name, "node": f"{p.node_nm:g}nm", "eff_gain_x": p.gain,
+         "csr_x": p.csr}
+        for p in eff
+    ]))
+
+
+if __name__ == "__main__":
+    main()

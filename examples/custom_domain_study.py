@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Apply the paper's methodology to YOUR accelerator domain.
+
+Shows the full downstream-user workflow: describe your chip population,
+attach measured gains, compute the CSR series, and project your domain's
+accelerator wall.  The example domain is a fictional genomics-alignment
+ASIC line (three generations).
+
+Run:  python examples/custom_domain_study.py
+"""
+
+from repro import ChipSpec, CmosPotentialModel
+from repro.cmos.nodes import FINAL_NODE
+from repro.reporting.tables import render_rows
+from repro.studies.base import CaseStudy, StudyChip
+from repro.wall.projection import fit_projections
+
+
+def build_study() -> CaseStudy:
+    """Your datasheets + your measurements -> a CaseStudy."""
+    generations = [
+        # name, node, die mm2, MHz, W, alignments/s (measured)
+        ("align-v1", 28, 45, 600, 12.0, 1.0e6),
+        ("align-v2", 16, 45, 900, 12.0, 4.1e6),
+        ("align-v3", 7, 45, 1100, 12.0, 9.8e6),
+    ]
+    chips = []
+    for name, node, area, freq, tdp, rate in generations:
+        spec = ChipSpec(
+            name=name, category="asic", node_nm=node, area_mm2=area,
+            frequency_mhz=freq, tdp_w=tdp,
+        )
+        chips.append(
+            StudyChip(
+                spec=spec,
+                measured={"alignments_s": rate, "per_watt": rate / tdp},
+            )
+        )
+    return CaseStudy(
+        name="genomics_alignment",
+        chips=chips,
+        performance_metric="alignments_s",
+        efficiency_metric="per_watt",
+        # 12W embedded parts: use the paper's empirical Fig 3c transistor
+        # budget for TDP capping rather than the analytic full-activity
+        # power model (which targets chips at their thermal limit).
+        capped="empirical",
+    )
+
+
+def main() -> None:
+    model = CmosPotentialModel.paper()
+    study = build_study()
+
+    # 1. How much of each generation's gain was silicon vs design?
+    series = study.performance_series(model)
+    print("=== CSR series for the genomics-alignment ASICs ===")
+    print(render_rows([
+        {"chip": p.name, "node": f"{p.node_nm:g}nm", "gain_x": p.gain,
+         "physical_x": p.physical, "csr_x": p.csr}
+        for p in series
+    ]))
+
+    # 2. Project the wall: fit both frontier models and evaluate them at
+    #    the physical potential of the best 5nm chip in this power class.
+    base = study.chips[0]
+    points = [
+        (p.physical, p.gain * base.metric("alignments_s")) for p in series
+    ]
+    linear, log = fit_projections(points)
+    base_physical = model.evaluate_spec(
+        base.spec, capped="empirical"
+    ).gains.throughput
+    limit_physical = (
+        model.evaluate(
+            FINAL_NODE, 1100, area_mm2=45, tdp_w=12.0, cap_mode="empirical"
+        ).throughput
+        / base_physical
+    )
+    today = max(gain for _, gain in points)
+    print(f"\nphysical limit at {FINAL_NODE:g}nm: {limit_physical:.1f}x the v1 chip")
+    print(f"projected wall:  {log.predict(limit_physical):,.0f} (log) .. "
+          f"{linear.predict(limit_physical):,.0f} (linear) alignments/s")
+    print(f"remaining headroom over v3: "
+          f"{log.predict(limit_physical) / today:.1f}x .. "
+          f"{linear.predict(limit_physical) / today:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

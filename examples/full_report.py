@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's complete evaluation as one text report.
+
+Runs every case study, the insight checks, the maturity classification,
+and the wall projections, printing a self-contained report.  This is the
+"read the whole reproduction in one screenful per section" entry point;
+use ``accelerator-wall export`` for machine-readable output.
+
+Run:  python examples/full_report.py
+"""
+
+from repro import CmosPotentialModel, wall_report_all_domains
+from repro.csr.trends import assess_maturity
+from repro.reporting.tables import render_rows, table5_wall_parameters
+from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+from repro.studies.insights import default_insights
+
+
+def main() -> None:
+    model = CmosPotentialModel.paper()
+
+    print("#" * 72)
+    print("# The Accelerator Wall — full reproduction report")
+    print("#" * 72)
+
+    print("\n## CMOS potential model")
+    print(f"density law: {model.density_fit.describe()}")
+    print(model.tdp_model.describe())
+
+    print("\n## Case studies (Section IV)")
+    domains = [
+        ("video decoders (Fig 4)", video_decoders.study()),
+        ("GPU graphics / GTA V FHD (Fig 5)", gpu_graphics.study()),
+        ("FPGA CNN / AlexNet (Fig 8)", fpga_cnn.study("alexnet")),
+        ("FPGA CNN / VGG-16 (Fig 8)", fpga_cnn.study("vgg16")),
+        ("Bitcoin, all platforms (Fig 9)", bitcoin.study()),
+        ("Bitcoin, ASICs only (Fig 1)", bitcoin.asic_study()),
+    ]
+    rows = []
+    for label, study in domains:
+        summary = study.summary(model)
+        rows.append(
+            {
+                "domain": label,
+                "chips": int(summary["chips"]),
+                "perf_gain_x": summary["max_performance_gain"],
+                "eff_gain_x": summary["max_efficiency_gain"],
+                "best_csr_x": summary["best_performer_csr"],
+            }
+        )
+    print(render_rows(rows))
+
+    print("\n## Maturity classification (Section IV-E)")
+    for label, study in domains[:4]:
+        assessment = assess_maturity(
+            study.performance_series(model), study.name
+        )
+        print(f"  {assessment.describe()}")
+
+    print("\n## Insight checks (Section IV-E)")
+    for insight in default_insights(model):
+        print(f"  {insight.describe()}")
+
+    print("\n## The accelerator wall (Section VII)")
+    print(render_rows(table5_wall_parameters()))
+    print()
+    print(render_rows([
+        {
+            "domain": r.domain,
+            "metric": r.metric,
+            "best_today": f"{r.current_best:.4g} {r.gain_unit}",
+            "wall": f"{r.projected_log:.4g} .. {r.projected_linear:.4g}",
+            "headroom": f"{r.headroom[0]:.1f}-{r.headroom[1]:.1f}x",
+        }
+        for r in wall_report_all_domains(model)
+    ]))
+
+
+if __name__ == "__main__":
+    main()

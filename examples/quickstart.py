@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: decompose an accelerator's gain into CMOS and specialization.
+
+The core question of the paper: when a new accelerator beats an old one,
+how much of the win is *silicon* (more/faster transistors) and how much is
+*design* (the Chip Specialization Return)?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChipSpec, CmosPotentialModel, decompose_gain
+
+
+def main() -> None:
+    # 1. Build the CMOS potential model.  `.paper()` uses the published fit
+    #    constants; `.reference()` refits from the bundled chip population.
+    model = CmosPotentialModel.paper()
+
+    # 2. Describe the two chips being compared (datasheet-level facts).
+    old = ChipSpec(
+        name="accelerator-2013", category="asic", node_nm=28,
+        area_mm2=120, frequency_mhz=800, tdp_w=40,
+    )
+    new = ChipSpec(
+        name="accelerator-2019", category="asic", node_nm=7,
+        area_mm2=120, frequency_mhz=1200, tdp_w=40,
+    )
+
+    # 3. Ask the model for the CMOS-driven (physical) gain.  Small embedded
+    #    accelerators sit far below the analytic full-activity power model,
+    #    so we use the paper's empirical Fig 3c transistor budget for the
+    #    TDP cap ("empirical"); server-class chips at their thermal limit
+    #    would use the default analytic mode.
+    physical_gain = model.potential_gain(
+        new, old, metric="throughput", capped="empirical"
+    )
+
+    # 4. Decompose a *measured* end-to-end gain (say the new chip benchmarks
+    #    60x faster) into its Eq 2 factors.
+    measured_gain = 60.0
+    decomposition = decompose_gain(measured_gain, physical_gain)
+
+    print(f"measured gain:          {decomposition.reported:7.1f}x")
+    print(f"CMOS-driven gain:       {decomposition.cmos:7.1f}x")
+    print(f"specialization (CSR):   {decomposition.specialization:7.2f}x")
+    print(
+        f"share of (log) gain:    {decomposition.cmos_share:.0%} CMOS, "
+        f"{decomposition.specialization_share:.0%} specialization"
+    )
+
+    # 5. Where is this domain's wall?  Evaluate the physical potential of
+    #    the best chip buildable at the final 5nm node under the same
+    #    40W envelope.
+    limit = model.evaluate(5, 1200, area_mm2=120, tdp_w=40, cap_mode="empirical")
+    today = model.evaluate_spec(new, capped="empirical").gains
+    headroom = limit.throughput / today.throughput
+    print(f"\nremaining CMOS headroom at 5nm: {headroom:.1f}x")
+    if headroom < 1.2:
+        print(
+            "the 40W budget already saturates the transistor budget — this "
+            "domain is effectively at its CMOS wall; all further gains must "
+            "come from specialization."
+        )
+    else:
+        print(
+            "after that, all further gains must come from specialization — "
+            f"which this domain extracts at {decomposition.specialization:.2f}x "
+            "per platform generation."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of *The Accelerator Wall: Limits of Chip
+Specialization* (Fuchs & Wentzlaff, HPCA 2019).
+
+The library decomposes accelerator gains into CMOS-driven and
+specialization-driven parts and projects the limits of chip specialization
+at the end of CMOS scaling.  Subpackages:
+
+* :mod:`repro.cmos` — the application-independent CMOS potential model
+  (device scaling, transistor budgets, physical chip gains);
+* :mod:`repro.datasheets` — the chip datasheet population the model fits on;
+* :mod:`repro.csr` — the Chip Specialization Return metric and relations;
+* :mod:`repro.dfg` — the dataflow-graph substrate and the theoretical
+  limits of specialization concepts;
+* :mod:`repro.workloads` — the 16 traced benchmark kernels;
+* :mod:`repro.accel` — the Aladdin-style pre-RTL design-space exploration;
+* :mod:`repro.studies` — the four empirical case studies;
+* :mod:`repro.wall` — the Pareto-frontier projections and the accelerator
+  wall;
+* :mod:`repro.reporting` — regeneration of every paper table and figure.
+
+Quickstart::
+
+    from repro import CmosPotentialModel, csr
+
+    model = CmosPotentialModel.paper()
+    old = model.evaluate(45, 1000, area_mm2=100, tdp_w=100)
+    new = model.evaluate(5, 1000, area_mm2=100, tdp_w=100)
+    physical_gain = new.throughput / old.throughput
+    print(csr(reported_gain=250.0, physical_gain=physical_gain))
+"""
+
+from repro.cmos import CmosPotentialModel
+from repro.csr import csr, decompose_gain
+from repro.datasheets import ChipDatabase, ChipSpec, reference_database
+from repro.errors import ReproError
+from repro.wall import accelerator_wall, wall_report_all_domains
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CmosPotentialModel",
+    "csr",
+    "decompose_gain",
+    "ChipDatabase",
+    "ChipSpec",
+    "reference_database",
+    "ReproError",
+    "accelerator_wall",
+    "wall_report_all_domains",
+    "__version__",
+]

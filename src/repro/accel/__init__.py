@@ -1,0 +1,40 @@
+"""Aladdin-style pre-RTL accelerator design-space exploration (paper §VI).
+
+Pipeline: a workload kernel executes concolically under :class:`Tracer`,
+producing a dynamic dataflow graph; a resource-constrained list scheduler
+maps that graph onto a design point (partitioning factor, simplification
+degree, CMOS node, fusion on/off); a power model converts the schedule into
+runtime, power, and energy.  Sweeping design points reproduces Fig 13, and
+ablating one specialization concept at a time attributes gains (Fig 14).
+"""
+
+from repro.accel.trace import TracedArray, Tracer, Value
+from repro.accel.resources import OpClass, OpCosts, ResourceLibrary, op_class
+from repro.accel.design import DesignPoint
+from repro.accel.scheduler import Schedule, schedule
+from repro.accel.power import PowerReport, evaluate_design
+from repro.accel.sweep import SweepResult, pareto_points, sweep
+from repro.accel.attribution import GainAttribution, attribute_gains
+from repro.accel.streaming import StreamingReport, evaluate_streaming
+
+__all__ = [
+    "TracedArray",
+    "Tracer",
+    "Value",
+    "OpClass",
+    "OpCosts",
+    "ResourceLibrary",
+    "op_class",
+    "DesignPoint",
+    "Schedule",
+    "schedule",
+    "PowerReport",
+    "evaluate_design",
+    "SweepResult",
+    "pareto_points",
+    "sweep",
+    "GainAttribution",
+    "attribute_gains",
+    "StreamingReport",
+    "evaluate_streaming",
+]

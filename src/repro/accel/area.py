@@ -1,0 +1,112 @@
+"""Silicon-area estimation for accelerator designs.
+
+The paper's Bitcoin study measures performance *per chip area* (Fig 1,
+Fig 9a); to apply that metric to our own DSE designs we need an area model.
+Area is provisioned-units x per-unit area plus scratchpad storage, with
+everything shrinking quadratically with the process node (ideal layout
+shrink — the density law's sub-linear utilisation exponent concerns whole
+chips, not single accelerator blocks) and narrowing slightly with the
+simplification degree (thinner datapaths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.accel.design import DesignPoint
+from repro.accel.resources import OpClass, ResourceLibrary
+from repro.accel.scheduler import Schedule, schedule as run_schedule
+from repro.accel.trace import TracedKernel
+
+#: Per-unit area at the 45nm reference node (mm^2), calibrated to the same
+#: relative magnitudes as the energy table (dividers are big, ALUs small).
+UNIT_AREA_MM2: Dict[OpClass, float] = {
+    OpClass.ALU: 0.0020,
+    OpClass.MULTIPLIER: 0.0120,
+    OpClass.DIVIDER: 0.0350,
+    OpClass.SPECIAL: 0.0200,
+    OpClass.MEMORY: 0.0050,  # one scratchpad port
+}
+
+#: Scratchpad storage area per 32-bit word at 45nm (mm^2).
+WORD_AREA_MM2: float = 1.2e-4
+
+#: Area narrowing per simplification degree (thinner datapaths), floored.
+AREA_SAVING_PER_DEGREE: float = 0.97
+AREA_SAVING_FLOOR: float = 0.60
+
+REFERENCE_NODE_NM: float = 45.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area breakdown of one design point."""
+
+    kernel: str
+    design: DesignPoint
+    compute_mm2: float
+    memory_ports_mm2: float
+    storage_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.compute_mm2 + self.memory_ports_mm2 + self.storage_mm2
+
+
+def estimate_area(
+    kernel: TracedKernel,
+    design: DesignPoint,
+    library: Optional[ResourceLibrary] = None,
+    precomputed: Optional[Schedule] = None,
+) -> AreaReport:
+    """Estimate the silicon area of *kernel* mapped onto *design*."""
+    lib = library if library is not None else ResourceLibrary()
+    if precomputed is None:
+        sched = run_schedule(
+            kernel.dfg,
+            partition=design.partition,
+            library=lib,
+            fusion_window=lib.fusion_window(design.node_nm, design.heterogeneity),
+            latency_extra=lib.latency_extra(design.simplification),
+        )
+    else:
+        sched = precomputed
+
+    shrink = (design.node_nm / REFERENCE_NODE_NM) ** 2
+    narrowing = max(
+        AREA_SAVING_FLOOR, AREA_SAVING_PER_DEGREE ** (design.simplification - 1)
+    )
+    compute = 0.0
+    ports = 0.0
+    for klass, units in sched.provisioned.items():
+        unit_area = UNIT_AREA_MM2[klass] * shrink * narrowing
+        if klass is OpClass.MEMORY:
+            ports += units * unit_area
+        else:
+            compute += units * unit_area
+    # Storage: every distinct value touched by the kernel lives in the
+    # scratchpad (double-buffered inputs plus intermediates and outputs).
+    words = len(kernel.dfg)
+    storage = words * WORD_AREA_MM2 * shrink
+    return AreaReport(
+        kernel=kernel.name,
+        design=design,
+        compute_mm2=compute,
+        memory_ports_mm2=ports,
+        storage_mm2=storage,
+    )
+
+
+def throughput_per_area(
+    kernel: TracedKernel,
+    design: DesignPoint,
+    library: Optional[ResourceLibrary] = None,
+) -> float:
+    """Operations per second per mm^2 — the Fig 1/9a metric for a design."""
+    from repro.accel.power import evaluate_design
+
+    lib = library if library is not None else ResourceLibrary()
+    report = evaluate_design(kernel, design, lib)
+    area = estimate_area(kernel, design, lib)
+    return report.throughput_ops / area.total_mm2

@@ -1,0 +1,84 @@
+"""Accelerator design point: the coordinates of the Table III sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cmos.nodes import parse_node
+from repro.errors import InvalidDesignPointError
+
+#: Table III ranges.
+MAX_PARTITION_FACTOR: int = 524288
+MAX_SIMPLIFICATION_DEGREE: int = 13
+SWEEP_NODES: tuple = (45.0, 32.0, 22.0, 14.0, 10.0, 7.0, 5.0)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One accelerator configuration in the CMOS-specialization sweep.
+
+    Parameters
+    ----------
+    node_nm:
+        CMOS process node.
+    partition:
+        Partitioning factor: parallel functional units per class and
+        scratchpad banks (1, 2, 4, ... 524288 in the paper's sweep).
+    simplification:
+        Simplification degree 1..13: datapath narrowing plus pipelining of
+        functional units and registers.
+    heterogeneity:
+        Whether computation heterogeneity (operation fusion into
+        problem-specific super nodes) is applied.
+    """
+
+    node_nm: float
+    partition: int = 1
+    simplification: int = 1
+    heterogeneity: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_nm", parse_node(self.node_nm))
+        if not (1 <= self.partition <= MAX_PARTITION_FACTOR):
+            raise InvalidDesignPointError(
+                f"partition factor {self.partition} outside "
+                f"[1, {MAX_PARTITION_FACTOR}]"
+            )
+        if self.partition & (self.partition - 1):
+            raise InvalidDesignPointError(
+                f"partition factor must be a power of two, got {self.partition}"
+            )
+        if not (1 <= self.simplification <= MAX_SIMPLIFICATION_DEGREE):
+            raise InvalidDesignPointError(
+                f"simplification degree {self.simplification} outside "
+                f"[1, {MAX_SIMPLIFICATION_DEGREE}]"
+            )
+
+    def with_node(self, node_nm: float) -> "DesignPoint":
+        return replace(self, node_nm=node_nm)
+
+    def with_partition(self, partition: int) -> "DesignPoint":
+        return replace(self, partition=partition)
+
+    def with_simplification(self, degree: int) -> "DesignPoint":
+        return replace(self, simplification=degree)
+
+    def without_heterogeneity(self) -> "DesignPoint":
+        return replace(self, heterogeneity=False)
+
+    def describe(self) -> str:
+        hetero = "+hetero" if self.heterogeneity else ""
+        return (
+            f"{self.node_nm:g}nm/P{self.partition}/S{self.simplification}{hetero}"
+        )
+
+
+def baseline_design(node_nm: float = 45.0) -> DesignPoint:
+    """The Fig 14 normalisation point: no partitioning, no simplification.
+
+    Heterogeneity (fusion) stays off too, so every measured gain is relative
+    to a plain spatial mapping of the kernel at 45nm.
+    """
+    return DesignPoint(
+        node_nm=node_nm, partition=1, simplification=1, heterogeneity=False
+    )

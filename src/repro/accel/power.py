@@ -1,0 +1,109 @@
+"""Power/performance evaluation of a scheduled design point.
+
+Combines a :class:`~repro.accel.scheduler.Schedule` with the CMOS-aware
+resource library to produce runtime, energy, power, and the derived
+throughput and energy-efficiency gains the paper's Section VI sweeps report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accel.design import DesignPoint
+from repro.accel.resources import OpClass, ResourceLibrary, op_class
+from repro.accel.scheduler import Schedule, schedule as run_schedule
+from repro.accel.trace import TracedKernel
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Runtime/power/energy of one (kernel, design point) evaluation."""
+
+    kernel: str
+    design: DesignPoint
+    cycles: int
+    clock_mhz: float
+    dynamic_energy_nj: float
+    leakage_power_w: float
+    total_ops: int
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall-clock execution time in seconds."""
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def leakage_energy_nj(self) -> float:
+        return self.leakage_power_w * self.runtime_s * 1e9
+
+    @property
+    def energy_nj(self) -> float:
+        """Total energy: dynamic plus leakage over the runtime."""
+        return self.dynamic_energy_nj + self.leakage_energy_nj
+
+    @property
+    def power_w(self) -> float:
+        """Average power over the execution."""
+        return self.energy_nj * 1e-9 / self.runtime_s
+
+    @property
+    def throughput_ops(self) -> float:
+        """Operations per second."""
+        return self.total_ops / self.runtime_s
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Operations per joule."""
+        return self.total_ops / (self.energy_nj * 1e-9)
+
+
+def evaluate_design(
+    kernel: TracedKernel,
+    design: DesignPoint,
+    library: Optional[ResourceLibrary] = None,
+    precomputed: Optional[Schedule] = None,
+) -> PowerReport:
+    """Evaluate *kernel* on *design*.
+
+    *precomputed* lets sweeps reuse a schedule across design points that
+    share structural parameters (partition factor, fusion window, pipeline
+    latency) and differ only in energy-relevant knobs.
+    """
+    lib = library if library is not None else ResourceLibrary()
+    if precomputed is None:
+        sched = run_schedule(
+            kernel.dfg,
+            partition=design.partition,
+            library=lib,
+            fusion_window=lib.fusion_window(design.node_nm, design.heterogeneity),
+            latency_extra=lib.latency_extra(design.simplification),
+        )
+    else:
+        sched = precomputed
+
+    # Dynamic energy: every traced operation pays its class energy; memory
+    # *accesses* (including re-reads) pay the scratchpad port energy.
+    energy_scale = lib.energy_scale(design.node_nm, design.simplification)
+    dynamic_nj = 0.0
+    for op, count in sched.op_counts.items():
+        if op in ("load", "store"):
+            continue  # charged via access counts below
+        dynamic_nj += lib.costs(op_class(op)).energy_nj * count
+    dynamic_nj += lib.costs(OpClass.MEMORY).energy_nj * kernel.total_accesses
+    dynamic_nj *= energy_scale
+
+    leakage_w = sum(
+        units * lib.unit_leakage_w(klass, design.node_nm, design.simplification)
+        for klass, units in sched.provisioned.items()
+    )
+
+    return PowerReport(
+        kernel=kernel.name,
+        design=design,
+        cycles=sched.cycles,
+        clock_mhz=lib.clock_mhz(design.node_nm),
+        dynamic_energy_nj=dynamic_nj,
+        leakage_power_w=leakage_w,
+        total_ops=sched.total_ops,
+    )

@@ -1,0 +1,120 @@
+"""Streaming (pipelined) accelerator evaluation.
+
+Aladdin-style flows model *pipelined* accelerators as well as single-shot
+ones: with double buffering, a new invocation enters the datapath every
+*initiation interval* (II) while earlier invocations drain.  Throughput is
+then governed by the most-contended resource class, not the end-to-end
+latency — the hardware form of Table I's "systolic array data reuse".
+
+For non-pipelined functional units each op occupies a unit for its full
+latency, so::
+
+    II = max over classes of ceil(ops_in_class * latency_class / units)
+
+The fill latency is the single-shot schedule; steady-state throughput is
+one invocation per II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.accel.design import DesignPoint
+from repro.accel.power import evaluate_design
+from repro.accel.resources import OpClass, ResourceLibrary, op_class
+from repro.accel.scheduler import Schedule, schedule as run_schedule
+from repro.accel.trace import TracedKernel
+
+
+@dataclass(frozen=True)
+class StreamingReport:
+    """Steady-state behaviour of a pipelined accelerator."""
+
+    kernel: str
+    design: DesignPoint
+    initiation_interval: int
+    fill_latency_cycles: int
+    clock_mhz: float
+    energy_per_invocation_nj: float
+    leakage_power_w: float
+    total_ops: int
+    bottleneck: OpClass
+
+    @property
+    def invocations_per_second(self) -> float:
+        return (self.clock_mhz * 1e6) / self.initiation_interval
+
+    @property
+    def throughput_ops(self) -> float:
+        """Steady-state operations per second."""
+        return self.total_ops * self.invocations_per_second
+
+    @property
+    def power_w(self) -> float:
+        """Steady-state average power: dynamic per invocation + leakage."""
+        dynamic = (
+            self.energy_per_invocation_nj * 1e-9 * self.invocations_per_second
+        )
+        return dynamic + self.leakage_power_w
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Steady-state operations per joule."""
+        return self.throughput_ops / self.power_w
+
+    @property
+    def speedup_over_latency_mode(self) -> float:
+        """How much pipelining beats running invocations back to back."""
+        return self.fill_latency_cycles / self.initiation_interval
+
+
+def initiation_interval(
+    sched: Schedule, library: ResourceLibrary, latency_extra: int = 0
+) -> "tuple[int, OpClass]":
+    """(II, bottleneck class) for a scheduled kernel."""
+    worst = 1
+    bottleneck = OpClass.ALU
+    class_work: Dict[OpClass, int] = {}
+    for op, count in sched.op_counts.items():
+        klass = op_class(op)
+        latency = library.costs(klass).latency_cycles + latency_extra
+        class_work[klass] = class_work.get(klass, 0) + count * latency
+    for klass, work in class_work.items():
+        units = sched.provisioned.get(klass, 1)
+        interval = math.ceil(work / units)
+        if interval > worst:
+            worst = interval
+            bottleneck = klass
+    return worst, bottleneck
+
+
+def evaluate_streaming(
+    kernel: TracedKernel,
+    design: DesignPoint,
+    library: Optional[ResourceLibrary] = None,
+) -> StreamingReport:
+    """Evaluate *kernel* as a pipelined streaming accelerator."""
+    lib = library if library is not None else ResourceLibrary()
+    latency_extra = lib.latency_extra(design.simplification)
+    sched = run_schedule(
+        kernel.dfg,
+        partition=design.partition,
+        library=lib,
+        fusion_window=lib.fusion_window(design.node_nm, design.heterogeneity),
+        latency_extra=latency_extra,
+    )
+    ii, bottleneck = initiation_interval(sched, lib, latency_extra)
+    single_shot = evaluate_design(kernel, design, lib, precomputed=sched)
+    return StreamingReport(
+        kernel=kernel.name,
+        design=design,
+        initiation_interval=ii,
+        fill_latency_cycles=sched.cycles,
+        clock_mhz=lib.clock_mhz(design.node_nm),
+        energy_per_invocation_nj=single_shot.dynamic_energy_nj,
+        leakage_power_w=single_shot.leakage_power_w,
+        total_ops=sched.total_ops,
+        bottleneck=bottleneck,
+    )

@@ -1,0 +1,158 @@
+"""Design-space sweep machinery (paper Table III, Fig 13).
+
+Sweeps cross the Table III parameters — partitioning factor (powers of two
+up to 524288), simplification degree (1..13), CMOS node (45..5nm) — over a
+traced kernel, reusing schedules across design points that share structural
+parameters (the schedule depends only on partition factor, fusion window and
+pipeline latency; node and simplification energy effects are applied by the
+power model afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.accel.design import (
+    MAX_PARTITION_FACTOR,
+    MAX_SIMPLIFICATION_DEGREE,
+    SWEEP_NODES,
+    DesignPoint,
+)
+from repro.accel.power import PowerReport, evaluate_design
+from repro.accel.resources import ResourceLibrary
+from repro.accel.scheduler import Schedule, schedule as run_schedule
+from repro.accel.trace import TracedKernel
+
+
+def table3_partitions(limit: int = MAX_PARTITION_FACTOR) -> Tuple[int, ...]:
+    """The Table III partitioning factors: 1, 2, 4, ..., 524288."""
+    factors = []
+    p = 1
+    while p <= limit:
+        factors.append(p)
+        p *= 2
+    return tuple(factors)
+
+
+def table3_simplifications(
+    limit: int = MAX_SIMPLIFICATION_DEGREE,
+) -> Tuple[int, ...]:
+    """The Table III simplification degrees: 1, 2, ..., 13."""
+    return tuple(range(1, limit + 1))
+
+
+def default_design_grid(
+    nodes: Sequence[float] = SWEEP_NODES,
+    partitions: Optional[Sequence[int]] = None,
+    simplifications: Optional[Sequence[int]] = None,
+    heterogeneity: bool = True,
+) -> List[DesignPoint]:
+    """Full Table III cross product."""
+    parts = partitions if partitions is not None else table3_partitions()
+    simps = (
+        simplifications if simplifications is not None else table3_simplifications()
+    )
+    return [
+        DesignPoint(
+            node_nm=node, partition=p, simplification=s, heterogeneity=heterogeneity
+        )
+        for node in nodes
+        for p in parts
+        for s in simps
+    ]
+
+
+class _ScheduleCache:
+    """Schedules keyed by the structural parameters that affect them."""
+
+    def __init__(self, kernel: TracedKernel, library: ResourceLibrary):
+        self._kernel = kernel
+        self._library = library
+        self._cache: Dict[Tuple[int, int, int], Schedule] = {}
+        # Partition factors beyond the graph size cannot change the schedule.
+        n = len(kernel.dfg)
+        cap = 1
+        while cap < n:
+            cap *= 2
+        self._partition_cap = cap
+
+    def get(self, design: DesignPoint) -> Schedule:
+        window = self._library.fusion_window(design.node_nm, design.heterogeneity)
+        extra = self._library.latency_extra(design.simplification)
+        partition = min(design.partition, self._partition_cap)
+        key = (partition, window, extra)
+        if key not in self._cache:
+            self._cache[key] = run_schedule(
+                self._kernel.dfg,
+                partition=partition,
+                library=self._library,
+                fusion_window=window,
+                latency_extra=extra,
+            )
+        return self._cache[key]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All evaluated design points of one kernel sweep."""
+
+    kernel: str
+    reports: Tuple[PowerReport, ...]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def best(self, metric: Callable[[PowerReport], float]) -> PowerReport:
+        """Report maximising *metric*."""
+        return max(self.reports, key=metric)
+
+    def best_energy_efficiency(self) -> PowerReport:
+        return self.best(lambda r: r.energy_efficiency)
+
+    def best_throughput(self) -> PowerReport:
+        return self.best(lambda r: r.throughput_ops)
+
+    def runtime_power_points(self) -> List[Tuple[float, float, PowerReport]]:
+        """(runtime, power) scatter behind Fig 13."""
+        return [(r.runtime_s, r.power_w, r) for r in self.reports]
+
+    def pareto_frontier(self) -> List[PowerReport]:
+        """Non-dominated reports in (runtime, power) minimisation space."""
+        points = [(r.runtime_s, r.power_w, r) for r in self.reports]
+        return [r for _, _, r in pareto_points(points)]
+
+
+def pareto_points(
+    points: Sequence[Tuple[float, float, object]],
+) -> List[Tuple[float, float, object]]:
+    """Non-dominated subset of (x, y, payload), minimising both x and y."""
+    ordered = sorted(points, key=lambda p: (p[0], p[1]))
+    frontier: List[Tuple[float, float, object]] = []
+    best_y = float("inf")
+    for x, y, payload in ordered:
+        if y < best_y:
+            frontier.append((x, y, payload))
+            best_y = y
+    return frontier
+
+
+def sweep(
+    kernel: TracedKernel,
+    designs: Optional[Iterable[DesignPoint]] = None,
+    library: Optional[ResourceLibrary] = None,
+) -> SweepResult:
+    """Evaluate *kernel* over *designs* (default: the Table III grid)."""
+    lib = library if library is not None else ResourceLibrary()
+    design_list = (
+        list(designs) if designs is not None else default_design_grid()
+    )
+    cache = _ScheduleCache(kernel, lib)
+    reports = tuple(
+        evaluate_design(kernel, design, lib, precomputed=cache.get(design))
+        for design in design_list
+    )
+    return SweepResult(kernel=kernel.name, reports=reports)

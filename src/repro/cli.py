@@ -1,0 +1,250 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+Usage (installed as ``accelerator-wall``, or ``python -m repro``):
+
+    accelerator-wall tables                 # print Tables I, III, IV, V
+    accelerator-wall study bitcoin          # one case-study CSR series
+    accelerator-wall wall                   # Figs 15-16 projections
+    accelerator-wall maturity               # Section IV-E maturity classes
+    accelerator-wall export --out out/      # JSON of every artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cmos.model import CmosPotentialModel
+from repro.reporting.tables import (
+    render_rows,
+    table1_specialization_concepts,
+    table3_sweep_parameters,
+    table4_applications,
+    table5_wall_parameters,
+)
+
+STUDIES = ("video", "gpu", "cnn", "bitcoin")
+
+
+def _model(args) -> CmosPotentialModel:
+    if getattr(args, "refit", False):
+        return CmosPotentialModel.reference()
+    return CmosPotentialModel.paper()
+
+
+def _cmd_tables(args) -> int:
+    for title, rows in (
+        ("Table I: specialization concepts", table1_specialization_concepts()),
+        ("Table III: sweep parameters", table3_sweep_parameters()),
+        ("Table IV: applications", table4_applications()),
+        ("Table V: wall parameters", table5_wall_parameters()),
+    ):
+        print(f"\n=== {title} ===")
+        print(render_rows(rows))
+    return 0
+
+
+def _study_object(name: str, model: CmosPotentialModel):
+    from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+
+    if name == "video":
+        return video_decoders.study()
+    if name == "gpu":
+        return gpu_graphics.study()
+    if name == "cnn":
+        return fpga_cnn.study("alexnet")
+    if name == "bitcoin":
+        return bitcoin.study()
+    raise ValueError(f"unknown study {name!r}; known: {STUDIES}")
+
+
+def _cmd_study(args) -> int:
+    model = _model(args)
+    study = _study_object(args.name, model)
+    series = study.performance_series(model)
+    print(f"=== {study.name}: performance CSR series ===")
+    print(render_rows([
+        {"chip": p.name, "node": f"{p.node_nm:g}nm", "gain_x": p.gain,
+         "physical_x": p.physical, "csr_x": p.csr}
+        for p in series
+    ]))
+    summary = study.summary(model)
+    print("\nsummary: " + ", ".join(f"{k}={v:.3g}" for k, v in summary.items()))
+    return 0
+
+
+def _cmd_wall(args) -> int:
+    from repro.wall import time_to_wall_all_domains, wall_report_all_domains
+
+    model = _model(args)
+    rows = []
+    for report in wall_report_all_domains(model):
+        low, high = report.headroom
+        rows.append(
+            {
+                "domain": report.domain,
+                "metric": report.metric,
+                "best_today": f"{report.current_best:.4g} {report.gain_unit}",
+                "wall_log": f"{report.projected_log:.4g}",
+                "wall_linear": f"{report.projected_linear:.4g}",
+                "headroom": f"{low:.1f}-{high:.1f}x",
+            }
+        )
+    print(render_rows(rows))
+    print("\nat historical pace:")
+    for estimate in time_to_wall_all_domains(model):
+        print(f"  {estimate.describe()}")
+    return 0
+
+
+def _cmd_maturity(args) -> int:
+    from repro.csr.trends import assess_maturity
+    from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+
+    model = _model(args)
+    domains = [
+        ("video_decoders", video_decoders.study()),
+        ("gpu_graphics", gpu_graphics.study()),
+        ("fpga_cnn_alexnet", fpga_cnn.study("alexnet")),
+        ("bitcoin_asic", bitcoin.asic_study()),
+    ]
+    for name, study in domains:
+        assessment = assess_maturity(study.performance_series(model), name)
+        print(assessment.describe())
+    return 0
+
+
+PLOTS = ("fig1", "fig4", "fig9", "fig13", "fig15")
+
+
+def _cmd_plot(args) -> int:
+    from repro.reporting.ascii_plots import (
+        plot_csr_series,
+        plot_frontier,
+        plot_runtime_power,
+    )
+
+    model = _model(args)
+    name = args.figure
+    if name == "fig1":
+        from repro.studies import bitcoin
+
+        series = bitcoin.asic_study().performance_series(model)
+        print(plot_csr_series(series, "Fig 1: Bitcoin ASIC evolution"))
+    elif name == "fig4":
+        from repro.studies import video_decoders
+
+        series = video_decoders.study().performance_series(model).sorted_by_gain()
+        print(plot_csr_series(series, "Fig 4a: video decoder throughput"))
+    elif name == "fig9":
+        from repro.studies import bitcoin
+
+        series = bitcoin.study().performance_series(model)
+        print(plot_csr_series(series, "Fig 9a: mining gains across platforms"))
+    elif name == "fig13":
+        from repro.accel.sweep import default_design_grid, sweep
+        from repro.workloads import s3d
+
+        result = sweep(
+            s3d.build(),
+            default_design_grid(
+                nodes=(45.0, 22.0, 10.0, 5.0),
+                partitions=(1, 4, 16, 64, 256, 1024),
+                simplifications=(1, 5, 9, 13),
+            ),
+        )
+        print(plot_runtime_power(result.reports))
+    elif name == "fig15":
+        from repro.wall import accelerator_wall, upper_frontier
+        from repro.wall.limits import _limits
+
+        for domain in _limits():
+            report = accelerator_wall(domain, model)
+            # Reconstruct the scatter the report was fitted on.
+            study = _limits()[domain].study_factory()
+            series = study.performance_series(model)
+            base = study.chips[0].metric(study.performance_metric)
+            points = [(p.physical, p.gain * base) for p in series]
+            frontier = upper_frontier(points)
+            print(plot_frontier(points, frontier, f"Fig 15: {domain}"))
+            print()
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ValueError(name)
+    return 0
+
+
+def _cmd_insights(args) -> int:
+    from repro.studies.insights import default_insights
+
+    model = _model(args)
+    failures = 0
+    for insight in default_insights(model):
+        print(insight.describe())
+        failures += 0 if insight.holds else 1
+    return 1 if failures else 0
+
+
+def _cmd_export(args) -> int:
+    from repro.reporting.export import export_all
+
+    paths = export_all(args.out, _model(args), fast=not args.full)
+    for name, path in paths.items():
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accelerator-wall",
+        description="Reproduction of 'The Accelerator Wall' (HPCA 2019)",
+    )
+    parser.add_argument(
+        "--refit",
+        action="store_true",
+        help="refit the CMOS model from the bundled chip population "
+        "instead of using the paper's published constants",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I, III, IV, V").set_defaults(
+        func=_cmd_tables
+    )
+
+    study = sub.add_parser("study", help="print one case study's CSR series")
+    study.add_argument("name", choices=STUDIES)
+    study.set_defaults(func=_cmd_study)
+
+    sub.add_parser("wall", help="print the Figs 15-16 projections").set_defaults(
+        func=_cmd_wall
+    )
+
+    sub.add_parser(
+        "maturity", help="classify each domain's CSR maturity"
+    ).set_defaults(func=_cmd_maturity)
+
+    sub.add_parser(
+        "insights", help="check the Section IV-E observations"
+    ).set_defaults(func=_cmd_insights)
+
+    plot = sub.add_parser("plot", help="render a figure as an ASCII plot")
+    plot.add_argument("figure", choices=PLOTS)
+    plot.set_defaults(func=_cmd_plot)
+
+    export = sub.add_parser("export", help="write every artifact as JSON")
+    export.add_argument("--out", default="artifacts", help="output directory")
+    export.add_argument(
+        "--full", action="store_true",
+        help="use the full Table III sweep grid for Figs 13-14 (slow)",
+    )
+    export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""CMOS potential model (paper Section III).
+
+This subpackage models the *physical* capabilities of a chip independently of
+any application: device scaling (Fig 3a), the transistor-count-versus-density
+regression (Fig 3b), the transistor-count-versus-TDP regression (Fig 3c), and
+the combined physical chip-gains model (Fig 3d).
+
+The facade type is :class:`repro.cmos.model.CmosPotentialModel`.
+"""
+
+from repro.cmos.nodes import (
+    CANONICAL_NODES,
+    NODE_ERAS_DENSITY,
+    NODE_ERAS_TDP,
+    NodeEra,
+    density_factor,
+    era_for_node,
+    parse_node,
+)
+from repro.cmos.scaling import DeviceScaling, ScalingTable, default_scaling_table
+from repro.cmos.transistors import TransistorCountFit, fit_transistor_count, PAPER_DENSITY_FIT
+from repro.cmos.tdp import TdpFit, TdpModel, fit_tdp_model, PAPER_TDP_FITS
+from repro.cmos.gains import ChipGains, GainsModel
+from repro.cmos.model import CmosPotentialModel, PhysicalChip
+
+__all__ = [
+    "CANONICAL_NODES",
+    "NODE_ERAS_DENSITY",
+    "NODE_ERAS_TDP",
+    "NodeEra",
+    "density_factor",
+    "era_for_node",
+    "parse_node",
+    "DeviceScaling",
+    "ScalingTable",
+    "default_scaling_table",
+    "TransistorCountFit",
+    "fit_transistor_count",
+    "PAPER_DENSITY_FIT",
+    "TdpFit",
+    "TdpModel",
+    "fit_tdp_model",
+    "PAPER_TDP_FITS",
+    "ChipGains",
+    "GainsModel",
+    "CmosPotentialModel",
+    "PhysicalChip",
+]

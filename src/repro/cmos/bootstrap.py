@@ -1,0 +1,146 @@
+"""Bootstrap uncertainty for the CMOS model fits and wall projections.
+
+The paper reports point estimates (one density exponent, one projection
+per model).  For a limit study, the *uncertainty* of those estimates
+matters: a wall projected from a noisy frontier can move a lot under
+resampling.  This module adds nonparametric bootstrap confidence intervals
+for the Fig 3b/3c power-law fits and for frontier projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.cmos.transistors import fit_power_law
+from repro.errors import FitError
+from repro.wall.projection import ProjectionKind, fit_frontier
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap percentile confidence interval for one statistic."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __contains__(self, value: object) -> bool:
+        try:
+            return self.low <= float(value) <= self.high  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def describe(self) -> str:
+        return (
+            f"{self.point:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}] @ {self.confidence:.0%}"
+        )
+
+
+def _percentile_interval(
+    point: float,
+    samples: Sequence[float],
+    confidence: float,
+    n_resamples: int,
+) -> BootstrapInterval:
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(np.asarray(samples), [tail, 1.0 - tail])
+    return BootstrapInterval(
+        point=point,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_power_law_exponent(
+    x: Sequence[float],
+    y: Sequence[float],
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile CI for the exponent of ``y = c * x**e``.
+
+    Resamples (x, y) pairs with replacement and refits; degenerate
+    resamples (fewer than two distinct positive points) are skipped.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) < 3:
+        raise FitError("bootstrap needs >= 3 paired points")
+    _, point, _ = fit_power_law(x, y)
+    rng = np.random.default_rng(seed)
+    exponents = []
+    attempts = 0
+    while len(exponents) < n_resamples and attempts < n_resamples * 3:
+        attempts += 1
+        index = rng.integers(0, len(x), size=len(x))
+        try:
+            _, exponent, _ = fit_power_law(x[index], y[index])
+        except FitError:
+            continue
+        exponents.append(exponent)
+    if len(exponents) < max(10, n_resamples // 2):
+        raise FitError("too many degenerate bootstrap resamples")
+    return _percentile_interval(point, exponents, confidence, len(exponents))
+
+
+def bootstrap_projection(
+    points: Sequence[Tuple[float, float]],
+    physical_limit: float,
+    kind: ProjectionKind = ProjectionKind.LINEAR,
+    n_resamples: int = 500,
+    confidence: float = 0.9,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile CI for a frontier projection evaluated at the wall.
+
+    Resampling happens over the *raw* scatter; each resample re-extracts
+    its own frontier and refits, so the interval reflects both frontier
+    membership and fit uncertainty.
+    """
+    if len(points) < 3:
+        raise FitError("bootstrap projection needs >= 3 points")
+    point_estimate = fit_frontier(points, kind).predict(physical_limit)
+    rng = np.random.default_rng(seed)
+    array = np.asarray(points, dtype=float)
+    predictions = []
+    attempts = 0
+    while len(predictions) < n_resamples and attempts < n_resamples * 3:
+        attempts += 1
+        index = rng.integers(0, len(array), size=len(array))
+        resample = [tuple(row) for row in array[index]]
+        try:
+            fit = fit_frontier(resample, kind)
+        except Exception:
+            continue
+        predictions.append(fit.predict(physical_limit))
+    if len(predictions) < max(10, n_resamples // 2):
+        raise FitError("too many degenerate bootstrap resamples")
+    return _percentile_interval(
+        point_estimate, predictions, confidence, len(predictions)
+    )
+
+
+def density_exponent_interval(
+    database,
+    n_resamples: int = 300,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Bootstrap CI for the Fig 3b density exponent over a chip database."""
+    density, transistors = database.density_points()
+    return bootstrap_power_law_exponent(
+        density, transistors, n_resamples, confidence, seed
+    )

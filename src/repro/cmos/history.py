@@ -1,0 +1,176 @@
+"""Dennard-scaling counterfactuals and beyond-5nm extrapolation.
+
+Two "what if" analyses around the paper's framing:
+
+* **Dennard gap** — the paper's motivation is the demise of Dennard
+  scaling.  Under ideal Dennard rules a shrink by factor ``s`` gives
+  frequency x``s`` and voltage /``s`` at constant power density; the model
+  here quantifies how far each real node fell short (the frequency
+  shortfall and power-density excess that forced the turn to
+  specialization).
+* **Beyond-5nm counterfactual** — the wall study assumes scaling stops at
+  5nm (IRDS).  Extrapolating the scaling table geometrically to
+  hypothetical 3nm/2nm nodes shows how much each extra node would have been
+  worth — i.e. what the end of scaling costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.cmos.scaling import (
+    REFERENCE_NODE,
+    DeviceScaling,
+    ScalingTable,
+    default_scaling_table,
+)
+
+
+@dataclass(frozen=True)
+class DennardGap:
+    """How far a node fell short of ideal Dennard scaling from 45nm."""
+
+    node_nm: float
+    shrink: float                 # 45 / node
+    ideal_frequency: float        # = shrink (relative to 45nm)
+    actual_frequency: float
+    frequency_shortfall: float    # ideal / actual  (>= 1 post-Dennard)
+    ideal_power_density: float    # = 1.0 under Dennard
+    actual_power_density: float   # dynamic power density relative to 45nm
+    power_density_excess: float   # actual / ideal
+
+
+def dennard_ideal(node_nm: float, reference_nm: float = REFERENCE_NODE) -> DeviceScaling:
+    """Ideal Dennard-rule scaling factors relative to *reference_nm*.
+
+    Shrink factor ``s = reference / node``:
+    frequency x``s``, VDD /``s``, capacitance /``s``, and per-device
+    leakage ~0 (Dennard-era leakage was negligible); dynamic power density
+    stays exactly constant.
+    """
+    shrink = reference_nm / node_nm
+    return DeviceScaling(
+        node_nm=node_nm,
+        vdd=1.0 / shrink,
+        frequency=shrink,
+        capacitance=1.0 / shrink,
+        leakage_power=1e-6,  # effectively zero, kept positive for ratios
+    )
+
+
+def dennard_gap(
+    node_nm: float, table: Optional[ScalingTable] = None
+) -> DennardGap:
+    """Quantify the Dennard gap for one node.
+
+    Power density compares the *per-area* dynamic power: device count grows
+    x``s^2`` while per-device power changes by ``C V^2 f``.
+    """
+    scaling_table = table if table is not None else default_scaling_table()
+    actual = scaling_table.relative(node_nm)
+    shrink = REFERENCE_NODE / node_nm
+    # Per-area dynamic power = devices/area * C * V^2 * f (relative).
+    actual_density = (shrink**2) * actual.dynamic_energy * actual.frequency
+    return DennardGap(
+        node_nm=node_nm,
+        shrink=shrink,
+        ideal_frequency=shrink,
+        actual_frequency=actual.frequency,
+        frequency_shortfall=shrink / actual.frequency,
+        ideal_power_density=1.0,
+        actual_power_density=actual_density,
+        power_density_excess=actual_density,
+    )
+
+
+def dennard_gap_series(
+    nodes: Sequence[float] = (32.0, 22.0, 14.0, 10.0, 7.0, 5.0),
+    table: Optional[ScalingTable] = None,
+) -> Dict[float, DennardGap]:
+    """The Dennard gap across the post-45nm roadmap."""
+    return {node: dennard_gap(node, table) for node in nodes}
+
+
+#: Geometric per-full-node trend factors used to extrapolate the anchored
+#: table below 5nm: each hypothetical shrink buys less (frequency +5%,
+#: capacitance -18%, VDD -4%, leakage -10%), continuing the 7nm->5nm trend.
+_BEYOND_TRENDS = {
+    "vdd": 0.96,
+    "frequency": 1.05,
+    "capacitance": 0.82,
+    "leakage_power": 0.90,
+}
+
+
+def extrapolated_table(
+    beyond_nodes: Sequence[float] = (3.0, 2.0),
+) -> ScalingTable:
+    """A scaling table extended below 5nm for counterfactual studies.
+
+    Returned table covers the real anchors plus hypothetical nodes with
+    diminishing per-node improvements (see :data:`_BEYOND_TRENDS`).
+    """
+    from repro.cmos.scaling import _ANCHORS  # anchored real data
+
+    anchors = dict(_ANCHORS)
+    last = anchors[5.0]
+    previous_node = 5.0
+    for node in sorted(beyond_nodes, reverse=True):
+        if node >= previous_node:
+            raise ValueError("beyond nodes must shrink monotonically below 5nm")
+        vdd, freq, cap, leak = last
+        last = (
+            vdd * _BEYOND_TRENDS["vdd"],
+            freq * _BEYOND_TRENDS["frequency"],
+            cap * _BEYOND_TRENDS["capacitance"],
+            leak * _BEYOND_TRENDS["leakage_power"],
+        )
+        anchors[node] = last
+        previous_node = node
+    return ScalingTable(anchors)
+
+
+def cost_of_the_wall(
+    beyond_node: float = 3.0,
+    area_mm2: float = 400.0,
+    tdp_w: float = 300.0,
+    frequency_mhz: float = 1000.0,
+) -> Dict[str, float]:
+    """What one more node past 5nm would have been worth.
+
+    Evaluates the physical gains model at 5nm and at the hypothetical
+    *beyond_node* (same die/TDP/clock) using the extrapolated scaling
+    table.  Reports both the *uncapped* transistor-potential gain and the
+    gain under the fixed power envelope — the striking outcome being that
+    with post-Dennard trends, extra nodes deliver transistors the TDP
+    cannot power: the wall is as much a power wall as a lithography wall.
+    """
+    from repro.cmos.gains import GainsModel
+
+    table = extrapolated_table((beyond_node,))
+    model = GainsModel(scaling=table)
+
+    def evaluate(node, capped):
+        return model.evaluate(
+            node,
+            frequency_mhz,
+            area_mm2=area_mm2,
+            tdp_w=tdp_w if capped else None,
+        )
+
+    at_wall = evaluate(5.0, capped=True)
+    beyond = evaluate(beyond_node, capped=True)
+    at_wall_potential = evaluate(5.0, capped=False)
+    beyond_potential = evaluate(beyond_node, capped=False)
+    return {
+        "uncapped_throughput_gain": (
+            beyond_potential.throughput / at_wall_potential.throughput
+        ),
+        "capped_throughput_gain": beyond.throughput / at_wall.throughput,
+        "capped_efficiency_gain": (
+            beyond.energy_efficiency / at_wall.energy_efficiency
+        ),
+        "active_fraction_at_wall": at_wall.active_fraction,
+        "active_fraction_beyond": beyond.active_fraction,
+    }

@@ -1,0 +1,177 @@
+"""Device-level CMOS scaling model (paper Fig 3a).
+
+The paper derives device scaling from the Stillmaker & Baas scaling equations
+(180nm..7nm) extended with the IRDS 2017 projection for 5nm.  We encode the
+same information as a table of per-node scaling factors, normalised to 45nm,
+with geometric (log-log) interpolation for nodes between table entries.
+
+Modelled quantities per node:
+
+``vdd``
+    Nominal supply voltage in volts (absolute, not relative).
+``frequency``
+    Achievable clock frequency relative to 45nm (inverse FO4 delay).
+``capacitance``
+    Switched gate capacitance per device relative to 45nm.
+``leakage_power``
+    Static power per device relative to 45nm.
+``dynamic_energy``
+    Energy per switching event, ``C * VDD^2``, relative to 45nm (derived).
+``dynamic_power``
+    Dynamic power per device at the node's native frequency,
+    ``C * VDD^2 * f``, relative to 45nm (derived).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.cmos.nodes import parse_node
+from repro.errors import UnknownNodeError
+
+#: Reference node everything is normalised to (matching Fig 3a / Fig 3d).
+REFERENCE_NODE: float = 45.0
+
+# Per-node anchors: node -> (vdd_volts, rel_frequency, rel_capacitance,
+# rel_leakage_power).  Derived from the Stillmaker & Baas scaling tables with
+# the IRDS-2017 5nm projection; relative columns are normalised to 45nm.
+_ANCHORS: Dict[float, Tuple[float, float, float, float]] = {
+    180.0: (1.80, 0.30, 4.00, 1.50),
+    130.0: (1.30, 0.42, 2.90, 1.40),
+    110.0: (1.20, 0.48, 2.45, 1.35),
+    90.0:  (1.10, 0.58, 2.00, 1.30),
+    80.0:  (1.10, 0.63, 1.78, 1.25),
+    65.0:  (1.00, 0.78, 1.45, 1.15),
+    55.0:  (1.00, 0.88, 1.22, 1.07),
+    45.0:  (0.97, 1.00, 1.00, 1.00),
+    40.0:  (0.95, 1.07, 0.89, 0.95),
+    32.0:  (0.90, 1.20, 0.72, 0.85),
+    28.0:  (0.88, 1.28, 0.63, 0.80),
+    22.0:  (0.84, 1.40, 0.50, 0.70),
+    20.0:  (0.82, 1.45, 0.46, 0.67),
+    16.0:  (0.78, 1.58, 0.38, 0.58),
+    14.0:  (0.76, 1.63, 0.34, 0.55),
+    12.0:  (0.74, 1.70, 0.30, 0.51),
+    10.0:  (0.72, 1.78, 0.26, 0.47),
+    7.0:   (0.68, 1.90, 0.20, 0.40),
+    5.0:   (0.63, 2.00, 0.16, 0.35),
+}
+
+
+@dataclass(frozen=True)
+class DeviceScaling:
+    """Scaling factors for a single process node (relative to 45nm)."""
+
+    node_nm: float
+    vdd: float
+    frequency: float
+    capacitance: float
+    leakage_power: float
+
+    @property
+    def dynamic_energy(self) -> float:
+        """Energy per switching event: ``C * VDD^2``.
+
+        For a row produced by :meth:`relative_to` every field is a ratio, so
+        this is the exact dynamic-energy ratio between the two nodes.  For an
+        absolute table row the value carries arbitrary units — normalise by
+        the reference row's ``dynamic_energy`` before comparing.
+        """
+        return self.capacitance * self.vdd**2
+
+    @property
+    def dynamic_power(self) -> float:
+        """Dynamic power per device at native frequency, relative to 45nm."""
+        return self.dynamic_energy * self.frequency
+
+    def relative_to(self, other: "DeviceScaling") -> "DeviceScaling":
+        """Re-normalise this node's factors against *other* (ratio form)."""
+        return DeviceScaling(
+            node_nm=self.node_nm,
+            vdd=self.vdd / other.vdd,
+            frequency=self.frequency / other.frequency,
+            capacitance=self.capacitance / other.capacitance,
+            leakage_power=self.leakage_power / other.leakage_power,
+        )
+
+
+class ScalingTable:
+    """Interpolating lookup of :class:`DeviceScaling` by process node.
+
+    Interpolation is geometric in (log node, log factor) space, which keeps
+    ratios consistent: halving the node applies the same multiplicative step
+    regardless of where in the range it happens.
+    """
+
+    def __init__(self, anchors: Mapping[float, Tuple[float, float, float, float]]):
+        if len(anchors) < 2:
+            raise ValueError("scaling table needs at least two anchor nodes")
+        self._nodes = tuple(sorted(anchors))
+        self._anchors = {float(k): tuple(map(float, v)) for k, v in anchors.items()}
+
+    @property
+    def nodes(self) -> Tuple[float, ...]:
+        """Anchor nodes, oldest (largest) last."""
+        return tuple(sorted(self._nodes, reverse=True))
+
+    def scaling(self, node: "float | str") -> DeviceScaling:
+        """Scaling factors for *node*, interpolating between anchors."""
+        value = parse_node(node)
+        if value in self._anchors:
+            vdd, freq, cap, leak = self._anchors[value]
+            return DeviceScaling(value, vdd, freq, cap, leak)
+        if not (self._nodes[0] <= value <= self._nodes[-1]):
+            raise UnknownNodeError(node, (self._nodes[-1], self._nodes[0]))
+        lo = max(n for n in self._nodes if n < value)
+        hi = min(n for n in self._nodes if n > value)
+        t = (math.log(value) - math.log(lo)) / (math.log(hi) - math.log(lo))
+
+        def lerp(a: float, b: float) -> float:
+            return math.exp(math.log(a) * (1 - t) + math.log(b) * t)
+
+        lo_vals = self._anchors[lo]
+        hi_vals = self._anchors[hi]
+        vdd, freq, cap, leak = (lerp(a, b) for a, b in zip(lo_vals, hi_vals))
+        return DeviceScaling(value, vdd, freq, cap, leak)
+
+    def relative(self, node: "float | str", reference: "float | str" = REFERENCE_NODE) -> DeviceScaling:
+        """Scaling of *node* expressed relative to *reference*."""
+        return self.scaling(node).relative_to(self.scaling(reference))
+
+    def fig3a_series(
+        self, nodes: Sequence[float] = (45.0, 28.0, 16.0, 10.0, 7.0, 5.0)
+    ) -> Dict[str, Dict[float, float]]:
+        """The five panels of Fig 3a: each quantity relative to the first node.
+
+        Returns ``{quantity: {node: relative value}}`` with every series
+        normalised so the oldest node in *nodes* equals 1.0 (matching the
+        figure, where all curves start at 1.0 and decrease — frequency is
+        reported as *delay-normalised* ``1/f`` so that it, too, decreases).
+        """
+        reference = max(nodes)
+        series: Dict[str, Dict[float, float]] = {
+            "leakage_power": {},
+            "capacitance": {},
+            "vdd": {},
+            "frequency": {},
+            "dynamic_power": {},
+        }
+        ref = self.scaling(reference)
+        for node in sorted(nodes, reverse=True):
+            rel = self.scaling(node).relative_to(ref)
+            series["leakage_power"][node] = rel.leakage_power
+            series["capacitance"][node] = rel.capacitance
+            series["vdd"][node] = rel.vdd
+            # The figure's "Frequency" panel shows the per-device energy cost
+            # of running at speed shrinking; report inverse relative delay
+            # gain so the series is <= 1.0 like the others.
+            series["frequency"][node] = 1.0 / rel.frequency
+            series["dynamic_power"][node] = rel.dynamic_energy
+        return series
+
+
+def default_scaling_table() -> ScalingTable:
+    """The library-default scaling table (Stillmaker & Baas + IRDS anchors)."""
+    return ScalingTable(_ANCHORS)

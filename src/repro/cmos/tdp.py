@@ -1,0 +1,148 @@
+"""TDP transistor-budget model (paper Fig 3c).
+
+Power limitations restrict the fraction of chip transistors that can be kept
+active within a TDP envelope.  The paper captures this by fitting, per node
+era, the power law::
+
+    TC[1e9] * f[GHz] = c_era * TDP**e_era
+
+Given a chip's TDP, node, and operating frequency, the model yields the
+number of *active* transistors the power budget supports.  Newer eras have a
+larger coefficient (denser chips) but a shallower exponent (power density
+limits bite harder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
+
+from repro.cmos.nodes import NODE_ERAS_TDP, NodeEra, era_for_node
+from repro.cmos.transistors import fit_power_law
+from repro.errors import FitError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datasheets.database import ChipDatabase
+
+
+@dataclass(frozen=True)
+class TdpFit:
+    """Per-era power law ``TC[1e9] * f[GHz] = coefficient * TDP**exponent``."""
+
+    era: NodeEra
+    coefficient: float
+    exponent: float
+    r2: float = float("nan")
+    n_points: int = 0
+
+    def budget_product(self, tdp_w: float) -> float:
+        """``TC[1e9] * f[GHz]`` supported by a *tdp_w* envelope."""
+        if tdp_w <= 0:
+            raise ValueError(f"TDP must be positive, got {tdp_w!r}")
+        return self.coefficient * tdp_w**self.exponent
+
+    def active_transistors(self, tdp_w: float, frequency_mhz: float) -> float:
+        """Active transistor count at *frequency* under a *tdp_w* envelope."""
+        if frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_mhz!r}")
+        freq_ghz = frequency_mhz / 1e3
+        return self.budget_product(tdp_w) / freq_ghz * 1e9
+
+    def tdp_for(self, transistors: float, frequency_mhz: float) -> float:
+        """Inverse: TDP needed to keep *transistors* active at *frequency*."""
+        if transistors <= 0:
+            raise ValueError("transistor count must be positive")
+        product = (transistors / 1e9) * (frequency_mhz / 1e3)
+        return (product / self.coefficient) ** (1.0 / self.exponent)
+
+    def describe(self) -> str:
+        """Human-readable fit equation, matching the Fig 3c legend."""
+        return (
+            f"{self.era.name}: {self.coefficient:.2f} * TDP^{self.exponent:.3f}"
+            f"  (n={self.n_points})"
+        )
+
+
+#: The paper's published Fig 3c fits, keyed by era name.  The 10nm-5nm entry
+#: is the paper's forward projection (dashed in the figure).
+PAPER_TDP_FITS: Dict[str, Tuple[float, float]] = {
+    "55nm-40nm": (0.02, 0.869),
+    "32nm-28nm": (0.11, 0.729),
+    "22nm-12nm": (0.49, 0.557),
+    "10nm-5nm": (2.15, 0.402),
+}
+
+
+class TdpModel:
+    """Collection of per-era :class:`TdpFit` rows with node-based lookup."""
+
+    def __init__(self, fits: Sequence[TdpFit]):
+        if not fits:
+            raise FitError("TDP model needs at least one era fit")
+        self._fits: Tuple[TdpFit, ...] = tuple(fits)
+        self._by_name = {fit.era.name: fit for fit in self._fits}
+
+    @property
+    def fits(self) -> Tuple[TdpFit, ...]:
+        return self._fits
+
+    def era_fit(self, node: "float | str") -> TdpFit:
+        """The fit governing *node* (nearest era when the node sits in a gap)."""
+        era = era_for_node(node, [fit.era for fit in self._fits])
+        assert era is not None  # nearest=True guarantees a match
+        return self._by_name[era.name]
+
+    def active_transistors(
+        self, node: "float | str", tdp_w: float, frequency_mhz: float
+    ) -> float:
+        """Active transistor budget for a chip at *node*, *TDP*, *frequency*."""
+        return self.era_fit(node).active_transistors(tdp_w, frequency_mhz)
+
+    def describe(self) -> str:
+        return "\n".join(fit.describe() for fit in self._fits)
+
+
+def paper_tdp_model() -> TdpModel:
+    """TDP model built from the paper's published Fig 3c constants."""
+    fits = []
+    for era in NODE_ERAS_TDP:
+        coefficient, exponent = PAPER_TDP_FITS[era.name]
+        fits.append(TdpFit(era=era, coefficient=coefficient, exponent=exponent))
+    return TdpModel(fits)
+
+
+def fit_tdp_model(
+    database: "ChipDatabase",
+    eras: Sequence[NodeEra] = NODE_ERAS_TDP,
+    min_points: int = 8,
+) -> TdpModel:
+    """Fit the Fig 3c per-era power laws over *database*.
+
+    Eras with fewer than *min_points* usable rows fall back to the paper's
+    published constants (this mirrors the paper, whose 10nm-5nm curve is a
+    projection, not a fit).
+    """
+    fits = []
+    for era in eras:
+        rows = database.in_era(era).with_transistors()
+        try:
+            if len(rows) < min_points:
+                raise FitError(f"only {len(rows)} rows in era {era.name}")
+            tdp, product = rows.tdp_points()
+            coefficient, exponent, r2 = fit_power_law(tdp, product)
+            fits.append(
+                TdpFit(
+                    era=era,
+                    coefficient=coefficient,
+                    exponent=exponent,
+                    r2=r2,
+                    n_points=len(rows),
+                )
+            )
+        except FitError:
+            if era.name in PAPER_TDP_FITS:
+                coefficient, exponent = PAPER_TDP_FITS[era.name]
+                fits.append(TdpFit(era=era, coefficient=coefficient, exponent=exponent))
+            else:
+                raise
+    return TdpModel(fits)

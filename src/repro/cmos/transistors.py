@@ -1,0 +1,112 @@
+"""Transistor-budget regression (paper Fig 3b).
+
+Transistor count scales sub-linearly with the density factor ``D = A / N^2``:
+for larger chips, design complexity makes it harder to fully utilise the die.
+The paper fits ``TC(D) = 4.99e9 * D**0.877`` over its datasheet population via
+least-squares in log-log space; we do the same.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cmos.nodes import density_factor
+from repro.errors import FitError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.datasheets.database import ChipDatabase
+
+
+@dataclass(frozen=True)
+class TransistorCountFit:
+    """Power law ``TC = coefficient * D**exponent`` fitted over a population.
+
+    ``r2`` is the coefficient of determination in log space; ``n_points`` the
+    population size the fit was computed from (0 for constants taken from the
+    paper rather than fitted).
+    """
+
+    coefficient: float
+    exponent: float
+    r2: float = float("nan")
+    n_points: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coefficient <= 0:
+            raise FitError(f"non-positive fit coefficient {self.coefficient!r}")
+
+    def transistors(self, density: float) -> float:
+        """Predicted transistor count for density factor *D* (mm^2/nm^2)."""
+        if density <= 0:
+            raise ValueError(f"density factor must be positive, got {density!r}")
+        return self.coefficient * density**self.exponent
+
+    def transistors_for_chip(self, area_mm2: float, node_nm: float) -> float:
+        """Predicted transistor count for a die of *area* at *node*."""
+        return self.transistors(density_factor(area_mm2, node_nm))
+
+    def density_for(self, transistors: float) -> float:
+        """Inverse: density factor needed to hold *transistors* devices."""
+        if transistors <= 0:
+            raise ValueError("transistor count must be positive")
+        return (transistors / self.coefficient) ** (1.0 / self.exponent)
+
+    def area_for(self, transistors: float, node_nm: float) -> float:
+        """Inverse: die area (mm^2) needed at *node* for *transistors*."""
+        from repro.cmos.nodes import parse_node
+
+        node = parse_node(node_nm)
+        return self.density_for(transistors) * node * node
+
+    def describe(self) -> str:
+        """Human-readable fit equation, matching the Fig 3b annotation."""
+        return (
+            f"TC(D) = {self.coefficient / 1e9:.2f}e9 * D^{self.exponent:.3f}"
+            f"  (n={self.n_points}, log-R^2={self.r2:.3f})"
+        )
+
+
+#: The paper's published Fig 3b fit.
+PAPER_DENSITY_FIT = TransistorCountFit(coefficient=4.99e9, exponent=0.877)
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares power-law fit ``y = c * x**e`` in log-log space.
+
+    Returns ``(coefficient, exponent, r2)``.  Raises :class:`FitError` when
+    fewer than two valid points remain after dropping non-positive values.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    mask = np.isfinite(x) & np.isfinite(y) & (x > 0) & (y > 0)
+    if mask.sum() < 2:
+        raise FitError(
+            f"power-law fit needs >= 2 positive points, got {int(mask.sum())}"
+        )
+    lx = np.log(x[mask])
+    ly = np.log(y[mask])
+    exponent, intercept = np.polyfit(lx, ly, deg=1)
+    predicted = exponent * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return math.exp(intercept), float(exponent), r2
+
+
+def fit_transistor_count(database: "ChipDatabase") -> TransistorCountFit:
+    """Fit the Fig 3b density law over *database*.
+
+    Uses every row that discloses both die area and transistor count.
+    """
+    density, transistors = database.density_points()
+    coefficient, exponent, r2 = fit_power_law(density, transistors)
+    return TransistorCountFit(
+        coefficient=coefficient,
+        exponent=exponent,
+        r2=r2,
+        n_points=int(len(density)),
+    )

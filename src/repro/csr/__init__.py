@@ -1,0 +1,38 @@
+"""Chip Specialization Return (CSR) metric (paper Section II).
+
+CSR isolates the CMOS-independent part of a chip's gain::
+
+    CSR = Gain(Alg, Fwk, Plt, Eng, Phy) / Gain(Phy)          (Eq 1)
+
+and every reported gain ratio between two chips factors as::
+
+    Gain_A / Gain_B = (CSR_A / CSR_B) * (Phy_A / Phy_B)      (Eq 2)
+"""
+
+from repro.csr.metric import GainDecomposition, csr, decompose_gain
+from repro.csr.relations import RelationMatrix, build_relation_matrix, geometric_mean
+from repro.csr.series import CsrPoint, CsrSeries, compute_csr_series
+from repro.csr.trends import (
+    Maturity,
+    MaturityAssessment,
+    TrendFit,
+    assess_maturity,
+    fit_quadratic_trend,
+)
+
+__all__ = [
+    "GainDecomposition",
+    "csr",
+    "decompose_gain",
+    "RelationMatrix",
+    "build_relation_matrix",
+    "geometric_mean",
+    "CsrPoint",
+    "CsrSeries",
+    "compute_csr_series",
+    "Maturity",
+    "MaturityAssessment",
+    "TrendFit",
+    "assess_maturity",
+    "fit_quadratic_trend",
+]

@@ -1,0 +1,64 @@
+"""The CSR metric and the Eq 2 gain decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def csr(reported_gain: float, physical_gain: float) -> float:
+    """Chip Specialization Return (paper Eq 1).
+
+    *reported_gain* is the measured end-to-end gain of a chip over a
+    baseline for the target computation; *physical_gain* is the gain the
+    CMOS potential model predicts from physical properties alone.  Their
+    ratio is the specialization-driven share: "how good a job did the
+    designer do with the transistors given".
+
+    A CSR of 1.0 means the chip merely kept pace with its silicon; below 1.0
+    the design extracts *less* from its budget than its predecessor did.
+    """
+    if reported_gain <= 0:
+        raise ValueError(f"reported gain must be positive, got {reported_gain!r}")
+    if physical_gain <= 0:
+        raise ValueError(f"physical gain must be positive, got {physical_gain!r}")
+    return reported_gain / physical_gain
+
+
+@dataclass(frozen=True)
+class GainDecomposition:
+    """Eq 2 factoring of a reported gain ratio between two chips.
+
+    Invariant (exact by construction, tested as a property):
+    ``reported == specialization * cmos``.
+    """
+
+    reported: float
+    specialization: float
+    cmos: float
+
+    @property
+    def specialization_share(self) -> float:
+        """Fraction of the (log) gain attributable to specialization."""
+        import math
+
+        if self.reported == 1.0:
+            return 0.0
+        return math.log(self.specialization) / math.log(self.reported)
+
+    @property
+    def cmos_share(self) -> float:
+        """Fraction of the (log) gain attributable to CMOS improvement."""
+        return 1.0 - self.specialization_share
+
+
+def decompose_gain(reported_gain: float, physical_gain: float) -> GainDecomposition:
+    """Split a reported gain into specialization-driven and CMOS-driven parts.
+
+    ``reported = CSR * physical`` (Eq 2), so the specialization factor is the
+    CSR and the CMOS factor is the physical gain itself.
+    """
+    return GainDecomposition(
+        reported=reported_gain,
+        specialization=csr(reported_gain, physical_gain),
+        cmos=physical_gain,
+    )

@@ -1,0 +1,147 @@
+"""Relative-gain relation matrix with transitive closure (paper Eqs 3-4).
+
+The GPU architecture study compares pairs of architectures through the
+geometric mean of their shared applications' gains (Eq 3).  Pairs with fewer
+than five shared applications are bridged transitively through intermediary
+architectures (Eq 4), iterating until no new pair can be added.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import DatasetError
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; raises on empty or non-positive."""
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value!r}")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(log_sum / count)
+
+
+@dataclass(frozen=True)
+class RelationMatrix:
+    """Pairwise relative gains ``Gain(X -> Y)`` over a set of architectures.
+
+    ``direct`` pairs come straight from Eq 3; the rest were filled by the
+    Eq 4 transitive closure.  The matrix is antisymmetric in log space:
+    ``gain(x, y) * gain(y, x) == 1`` for every known pair.
+    """
+
+    architectures: Tuple[str, ...]
+    gains: Mapping[Tuple[str, str], float]
+    direct: FrozenSet[Tuple[str, str]]
+
+    def gain(self, x: str, y: str) -> float:
+        """Relative gain of architecture *x* over *y*."""
+        if x == y:
+            return 1.0
+        try:
+            return self.gains[(x, y)]
+        except KeyError:
+            raise DatasetError(
+                f"no relation between {x!r} and {y!r}; transitive closure "
+                "could not connect them"
+            ) from None
+
+    def has(self, x: str, y: str) -> bool:
+        return x == y or (x, y) in self.gains
+
+    def is_direct(self, x: str, y: str) -> bool:
+        return (x, y) in self.direct or (y, x) in self.direct
+
+    def relative_to(self, baseline: str) -> Dict[str, float]:
+        """Every architecture's gain relative to *baseline* (baseline = 1.0)."""
+        return {arch: self.gain(arch, baseline) for arch in self.architectures
+                if self.has(arch, baseline)}
+
+
+def _direct_gain(
+    apps_x: Mapping[str, float], apps_y: Mapping[str, float], min_shared: int
+) -> Optional[float]:
+    """Eq 3: geometric mean over shared applications, or None if too few."""
+    shared = sorted(set(apps_x) & set(apps_y))
+    if len(shared) < min_shared:
+        return None
+    return geometric_mean(apps_x[app] / apps_y[app] for app in shared)
+
+
+def build_relation_matrix(
+    measurements: Mapping[str, Mapping[str, float]],
+    min_shared_apps: int = 5,
+) -> RelationMatrix:
+    """Construct the Eq 3/4 relation matrix.
+
+    Parameters
+    ----------
+    measurements:
+        ``{architecture: {application: gain}}``.  Gains must be positive and
+        expressed in a common unit per application (any per-application
+        normalisation cancels in the ratios).
+    min_shared_apps:
+        Minimum number of shared applications for a *direct* Eq 3 relation
+        (the paper uses five).
+
+    The closure loop mirrors the paper: "we iteratively construct the
+    relations matrix, until we do not add a new pair", bridging each missing
+    pair through the geometric mean over all M intermediaries that relate to
+    both endpoints (Eq 4).
+    """
+    if not measurements:
+        raise DatasetError("no architecture measurements supplied")
+    for arch, apps in measurements.items():
+        if not apps:
+            raise DatasetError(f"architecture {arch!r} has no measurements")
+        for app, gain in apps.items():
+            if gain <= 0:
+                raise DatasetError(
+                    f"architecture {arch!r}, app {app!r}: gain must be "
+                    f"positive, got {gain!r}"
+                )
+
+    archs: List[str] = sorted(measurements)
+    gains: Dict[Tuple[str, str], float] = {}
+    direct: set[Tuple[str, str]] = set()
+
+    for i, x in enumerate(archs):
+        for y in archs[i + 1:]:
+            value = _direct_gain(measurements[x], measurements[y], min_shared_apps)
+            if value is not None:
+                gains[(x, y)] = value
+                gains[(y, x)] = 1.0 / value
+                direct.add((x, y))
+
+    # Eq 4 transitive closure, to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for i, x in enumerate(archs):
+            for y in archs[i + 1:]:
+                if (x, y) in gains:
+                    continue
+                bridges = [
+                    gains[(x, mid)] * gains[(mid, y)]
+                    for mid in archs
+                    if mid not in (x, y)
+                    and (x, mid) in gains
+                    and (mid, y) in gains
+                ]
+                if bridges:
+                    value = geometric_mean(bridges)
+                    gains[(x, y)] = value
+                    gains[(y, x)] = 1.0 / value
+                    changed = True
+
+    return RelationMatrix(
+        architectures=tuple(archs), gains=gains, direct=frozenset(direct)
+    )

@@ -1,0 +1,146 @@
+"""CSR time/population series over measured chips.
+
+All four case studies in the paper's Section IV do the same thing: take a
+population of chips with *measured* application gains, normalise to a
+baseline chip, evaluate each chip's *physical* potential with the CMOS model,
+and report the normalised gain, the normalised physical (transistor-driven)
+gain, and their ratio — the CSR series.  This module implements that shared
+machinery once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cmos.model import CmosPotentialModel
+from repro.csr.metric import csr as csr_value
+from repro.datasheets.schema import ChipSpec
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class CsrPoint:
+    """One chip's position in a CSR series (all values baseline-normalised)."""
+
+    name: str
+    node_nm: float
+    year: Optional[int]
+    gain: float
+    physical: float
+
+    @property
+    def csr(self) -> float:
+        """Chip Specialization Return relative to the series baseline."""
+        return csr_value(self.gain, self.physical)
+
+
+@dataclass(frozen=True)
+class CsrSeries:
+    """A baseline-normalised series of measured vs. physical gains."""
+
+    metric: str
+    baseline_name: str
+    points: Tuple[CsrPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def max_gain(self) -> float:
+        return max(p.gain for p in self.points)
+
+    @property
+    def max_physical(self) -> float:
+        return max(p.physical for p in self.points)
+
+    @property
+    def max_csr(self) -> float:
+        return max(p.csr for p in self.points)
+
+    @property
+    def final_csr(self) -> float:
+        """CSR of the last point in series order."""
+        return self.points[-1].csr
+
+    def best_performer(self) -> CsrPoint:
+        """The point with the highest measured gain."""
+        return max(self.points, key=lambda p: p.gain)
+
+    def sorted_by_gain(self) -> "CsrSeries":
+        return CsrSeries(
+            metric=self.metric,
+            baseline_name=self.baseline_name,
+            points=tuple(sorted(self.points, key=lambda p: p.gain)),
+        )
+
+    def gain_physical_pairs(self) -> List[Tuple[float, float]]:
+        """(physical, gain) pairs — the scatter behind Figs 15/16."""
+        return [(p.physical, p.gain) for p in self.points]
+
+
+def compute_csr_series(
+    chips: Sequence[Tuple[ChipSpec, float]],
+    model: CmosPotentialModel,
+    metric: str = "throughput",
+    baseline: Optional[str] = None,
+    capped: bool = True,
+) -> CsrSeries:
+    """Build a :class:`CsrSeries` from measured chips.
+
+    Parameters
+    ----------
+    chips:
+        ``(spec, measured_gain)`` pairs.  Measured gains must share a unit
+        (e.g. MPixels/s) but need no normalisation — the series normalises
+        to the baseline chip.
+    model:
+        The CMOS potential model supplying ``Gain(Phy)``.
+    metric:
+        Physical metric matching the measured quantity: ``throughput``,
+        ``energy_efficiency``, or ``throughput_per_area``.
+    baseline:
+        Name of the baseline chip; defaults to the first entry.
+    capped:
+        Whether each chip's TDP limits its physical potential.  True for
+        chips that run at their thermal envelope (CPUs, GPUs, miners);
+        False for designs far below their silicon's thermal capacity
+        (low-power ASIC IP blocks, research FPGA boards), where the
+        paper's "transistor performance" is the uncapped ``TC x f``
+        potential.
+    """
+    if not chips:
+        raise DatasetError("cannot build a CSR series from zero chips")
+    for spec, gain in chips:
+        if gain <= 0:
+            raise DatasetError(
+                f"{spec.name}: measured gain must be positive, got {gain!r}"
+            )
+
+    if baseline is None:
+        base_spec, base_gain = chips[0]
+    else:
+        matches = [(s, g) for s, g in chips if s.name == baseline]
+        if not matches:
+            raise DatasetError(f"baseline chip {baseline!r} not in series")
+        base_spec, base_gain = matches[0]
+
+    base_physical = model.evaluate_spec(base_spec, capped=capped).gains.metric(metric)
+    points = []
+    for spec, gain in chips:
+        physical = model.evaluate_spec(spec, capped=capped).gains.metric(metric)
+        points.append(
+            CsrPoint(
+                name=spec.name,
+                node_nm=spec.node_nm,
+                year=spec.year,
+                gain=gain / base_gain,
+                physical=physical / base_physical,
+            )
+        )
+    return CsrSeries(
+        metric=metric, baseline_name=base_spec.name, points=tuple(points)
+    )

@@ -1,0 +1,166 @@
+"""CSR trend fitting and domain-maturity classification.
+
+The paper fits quadratic curves to frame-rate and CSR series (Fig 5) and
+draws its central maturity insight from their shape: *"for mature
+computation domains ... specialization returns either plateau or drop for
+high performing chips ... for emerging applications the counter phenomena
+can be seen"* (Section IV-E).  This module packages that analysis: fit a
+quadratic trend to a CSR series over time, measure its end-slope, and
+classify the domain as emerging, mature, or declining.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.csr.series import CsrSeries
+from repro.errors import FitError
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """A least-squares quadratic trend ``y = a*x^2 + b*x + c``.
+
+    ``x`` is centred (x - x_mean) before fitting for conditioning; use
+    :meth:`predict` rather than the raw coefficients.
+    """
+
+    a: float
+    b: float
+    c: float
+    x_center: float
+    r2: float
+    x_range: Tuple[float, float]
+
+    def predict(self, x: float) -> float:
+        t = x - self.x_center
+        return self.a * t * t + self.b * t + self.c
+
+    def slope(self, x: float) -> float:
+        """First derivative at *x*."""
+        t = x - self.x_center
+        return 2 * self.a * t + self.b
+
+    @property
+    def end_slope(self) -> float:
+        """Trend slope at the newest observation."""
+        return self.slope(self.x_range[1])
+
+    @property
+    def end_value(self) -> float:
+        """Trend value at the newest observation."""
+        return self.predict(self.x_range[1])
+
+    @property
+    def relative_end_slope(self) -> float:
+        """End slope normalised by the end value (per-x fractional change)."""
+        value = self.end_value
+        if value == 0:
+            return float("inf")
+        return self.end_slope / abs(value)
+
+
+def fit_quadratic_trend(
+    xs: Sequence[float], ys: Sequence[float]
+) -> TrendFit:
+    """Fit the paper's quadratic trend through (x, y) observations."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    mask = np.isfinite(xs) & np.isfinite(ys)
+    xs, ys = xs[mask], ys[mask]
+    if len(xs) < 3:
+        raise FitError(
+            f"quadratic trend needs >= 3 points, got {len(xs)}"
+        )
+    if float(xs.max()) == float(xs.min()):
+        raise FitError("quadratic trend needs a spread of x values")
+    center = float(xs.mean())
+    t = xs - center
+    a, b, c = np.polyfit(t, ys, deg=2)
+    predicted = a * t * t + b * t + c
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return TrendFit(
+        a=float(a), b=float(b), c=float(c), x_center=center, r2=r2,
+        x_range=(float(xs.min()), float(xs.max())),
+    )
+
+
+class Maturity(enum.Enum):
+    """Domain maturity classes from the paper's Section IV-E insight."""
+
+    EMERGING = "emerging"    # CSR still rising: algorithmic headroom left
+    MATURE = "mature"        # CSR plateaued: gains ride CMOS alone
+    DECLINING = "declining"  # CSR falling: silicon outpaces design
+
+
+@dataclass(frozen=True)
+class MaturityAssessment:
+    """Classification of one domain's CSR trajectory."""
+
+    domain: str
+    maturity: Maturity
+    csr_trend: TrendFit
+    gain_trend: Optional[TrendFit]
+
+    @property
+    def csr_end_slope(self) -> float:
+        return self.csr_trend.relative_end_slope
+
+    def describe(self) -> str:
+        return (
+            f"{self.domain}: {self.maturity.value} "
+            f"(CSR end slope {self.csr_end_slope:+.2%}/step, "
+            f"trend R^2 {self.csr_trend.r2:.2f})"
+        )
+
+
+#: Relative end-slope thresholds separating the maturity classes.  The band
+#: is asymmetric: a mildly negative slope is still "plateau" (mature), since
+#: per-chip noise easily tilts a flat CSR series slightly downward.
+PLATEAU_BAND: Tuple[float, float] = (-0.08, 0.05)
+
+
+def _series_axis(series: CsrSeries) -> List[float]:
+    """X axis for a series: years when available, else rank order."""
+    years = [p.year for p in series]
+    if all(y is not None for y in years) and len(set(years)) >= 3:
+        return [float(y) for y in years]
+    return [float(i) for i in range(len(series))]
+
+
+def assess_maturity(
+    series: CsrSeries,
+    domain: str,
+    plateau_band: Tuple[float, float] = PLATEAU_BAND,
+) -> MaturityAssessment:
+    """Classify a domain from its CSR series.
+
+    A relative CSR end-slope above the band is *emerging*, inside it is
+    *mature*, and below it is *declining*.
+    """
+    xs = _series_axis(series)
+    csr_trend = fit_quadratic_trend(xs, [p.csr for p in series])
+    try:
+        gain_trend = fit_quadratic_trend(xs, [p.gain for p in series])
+    except FitError:
+        gain_trend = None
+    low, high = plateau_band
+    slope = csr_trend.relative_end_slope
+    if slope > high:
+        maturity = Maturity.EMERGING
+    elif slope < low:
+        maturity = Maturity.DECLINING
+    else:
+        maturity = Maturity.MATURE
+    return MaturityAssessment(
+        domain=domain,
+        maturity=maturity,
+        csr_trend=csr_trend,
+        gain_trend=gain_trend,
+    )

@@ -1,0 +1,25 @@
+"""Chip datasheet substrate.
+
+The paper builds its CMOS potential model from datasheets of 1612 CPUs and
+1001 GPUs scraped from CPU-DB and TechPowerUp.  We reproduce that population
+with (a) a curated seed of well-known real chips (:mod:`repro.datasheets.curated`)
+and (b) a calibrated synthetic population generator
+(:mod:`repro.datasheets.synthetic`) whose regressions recover the paper's
+published fit constants.  See DESIGN.md section 2 for the substitution note.
+"""
+
+from repro.datasheets.schema import ChipSpec, Category
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.curated import curated_database
+from repro.datasheets.synthetic import SyntheticPopulationConfig, synthetic_database
+from repro.datasheets.reference import reference_database
+
+__all__ = [
+    "ChipSpec",
+    "Category",
+    "ChipDatabase",
+    "curated_database",
+    "SyntheticPopulationConfig",
+    "synthetic_database",
+    "reference_database",
+]

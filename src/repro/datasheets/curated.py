@@ -1,0 +1,172 @@
+"""Curated seed of real-chip datasheet records.
+
+These are well-known, publicly documented chips (CPU-DB / TechPowerUp-style
+fields).  Values are approximate public datasheet numbers: die area in mm^2,
+transistor count, nominal frequency in MHz, TDP in watts.  The seed anchors
+the synthetic population (see :mod:`repro.datasheets.synthetic`) to reality
+and is itself sufficient to fit the CMOS model, just with more variance than
+the paper's 2613-chip scrape.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.schema import Category, ChipSpec
+
+
+def _cpu(name, vendor, node, area, trans_m, freq, tdp, year) -> ChipSpec:
+    return ChipSpec(
+        name=name, vendor=vendor, category=Category.CPU, node_nm=node,
+        area_mm2=area, transistors=trans_m * 1e6, frequency_mhz=freq,
+        tdp_w=tdp, year=year, source="curated",
+    )
+
+
+def _gpu(name, vendor, node, area, trans_m, freq, tdp, year) -> ChipSpec:
+    return ChipSpec(
+        name=name, vendor=vendor, category=Category.GPU, node_nm=node,
+        area_mm2=area, transistors=trans_m * 1e6, frequency_mhz=freq,
+        tdp_w=tdp, year=year, source="curated",
+    )
+
+
+#: (name, vendor, node nm, area mm2, transistors 1e6, freq MHz, TDP W, year)
+_CPUS: Tuple[ChipSpec, ...] = (
+    _cpu("Pentium III Coppermine", "Intel", 180, 106, 28.1, 1000, 29, 2000),
+    _cpu("Pentium III Tualatin", "Intel", 130, 80, 44, 1400, 32, 2001),
+    _cpu("Pentium 4 Willamette", "Intel", 180, 217, 42, 1500, 58, 2000),
+    _cpu("Pentium 4 Northwood", "Intel", 130, 146, 55, 2400, 60, 2002),
+    _cpu("Pentium 4 Prescott", "Intel", 90, 112, 125, 3400, 89, 2004),
+    _cpu("Pentium M Dothan", "Intel", 90, 84, 140, 2100, 27, 2004),
+    _cpu("Pentium D 940", "Intel", 65, 162, 376, 3200, 130, 2006),
+    _cpu("Core 2 Duo E6700", "Intel", 65, 143, 291, 2667, 65, 2006),
+    _cpu("Core 2 Quad Q6600", "Intel", 65, 286, 582, 2400, 105, 2007),
+    _cpu("Core 2 Duo E8400", "Intel", 45, 107, 410, 3000, 65, 2008),
+    _cpu("Core i7-920", "Intel", 45, 263, 731, 2667, 130, 2008),
+    _cpu("Core i7-980X", "Intel", 32, 248, 1170, 3333, 130, 2010),
+    _cpu("Core i5-2500K", "Intel", 32, 216, 1160, 3300, 95, 2011),
+    _cpu("Core i7-3770K", "Intel", 22, 160, 1400, 3500, 77, 2012),
+    _cpu("Core i7-4770K", "Intel", 22, 177, 1400, 3500, 84, 2013),
+    _cpu("Core i7-5960X", "Intel", 22, 356, 2600, 3000, 140, 2014),
+    _cpu("Core i7-6700K", "Intel", 14, 122, 1750, 4000, 91, 2015),
+    _cpu("Core i7-7700K", "Intel", 14, 126, 1750, 4200, 91, 2017),
+    _cpu("Core i9-7900X", "Intel", 14, 322, 3100, 3300, 140, 2017),
+    _cpu("Core i7-8700K", "Intel", 14, 151, 2100, 3700, 95, 2017),
+    _cpu("Core i9-9900K", "Intel", 14, 177, 2300, 3600, 95, 2018),
+    _cpu("Itanium 2 Madison", "Intel", 130, 374, 410, 1500, 130, 2003),
+    _cpu("Itanium Poulson", "Intel", 32, 544, 3100, 2530, 170, 2012),
+    _cpu("Xeon E5-2690", "Intel", 32, 416, 2270, 2900, 135, 2012),
+    _cpu("Xeon E5-2699 v3", "Intel", 22, 662, 5570, 2300, 145, 2014),
+    _cpu("Xeon E5-2699 v4", "Intel", 14, 456, 7200, 2200, 145, 2016),
+    _cpu("Xeon Platinum 8180", "Intel", 14, 694, 8000, 2500, 205, 2017),
+    _cpu("Athlon 64 3200+", "AMD", 130, 193, 106, 2000, 89, 2003),
+    _cpu("Athlon 64 X2 4800+", "AMD", 90, 199, 233, 2400, 110, 2005),
+    _cpu("Phenom X4 9850", "AMD", 65, 285, 450, 2500, 125, 2008),
+    _cpu("Phenom II X4 965", "AMD", 45, 258, 758, 3400, 125, 2009),
+    _cpu("FX-8150", "AMD", 32, 315, 1200, 3600, 125, 2011),
+    _cpu("FX-8350", "AMD", 32, 315, 1200, 4000, 125, 2012),
+    _cpu("Opteron 6174", "AMD", 45, 692, 1800, 2200, 115, 2010),
+    _cpu("Ryzen 7 1800X", "AMD", 14, 213, 4800, 3600, 95, 2017),
+    _cpu("Ryzen 7 2700X", "AMD", 12, 213, 4800, 3700, 105, 2018),
+    _cpu("Threadripper 1950X", "AMD", 14, 426, 9600, 3400, 180, 2017),
+    _cpu("EPYC 7601", "AMD", 14, 852, 19200, 2200, 180, 2017),
+    _cpu("POWER7", "IBM", 45, 567, 1200, 3550, 200, 2010),
+    _cpu("POWER8", "IBM", 22, 649, 4200, 3500, 250, 2014),
+    _cpu("POWER9", "IBM", 14, 695, 8000, 3800, 190, 2017),
+    _cpu("SPARC M7", "Oracle", 20, 700, 10000, 4130, 250, 2015),
+    _cpu("Pentium 4 Cedar Mill", "Intel", 65, 81, 188, 3600, 86, 2006),
+    _cpu("Core 2 Duo T7200", "Intel", 65, 143, 291, 2000, 34, 2006),
+    _cpu("Atom N270", "Intel", 45, 26, 47, 1600, 2.5, 2008),
+    _cpu("Atom Z3740", "Intel", 22, 102, 960, 1860, 4, 2013),
+    _cpu("Core i3-2100", "Intel", 32, 131, 504, 3100, 65, 2011),
+    _cpu("Core i5-4690K", "Intel", 22, 177, 1400, 3500, 88, 2014),
+    _cpu("Core i5-6600K", "Intel", 14, 122, 1750, 3500, 91, 2015),
+    _cpu("Celeron G3900", "Intel", 14, 99, 1300, 2800, 51, 2016),
+    _cpu("Xeon X5690", "Intel", 32, 248, 1170, 3460, 130, 2011),
+    _cpu("Xeon E7-8890 v3", "Intel", 22, 662, 5690, 2500, 165, 2015),
+    _cpu("Xeon Phi 7290", "Intel", 14, 683, 7200, 1500, 245, 2016),
+    _cpu("Athlon XP 3200+", "AMD", 130, 101, 54, 2200, 77, 2003),
+    _cpu("Sempron 3000+", "AMD", 90, 84, 69, 1800, 62, 2005),
+    _cpu("Athlon II X4 640", "AMD", 45, 169, 300, 3000, 95, 2010),
+    _cpu("A10-7850K", "AMD", 28, 245, 2410, 3700, 95, 2014),
+    _cpu("FX-9590", "AMD", 32, 315, 1200, 4700, 220, 2013),
+    _cpu("Ryzen 5 1600", "AMD", 14, 213, 4800, 3200, 65, 2017),
+    _cpu("Ryzen 3 1300X", "AMD", 14, 213, 4800, 3500, 65, 2017),
+    _cpu("Opteron 2435", "AMD", 45, 346, 904, 2600, 75, 2009),
+    _cpu("UltraSPARC T2", "Oracle", 65, 342, 503, 1400, 95, 2007),
+    _cpu("POWER6", "IBM", 65, 341, 790, 4700, 160, 2007),
+)
+
+_GPUS: Tuple[ChipSpec, ...] = (
+    _gpu("Radeon 9700 Pro", "AMD", 150, 218, 107, 325, 45, 2002),
+    _gpu("GeForce FX 5900", "NVIDIA", 130, 207, 135, 400, 60, 2003),
+    _gpu("GeForce 6800 Ultra", "NVIDIA", 130, 287, 222, 400, 81, 2004),
+    _gpu("GeForce 7900 GTX", "NVIDIA", 90, 196, 278, 650, 84, 2006),
+    _gpu("Radeon X1950 XTX", "AMD", 90, 352, 384, 650, 125, 2006),
+    _gpu("GeForce 8800 GTX", "NVIDIA", 90, 484, 681, 575, 145, 2006),
+    _gpu("Radeon HD 2900 XT", "AMD", 80, 420, 700, 743, 215, 2007),
+    _gpu("Radeon HD 3870", "AMD", 55, 192, 666, 775, 105, 2007),
+    _gpu("GeForce 9800 GTX", "NVIDIA", 65, 324, 754, 675, 140, 2008),
+    _gpu("GeForce GTX 280", "NVIDIA", 65, 576, 1400, 602, 236, 2008),
+    _gpu("GeForce GTX 285", "NVIDIA", 55, 470, 1400, 648, 204, 2009),
+    _gpu("Radeon HD 4870", "AMD", 55, 256, 956, 750, 150, 2008),
+    _gpu("Radeon HD 5870", "AMD", 40, 334, 2154, 850, 188, 2009),
+    _gpu("Radeon HD 6450", "AMD", 40, 67, 370, 625, 27, 2011),
+    _gpu("Radeon HD 6970", "AMD", 40, 389, 2640, 880, 250, 2010),
+    _gpu("GeForce GTX 460", "NVIDIA", 40, 332, 1950, 675, 160, 2010),
+    _gpu("GeForce GTX 480", "NVIDIA", 40, 529, 3100, 701, 250, 2010),
+    _gpu("GeForce GTX 560 Ti", "NVIDIA", 40, 332, 1950, 822, 170, 2011),
+    _gpu("GeForce GTX 580", "NVIDIA", 40, 520, 3000, 772, 244, 2010),
+    _gpu("Radeon HD 7970", "AMD", 28, 352, 4312, 925, 250, 2011),
+    _gpu("GeForce GT 640", "NVIDIA", 28, 118, 1270, 900, 65, 2012),
+    _gpu("GeForce GTX 680", "NVIDIA", 28, 294, 3540, 1006, 195, 2012),
+    _gpu("GeForce GTX 750 Ti", "NVIDIA", 28, 148, 1870, 1020, 60, 2014),
+    _gpu("GeForce GTX 780 Ti", "NVIDIA", 28, 561, 7080, 876, 250, 2013),
+    _gpu("Radeon R9 290X", "AMD", 28, 438, 6200, 1000, 290, 2013),
+    _gpu("GeForce GTX 980", "NVIDIA", 28, 398, 5200, 1126, 165, 2014),
+    _gpu("Radeon R9 Fury X", "AMD", 28, 596, 8900, 1050, 275, 2015),
+    _gpu("GeForce GTX 980 Ti", "NVIDIA", 28, 601, 8000, 1000, 250, 2015),
+    _gpu("Radeon RX 480", "AMD", 14, 232, 5700, 1266, 150, 2016),
+    _gpu("Radeon RX 580", "AMD", 14, 232, 5700, 1257, 185, 2017),
+    _gpu("GeForce GTX 1050 Ti", "NVIDIA", 14, 132, 3300, 1392, 75, 2016),
+    _gpu("GeForce GT 1030", "NVIDIA", 14, 74, 1800, 1468, 30, 2017),
+    _gpu("GeForce GTX 1060", "NVIDIA", 16, 200, 4400, 1506, 120, 2016),
+    _gpu("GeForce GTX 1080", "NVIDIA", 16, 314, 7200, 1607, 180, 2016),
+    _gpu("GeForce GTX 1080 Ti", "NVIDIA", 16, 471, 11800, 1481, 250, 2017),
+    _gpu("Titan X Pascal", "NVIDIA", 16, 471, 11800, 1417, 250, 2016),
+    _gpu("Tesla P100", "NVIDIA", 16, 610, 15300, 1328, 300, 2016),
+    _gpu("Radeon RX Vega 64", "AMD", 14, 495, 12500, 1546, 295, 2017),
+    _gpu("Tesla V100", "NVIDIA", 12, 815, 21100, 1370, 300, 2017),
+    _gpu("Titan V", "NVIDIA", 12, 815, 21100, 1200, 250, 2017),
+    _gpu("GeForce RTX 2080 Ti", "NVIDIA", 12, 754, 18600, 1350, 250, 2018),
+    _gpu("GeForce 7600 GT", "NVIDIA", 90, 125, 177, 560, 36, 2006),
+    _gpu("GeForce 8600 GTS", "NVIDIA", 80, 169, 289, 675, 71, 2007),
+    _gpu("GeForce 9600 GT", "NVIDIA", 65, 240, 505, 650, 96, 2008),
+    _gpu("GeForce GTS 250", "NVIDIA", 55, 260, 754, 738, 150, 2009),
+    _gpu("GeForce GT 430", "NVIDIA", 40, 116, 585, 700, 49, 2010),
+    _gpu("GeForce GTX 650", "NVIDIA", 28, 118, 1270, 1058, 64, 2012),
+    _gpu("GeForce GTX 770", "NVIDIA", 28, 294, 3540, 1046, 230, 2013),
+    _gpu("GeForce GTX 960", "NVIDIA", 28, 228, 2940, 1127, 120, 2015),
+    _gpu("GeForce GTX 1070", "NVIDIA", 16, 314, 7200, 1506, 150, 2016),
+    _gpu("Titan X Maxwell", "NVIDIA", 28, 601, 8000, 1000, 250, 2015),
+    _gpu("Tesla K40", "NVIDIA", 28, 561, 7080, 745, 235, 2013),
+    _gpu("Tesla M40", "NVIDIA", 28, 601, 8000, 948, 250, 2015),
+    _gpu("Quadro P6000", "NVIDIA", 16, 471, 11800, 1506, 250, 2016),
+    _gpu("Radeon X800 XT", "AMD", 130, 281, 160, 500, 65, 2004),
+    _gpu("Radeon HD 4770", "AMD", 40, 137, 826, 750, 80, 2009),
+    _gpu("Radeon HD 5770", "AMD", 40, 166, 1040, 850, 108, 2009),
+    _gpu("Radeon HD 7770", "AMD", 28, 123, 1500, 1000, 80, 2012),
+    _gpu("Radeon R7 260X", "AMD", 28, 160, 2080, 1100, 115, 2013),
+    _gpu("Radeon R9 380", "AMD", 28, 359, 5000, 970, 190, 2015),
+    _gpu("Radeon R9 Nano", "AMD", 28, 596, 8900, 1000, 175, 2015),
+    _gpu("Radeon RX 460", "AMD", 14, 123, 3000, 1200, 75, 2016),
+    _gpu("Radeon Pro Duo", "AMD", 28, 596, 8900, 1000, 350, 2016),
+    _gpu("FirePro W9100", "AMD", 28, 438, 6200, 930, 275, 2014),
+)
+
+
+def curated_database() -> ChipDatabase:
+    """The curated seed of real chips (CPUs and GPUs)."""
+    return ChipDatabase(_CPUS + _GPUS)

@@ -1,0 +1,133 @@
+"""In-memory chip datasheet database with query helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.cmos.nodes import NodeEra
+from repro.datasheets.schema import Category, ChipSpec
+from repro.errors import DatasetError
+
+
+class ChipDatabase:
+    """An immutable collection of :class:`ChipSpec` rows.
+
+    Provides the filtering and array-extraction operations the CMOS model
+    fits need, plus set-style composition (``+``) to combine curated and
+    synthetic populations.
+    """
+
+    def __init__(self, chips: Iterable[ChipSpec]):
+        self._chips: Tuple[ChipSpec, ...] = tuple(chips)
+
+    def __len__(self) -> int:
+        return len(self._chips)
+
+    def __iter__(self) -> Iterator[ChipSpec]:
+        return iter(self._chips)
+
+    def __getitem__(self, index: int) -> ChipSpec:
+        return self._chips[index]
+
+    def __add__(self, other: "ChipDatabase") -> "ChipDatabase":
+        if not isinstance(other, ChipDatabase):
+            return NotImplemented
+        return ChipDatabase(self._chips + other._chips)
+
+    def __repr__(self) -> str:
+        by_cat = {cat.value: len(self.category(cat)) for cat in Category}
+        populated = {k: v for k, v in by_cat.items() if v}
+        return f"ChipDatabase({len(self)} chips: {populated})"
+
+    # -- queries ----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[ChipSpec], bool]) -> "ChipDatabase":
+        """Rows for which *predicate* is true."""
+        return ChipDatabase(c for c in self._chips if predicate(c))
+
+    def category(self, category: "Category | str") -> "ChipDatabase":
+        """Rows of a given platform class."""
+        wanted = Category(category)
+        return self.filter(lambda c: c.category is wanted)
+
+    def in_era(self, era: NodeEra) -> "ChipDatabase":
+        """Rows whose process node falls inside *era*."""
+        return self.filter(lambda c: c.node_nm in era)
+
+    def with_area(self) -> "ChipDatabase":
+        """Rows that disclose die area (usable for density regression)."""
+        return self.filter(lambda c: c.area_mm2 is not None)
+
+    def with_transistors(self) -> "ChipDatabase":
+        """Rows that disclose transistor count."""
+        return self.filter(lambda c: c.transistors is not None)
+
+    def names(self) -> List[str]:
+        """All chip names, in insertion order."""
+        return [c.name for c in self._chips]
+
+    def get(self, name: str) -> ChipSpec:
+        """Look a chip up by exact name; raises :class:`DatasetError`."""
+        for chip in self._chips:
+            if chip.name == name:
+                return chip
+        raise DatasetError(f"no chip named {name!r} in database")
+
+    def sorted_by(
+        self, key: Callable[[ChipSpec], float], reverse: bool = False
+    ) -> "ChipDatabase":
+        """Rows reordered by *key*."""
+        return ChipDatabase(sorted(self._chips, key=key, reverse=reverse))
+
+    # -- array extraction --------------------------------------------------
+
+    def column(self, attribute: str) -> np.ndarray:
+        """Extract one attribute as a float array (``nan`` for ``None``)."""
+        values = []
+        for chip in self._chips:
+            value = getattr(chip, attribute)
+            values.append(np.nan if value is None else float(value))
+        return np.asarray(values, dtype=float)
+
+    def density_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(density factor, transistor count) pairs for the Fig 3b fit."""
+        rows = [
+            (c.density, c.transistors)
+            for c in self._chips
+            if c.density is not None and c.transistors is not None
+        ]
+        if not rows:
+            raise DatasetError(
+                "no rows with both die area and transistor count; "
+                "cannot build density regression"
+            )
+        d, tc = zip(*rows)
+        return np.asarray(d, dtype=float), np.asarray(tc, dtype=float)
+
+    def tdp_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(TDP watts, transistors[1e9] * frequency[GHz]) for the Fig 3c fit."""
+        rows = [
+            (c.tdp_w, (c.transistors / 1e9) * c.frequency_ghz)
+            for c in self._chips
+            if c.transistors is not None
+        ]
+        if not rows:
+            raise DatasetError(
+                "no rows with transistor counts; cannot build TDP regression"
+            )
+        tdp, product = zip(*rows)
+        return np.asarray(tdp, dtype=float), np.asarray(product, dtype=float)
+
+    def summary(self) -> dict:
+        """Aggregate statistics used by reports and sanity tests."""
+        nodes = self.column("node_nm")
+        return {
+            "count": len(self),
+            "categories": {cat.value: len(self.category(cat)) for cat in Category},
+            "node_min_nm": float(np.nanmin(nodes)) if len(self) else None,
+            "node_max_nm": float(np.nanmax(nodes)) if len(self) else None,
+            "with_area": len(self.with_area()),
+            "with_transistors": len(self.with_transistors()),
+        }

@@ -1,0 +1,104 @@
+"""CSV / JSON import and export for chip databases.
+
+Downstream users bring their own datasheet scrapes; these helpers round-trip
+:class:`~repro.datasheets.database.ChipDatabase` through the two formats the
+public chip databases (CPU-DB, TechPowerUp exports) commonly use.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.schema import ChipSpec
+from repro.errors import InvalidChipSpecError
+
+#: Column order for CSV output.
+FIELDS = (
+    "name", "category", "node_nm", "area_mm2", "transistors",
+    "frequency_mhz", "tdp_w", "year", "vendor", "source",
+)
+
+PathLike = Union[str, Path]
+
+
+def _row_of(chip: ChipSpec) -> Dict[str, object]:
+    return {
+        "name": chip.name,
+        "category": chip.category.value,
+        "node_nm": chip.node_nm,
+        "area_mm2": chip.area_mm2,
+        "transistors": chip.transistors,
+        "frequency_mhz": chip.frequency_mhz,
+        "tdp_w": chip.tdp_w,
+        "year": chip.year,
+        "vendor": chip.vendor,
+        "source": chip.source,
+    }
+
+
+def _chip_of(row: Dict[str, object]) -> ChipSpec:
+    def opt_float(key: str) -> Optional[float]:
+        value = row.get(key)
+        if value in (None, "", "None"):
+            return None
+        return float(value)
+
+    def opt_int(key: str) -> Optional[int]:
+        value = opt_float(key)
+        return None if value is None else int(value)
+
+    name = str(row.get("name", "")).strip()
+    try:
+        return ChipSpec(
+            name=name,
+            category=str(row["category"]),
+            node_nm=float(row["node_nm"]),
+            area_mm2=opt_float("area_mm2"),
+            transistors=opt_float("transistors"),
+            frequency_mhz=float(row["frequency_mhz"]),
+            tdp_w=float(row["tdp_w"]),
+            year=opt_int("year"),
+            vendor=(str(row["vendor"]) if row.get("vendor") not in (None, "", "None") else None),
+            source=str(row.get("source") or "imported"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidChipSpecError(
+            f"malformed datasheet row {name or row!r}: {exc}"
+        ) from exc
+
+
+def to_csv(database: ChipDatabase, path: PathLike) -> None:
+    """Write *database* as CSV with the :data:`FIELDS` columns."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        for chip in database:
+            writer.writerow(_row_of(chip))
+
+
+def from_csv(path: PathLike) -> ChipDatabase:
+    """Load a CSV written by :func:`to_csv` (or hand-authored with the same
+    columns) into a validated database."""
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    return ChipDatabase(_chip_of(row) for row in rows)
+
+
+def to_json(database: ChipDatabase, path: PathLike) -> None:
+    """Write *database* as a JSON list of chip objects."""
+    payload = [_row_of(chip) for chip in database]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def from_json(path: PathLike) -> ChipDatabase:
+    """Load a JSON file written by :func:`to_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise InvalidChipSpecError("datasheet JSON must be a list of objects")
+    return ChipDatabase(_chip_of(row) for row in payload)

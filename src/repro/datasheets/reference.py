@@ -1,0 +1,20 @@
+"""The library's default chip population.
+
+``reference_database()`` is the population every model fits against unless
+told otherwise: the curated real-chip seed plus the calibrated synthetic
+population.  The result is cached because it is deterministic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasheets.curated import curated_database
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.synthetic import SyntheticPopulationConfig, synthetic_database
+
+
+@lru_cache(maxsize=1)
+def reference_database() -> ChipDatabase:
+    """Curated seed + default synthetic population (deterministic)."""
+    return curated_database() + synthetic_database(SyntheticPopulationConfig())

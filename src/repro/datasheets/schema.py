@@ -1,0 +1,110 @@
+"""Datasheet record schema and validation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cmos.nodes import density_factor, parse_node
+from repro.errors import InvalidChipSpecError
+
+
+class Category(str, enum.Enum):
+    """Broad chip platform classes used throughout the paper."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    FPGA = "fpga"
+    ASIC = "asic"
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One datasheet row: the physical description of a manufactured chip.
+
+    Only physical fields live here; measured application gains belong to the
+    case-study datasets (:mod:`repro.studies`), keeping the potential model
+    strictly application-independent as the paper requires.
+
+    Parameters
+    ----------
+    name:
+        Human-readable chip name (e.g. ``"GeForce GTX 1080"``).
+    category:
+        Platform class; accepts a :class:`Category` or its string value.
+    node_nm:
+        Process node in nanometres.
+    frequency_mhz:
+        Nominal/boost operating frequency in MHz.
+    tdp_w:
+        Thermal design power in watts.
+    area_mm2:
+        Die area in mm^2 (optional when ``transistors`` is given).
+    transistors:
+        Transistor count (optional when ``area_mm2`` is given).
+    year:
+        Introduction year (optional; used by time-series case studies).
+    vendor:
+        Manufacturer name (optional).
+    """
+
+    name: str
+    category: Category
+    node_nm: float
+    frequency_mhz: float
+    tdp_w: float
+    area_mm2: Optional[float] = None
+    transistors: Optional[float] = None
+    year: Optional[int] = None
+    vendor: Optional[str] = None
+    source: str = field(default="curated", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "category", Category(self.category))
+        try:
+            object.__setattr__(self, "node_nm", parse_node(self.node_nm))
+        except Exception as exc:
+            raise InvalidChipSpecError(f"{self.name}: {exc}") from exc
+        if not self.name or not self.name.strip():
+            raise InvalidChipSpecError("chip name must be non-empty")
+        if self.frequency_mhz <= 0:
+            raise InvalidChipSpecError(
+                f"{self.name}: frequency must be positive, got {self.frequency_mhz}"
+            )
+        if self.tdp_w <= 0:
+            raise InvalidChipSpecError(
+                f"{self.name}: TDP must be positive, got {self.tdp_w}"
+            )
+        if self.area_mm2 is None and self.transistors is None:
+            raise InvalidChipSpecError(
+                f"{self.name}: at least one of area_mm2 / transistors is required"
+            )
+        if self.area_mm2 is not None and self.area_mm2 <= 0:
+            raise InvalidChipSpecError(
+                f"{self.name}: area must be positive, got {self.area_mm2}"
+            )
+        if self.transistors is not None and self.transistors <= 0:
+            raise InvalidChipSpecError(
+                f"{self.name}: transistor count must be positive, got {self.transistors}"
+            )
+        if self.year is not None and not (1970 <= self.year <= 2035):
+            raise InvalidChipSpecError(
+                f"{self.name}: implausible introduction year {self.year}"
+            )
+
+    @property
+    def density(self) -> Optional[float]:
+        """Density factor ``D = area / node^2`` (mm^2/nm^2), if area known."""
+        if self.area_mm2 is None:
+            return None
+        return density_factor(self.area_mm2, self.node_nm)
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Operating frequency in GHz."""
+        return self.frequency_mhz / 1e3
+
+    def with_source(self, source: str) -> "ChipSpec":
+        """Copy of this record tagged with a different provenance string."""
+        return replace(self, source=source)

@@ -1,0 +1,115 @@
+"""Population quality checks for imported chip databases.
+
+Downstream users feeding their own scrapes through :mod:`repro.datasheets.io`
+get per-row validation from :class:`~repro.datasheets.schema.ChipSpec`, but
+model *fits* also need population-level sanity: enough rows per era, no
+gross outliers against the density law, physically consistent ranges.  This
+module produces a validation report before a database is trusted for
+refitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cmos.nodes import NODE_ERAS_TDP
+from repro.cmos.transistors import PAPER_DENSITY_FIT, TransistorCountFit
+from repro.datasheets.database import ChipDatabase
+
+
+@dataclass(frozen=True)
+class PopulationReport:
+    """Outcome of the population checks."""
+
+    n_chips: int
+    density_outliers: Tuple[str, ...]
+    implausible_power_density: Tuple[str, ...]
+    thin_eras: Tuple[str, ...]
+    warnings: Tuple[str, ...]
+
+    @property
+    def fit_ready(self) -> bool:
+        """Whether the population can be refitted without caveats."""
+        return not self.thin_eras and not self.warnings
+
+    def describe(self) -> str:
+        lines = [f"{self.n_chips} chips"]
+        if self.density_outliers:
+            lines.append(
+                f"density outliers ({len(self.density_outliers)}): "
+                + ", ".join(self.density_outliers[:5])
+                + ("..." if len(self.density_outliers) > 5 else "")
+            )
+        if self.implausible_power_density:
+            lines.append(
+                f"implausible power density ({len(self.implausible_power_density)}): "
+                + ", ".join(self.implausible_power_density[:5])
+            )
+        if self.thin_eras:
+            lines.append("thin eras: " + ", ".join(self.thin_eras))
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        if self.fit_ready:
+            lines.append("fit-ready")
+        return "\n".join(lines)
+
+
+def validate_population(
+    database: ChipDatabase,
+    density_fit: TransistorCountFit = PAPER_DENSITY_FIT,
+    outlier_factor: float = 8.0,
+    max_power_density_w_mm2: float = 2.0,
+    min_chips_per_era: int = 8,
+    min_total: int = 30,
+) -> PopulationReport:
+    """Check *database* for fit-readiness.
+
+    * **density outliers** — transistor count more than *outlier_factor*
+      away from the density law's prediction for the chip's die and node;
+    * **implausible power density** — TDP above
+      *max_power_density_w_mm2* W/mm^2 (beyond anything air-cooled) or
+      below 0.001 W/mm^2;
+    * **thin eras** — Fig 3c eras with fewer than *min_chips_per_era*
+      rows, where a refit would silently fall back to paper constants.
+    """
+    density_outliers: List[str] = []
+    implausible: List[str] = []
+    warnings: List[str] = []
+
+    for chip in database:
+        if chip.area_mm2 is not None and chip.transistors is not None:
+            predicted = density_fit.transistors_for_chip(
+                chip.area_mm2, chip.node_nm
+            )
+            ratio = chip.transistors / predicted
+            if ratio > outlier_factor or ratio < 1.0 / outlier_factor:
+                density_outliers.append(chip.name)
+        if chip.area_mm2 is not None:
+            power_density = chip.tdp_w / chip.area_mm2
+            if not (1e-3 <= power_density <= max_power_density_w_mm2):
+                implausible.append(chip.name)
+
+    thin = [
+        era.name
+        for era in NODE_ERAS_TDP
+        if len(database.in_era(era).with_transistors()) < min_chips_per_era
+    ]
+    if len(database) < min_total:
+        warnings.append(
+            f"population too small for stable fits ({len(database)} < {min_total})"
+        )
+    usable = database.with_area().with_transistors()
+    if len(usable) < max(2, len(database) // 4):
+        warnings.append(
+            "too few rows disclose both area and transistor count "
+            f"({len(usable)}/{len(database)})"
+        )
+
+    return PopulationReport(
+        n_chips=len(database),
+        density_outliers=tuple(density_outliers),
+        implausible_power_density=tuple(implausible),
+        thin_eras=tuple(thin),
+        warnings=tuple(warnings),
+    )

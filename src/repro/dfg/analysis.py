@@ -1,0 +1,137 @@
+"""DFG structural analysis: depth, stages, working sets, paths.
+
+Implements the definitions of paper Section V-B:
+
+* **depth** ``D`` — the number of vertices on the longest input→output path;
+* **computation stage** — the ASAP level of a vertex (inputs are stage 1,
+  every other vertex is one past its deepest predecessor);
+* **stage working set** ``WS_s`` — the variables live in stage ``s``, whose
+  maximum size bounds partitioning (Table II);
+* **computation paths** ``P`` — all input→output routes (counted by dynamic
+  programming; enumeration would be exponential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dfg.graph import Dfg
+from repro.errors import GraphStructureError
+
+
+def topological_order(dfg: Dfg) -> List[int]:
+    """Kahn topological order; raises :class:`GraphStructureError` on cycles."""
+    in_degree = {nid: len(dfg.predecessors(nid)) for nid in dfg.node_ids()}
+    ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        nid = ready.pop()
+        order.append(nid)
+        for succ in dfg.successors(nid):
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(dfg):
+        raise GraphStructureError(f"{dfg.name}: graph contains a cycle")
+    return order
+
+
+def stage_levels(dfg: Dfg) -> Dict[int, int]:
+    """ASAP stage per vertex, 1-based (inputs are stage 1)."""
+    levels: Dict[int, int] = {}
+    for nid in topological_order(dfg):
+        preds = dfg.predecessors(nid)
+        levels[nid] = 1 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def stage_working_sets(dfg: Dfg) -> Dict[int, List[int]]:
+    """``WS_s``: the vertices computed in each stage ``s``."""
+    sets: Dict[int, List[int]] = {}
+    for nid, level in stage_levels(dfg).items():
+        sets.setdefault(level, []).append(nid)
+    return sets
+
+
+def depth(dfg: Dfg) -> int:
+    """DFG depth ``D``: vertex count of the longest path."""
+    return max(stage_levels(dfg).values())
+
+
+def count_paths(dfg: Dfg) -> int:
+    """Number of input→output computation paths (exact, via DP).
+
+    May be astronomically large for wide graphs; Python integers make the
+    count exact regardless.
+    """
+    paths_from: Dict[int, int] = {}
+    for nid in reversed(topological_order(dfg)):
+        succs = dfg.successors(nid)
+        if not succs:
+            paths_from[nid] = 1
+        else:
+            paths_from[nid] = sum(paths_from[s] for s in succs)
+    return sum(paths_from[nid] for nid in dfg.inputs())
+
+
+def critical_path(dfg: Dfg) -> List[int]:
+    """One longest input→output path (vertex ids, source first)."""
+    levels = stage_levels(dfg)
+    # Walk backwards from the deepest vertex, always taking a deepest pred.
+    tail = max(levels, key=lambda nid: levels[nid])
+    path = [tail]
+    while dfg.predecessors(path[-1]):
+        preds = dfg.predecessors(path[-1])
+        path.append(max(preds, key=lambda p: levels[p]))
+    path.reverse()
+    return path
+
+
+@dataclass(frozen=True)
+class DfgStats:
+    """The DFG statistics consumed by the Table II complexity limits."""
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    n_inputs: int
+    n_outputs: int
+    n_compute: int
+    depth: int
+    max_working_set: int
+    stage_sizes: Tuple[int, ...]
+    path_count: int
+
+    @property
+    def parallelism(self) -> float:
+        """Average work per stage — the graph's inherent parallelism."""
+        return self.n_vertices / self.depth
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: |V|={self.n_vertices} |E|={self.n_edges} "
+            f"in={self.n_inputs} out={self.n_outputs} D={self.depth} "
+            f"max|WS|={self.max_working_set} paths={self.path_count}"
+        )
+
+
+def analyze(dfg: Dfg) -> DfgStats:
+    """Compute all Table II-relevant statistics in one pass set."""
+    dfg.validate()
+    working_sets = stage_working_sets(dfg)
+    stage_sizes = tuple(
+        len(working_sets[s]) for s in sorted(working_sets)
+    )
+    return DfgStats(
+        name=dfg.name,
+        n_vertices=len(dfg),
+        n_edges=dfg.num_edges,
+        n_inputs=len(dfg.inputs()),
+        n_outputs=len(dfg.outputs()),
+        n_compute=len(dfg.compute_nodes()),
+        depth=max(working_sets),
+        max_working_set=max(stage_sizes),
+        stage_sizes=stage_sizes,
+        path_count=count_paths(dfg),
+    )

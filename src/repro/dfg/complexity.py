@@ -1,0 +1,172 @@
+"""Theoretical limits of chip-specialization concepts (paper Table II).
+
+Each (component, concept) pair has a closed-form asymptotic time and space
+limit in DFG statistics.  We evaluate those formulas numerically for concrete
+graphs (dropping the Θ constants, i.e. constant factor 1), which lets the
+library compare concepts quantitatively: e.g. the speedup bound of memory
+heterogeneity over memory simplification for a given kernel is
+``(|V| * log max|WS|) / D``.
+
+============== =============== ============================== ======================
+Component      Concept         Time                           Space
+============== =============== ============================== ======================
+memory         simplification  |V| * log2(max|WS|)            max|WS|
+memory         heterogeneity   D                              |E|
+memory         partitioning    D * log2(max|WS|)              max|WS|
+communication  simplification  |E|                            |V|
+communication  heterogeneity   D                              |E|
+communication  partitioning    D                              max|WS|
+computation    simplification  |E|                            1
+computation    heterogeneity   |V_IN|                         2^|V_IN| * |V_OUT|
+computation    partitioning    D                              max|WS|
+============== =============== ============================== ======================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.dfg.analysis import DfgStats
+
+
+class Component(enum.Enum):
+    """The three processing components specialization acts on."""
+
+    MEMORY = "memory"
+    COMMUNICATION = "communication"
+    COMPUTATION = "computation"
+
+
+class Concept(enum.Enum):
+    """The three chip-specialization concepts (paper Section V-A)."""
+
+    SIMPLIFICATION = "simplification"
+    PARTITIONING = "partitioning"
+    HETEROGENEITY = "heterogeneity"
+
+
+@dataclass(frozen=True)
+class ConceptLimit:
+    """Numeric Table II entry for one (component, concept) pair.
+
+    ``time`` and ``space`` evaluate the asymptotic formulas with constant
+    factor 1; ``time_formula`` / ``space_formula`` are the symbolic forms for
+    reports.  ``space`` can overflow floats for computation heterogeneity
+    (``2^|V_IN|``), so it is kept as an exact Python integer-ish float via
+    ``math.inf`` guarding.
+    """
+
+    component: Component
+    concept: Concept
+    time: float
+    space: float
+    time_formula: str
+    space_formula: str
+
+
+def _log2_ws(stats: DfgStats) -> float:
+    """``log2(max|WS|)``, floored at 1 so degenerate graphs stay positive."""
+    return max(1.0, math.log2(max(stats.max_working_set, 2)))
+
+
+_TABLE: Dict[
+    Tuple[Component, Concept],
+    Tuple[Callable[[DfgStats], float], str, Callable[[DfgStats], float], str],
+] = {
+    (Component.MEMORY, Concept.SIMPLIFICATION): (
+        lambda s: s.n_vertices * _log2_ws(s), "|V| * log(max|WS|)",
+        lambda s: float(s.max_working_set), "max|WS|",
+    ),
+    (Component.MEMORY, Concept.HETEROGENEITY): (
+        lambda s: float(s.depth), "D",
+        lambda s: float(s.n_edges), "|E|",
+    ),
+    (Component.MEMORY, Concept.PARTITIONING): (
+        lambda s: s.depth * _log2_ws(s), "D * log(max|WS|)",
+        lambda s: float(s.max_working_set), "max|WS|",
+    ),
+    (Component.COMMUNICATION, Concept.SIMPLIFICATION): (
+        lambda s: float(s.n_edges), "|E|",
+        lambda s: float(s.n_vertices), "|V|",
+    ),
+    (Component.COMMUNICATION, Concept.HETEROGENEITY): (
+        lambda s: float(s.depth), "D",
+        lambda s: float(s.n_edges), "|E|",
+    ),
+    (Component.COMMUNICATION, Concept.PARTITIONING): (
+        lambda s: float(s.depth), "D",
+        lambda s: float(s.max_working_set), "max|WS|",
+    ),
+    (Component.COMPUTATION, Concept.SIMPLIFICATION): (
+        lambda s: float(s.n_edges), "|E|",
+        lambda s: 1.0, "1",
+    ),
+    (Component.COMPUTATION, Concept.HETEROGENEITY): (
+        lambda s: float(s.n_inputs), "|V_IN|",
+        lambda s: _lookup_table_space(s), "2^|V_IN| * |V_OUT|",
+    ),
+    (Component.COMPUTATION, Concept.PARTITIONING): (
+        lambda s: float(s.depth), "D",
+        lambda s: float(s.max_working_set), "max|WS|",
+    ),
+}
+
+
+def _lookup_table_space(stats: DfgStats) -> float:
+    """``2^|V_IN| * |V_OUT|`` with overflow clamped to infinity.
+
+    The extreme of computation heterogeneity is one lookup table over all
+    input bits — astronomically large for any realistic kernel, which is the
+    paper's point: this concept's space limit is unreachable in practice.
+    """
+    if stats.n_inputs > 1000:
+        return math.inf
+    try:
+        return float(2**stats.n_inputs) * stats.n_outputs
+    except OverflowError:
+        return math.inf
+
+
+def concept_limit(
+    stats: DfgStats, component: Component, concept: Concept
+) -> ConceptLimit:
+    """Evaluate the Table II entry for one (component, concept) pair."""
+    time_fn, time_formula, space_fn, space_formula = _TABLE[(component, concept)]
+    return ConceptLimit(
+        component=component,
+        concept=concept,
+        time=time_fn(stats),
+        space=space_fn(stats),
+        time_formula=time_formula,
+        space_formula=space_formula,
+    )
+
+
+def complexity_table(stats: DfgStats) -> Dict[Tuple[Component, Concept], ConceptLimit]:
+    """All nine Table II entries for one analysed DFG."""
+    return {
+        key: concept_limit(stats, component, concept)
+        for key in _TABLE
+        for component, concept in [key]
+    }
+
+
+def speedup_bound(stats: DfgStats, component: Component) -> float:
+    """Best-case speedup of heterogeneity/partitioning over simplification.
+
+    For each component the simplification concept gives the *cheapest* but
+    *slowest* design; the bound is its time limit divided by the fastest
+    concept's time limit.  This quantifies the paper's observation that the
+    optimization space is finite: once a design runs within a constant of
+    ``Θ(D)`` (or ``Θ(|V_IN|)`` for computation), no further specialization
+    of that component can improve asymptotic runtime.
+    """
+    simplification = concept_limit(stats, component, Concept.SIMPLIFICATION).time
+    fastest = min(
+        concept_limit(stats, component, concept).time
+        for concept in (Concept.PARTITIONING, Concept.HETEROGENEITY)
+    )
+    return simplification / fastest

@@ -1,0 +1,252 @@
+"""The dataflow-graph (DFG) type.
+
+A DFG is a DAG ``G(V, E)`` with three vertex kinds (paper Section V-B):
+
+* *input variables* — no incoming edges,
+* *output variables* — no outgoing edges,
+* *computation nodes* — interior vertices carrying an operation.
+
+The type is a mutable builder: workload generators add nodes and edges, then
+callers freeze-validate via :meth:`Dfg.validate` before analysis.  Mutation
+is O(1); acyclicity is checked once at validation (and by every analysis,
+which topologically sorts anyway).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import GraphStructureError
+
+
+class NodeKind(enum.Enum):
+    """Vertex role in the dataflow graph."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class DfgNode:
+    """One DFG vertex.
+
+    ``op`` names the operation for compute nodes (e.g. ``"add"``, ``"mul"``,
+    ``"load"``) and is ``None`` for pure input/output variables.  ``label``
+    is a free-form annotation for debugging and example output.
+    """
+
+    node_id: int
+    kind: NodeKind
+    op: Optional[str] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.COMPUTE and not self.op:
+            raise GraphStructureError(
+                f"compute node {self.node_id} must carry an operation"
+            )
+        if self.kind is not NodeKind.COMPUTE and self.op is not None:
+            raise GraphStructureError(
+                f"{self.kind.value} node {self.node_id} cannot carry an operation"
+            )
+
+
+class Dfg:
+    """A directed acyclic dataflow graph."""
+
+    def __init__(self, name: str = "dfg"):
+        self.name = name
+        self._nodes: Dict[int, DfgNode] = {}
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        self._next_id = 0
+
+    # -- construction --------------------------------------------------------
+
+    def _add(self, kind: NodeKind, op: Optional[str], label: Optional[str]) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = DfgNode(node_id, kind, op, label)
+        self._succ[node_id] = []
+        self._pred[node_id] = []
+        return node_id
+
+    def add_input(self, label: Optional[str] = None) -> int:
+        """Add an input-variable vertex; returns its id."""
+        return self._add(NodeKind.INPUT, None, label)
+
+    def add_output(self, source: int, label: Optional[str] = None) -> int:
+        """Add an output-variable vertex fed by *source*; returns its id."""
+        node_id = self._add(NodeKind.OUTPUT, None, label)
+        self.add_edge(source, node_id)
+        return node_id
+
+    def add_compute(
+        self, op: str, operands: Iterable[int], label: Optional[str] = None
+    ) -> int:
+        """Add a computation vertex consuming *operands*; returns its id."""
+        operand_list = list(operands)
+        if not operand_list:
+            raise GraphStructureError(f"compute op {op!r} needs >= 1 operand")
+        node_id = self._add(NodeKind.COMPUTE, op, label)
+        for operand in operand_list:
+            self.add_edge(operand, node_id)
+        return node_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add a dependence edge ``src -> dst``."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise GraphStructureError(f"edge ({src}, {dst}) references unknown node")
+        if src == dst:
+            raise GraphStructureError(f"self-loop on node {src}")
+        if self._nodes[src].kind is NodeKind.OUTPUT:
+            raise GraphStructureError(f"output node {src} cannot have successors")
+        if self._nodes[dst].kind is NodeKind.INPUT:
+            raise GraphStructureError(f"input node {dst} cannot have predecessors")
+        if dst in self._succ[src]:
+            return  # idempotent: duplicate dependence carries no information
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+
+    # -- accessors ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[DfgNode]:
+        return iter(self._nodes.values())
+
+    def node(self, node_id: int) -> DfgNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphStructureError(f"unknown node id {node_id}") from None
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def successors(self, node_id: int) -> Tuple[int, ...]:
+        return tuple(self._succ[node_id])
+
+    def predecessors(self, node_id: int) -> Tuple[int, ...]:
+        return tuple(self._pred[node_id])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def inputs(self) -> List[int]:
+        """Vertices with no incoming edges (the set ``V_IN``)."""
+        return [nid for nid in self._nodes if not self._pred[nid]]
+
+    def outputs(self) -> List[int]:
+        """Vertices with no outgoing edges (the set ``V_OUT``)."""
+        return [nid for nid in self._nodes if not self._succ[nid]]
+
+    def compute_nodes(self) -> List[int]:
+        """Interior vertices (the set ``V_CMP``)."""
+        return [
+            nid
+            for nid in self._nodes
+            if self._pred[nid] and self._succ[nid]
+        ]
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> "Dfg":
+        """Check all structural invariants; returns self for chaining.
+
+        Raises :class:`GraphStructureError` on: empty graph, a cycle, a
+        declared-INPUT vertex with predecessors (guarded at insert but
+        re-checked), a declared-OUTPUT vertex with successors, a compute
+        vertex with no consumers (dead code must be eliminated explicitly),
+        or a compute vertex with no operands.
+        """
+        if not self._nodes:
+            raise GraphStructureError(f"{self.name}: empty graph")
+        for node in self._nodes.values():
+            preds = self._pred[node.node_id]
+            succs = self._succ[node.node_id]
+            if node.kind is NodeKind.INPUT and preds:
+                raise GraphStructureError(
+                    f"{self.name}: input node {node.node_id} has predecessors"
+                )
+            if node.kind is NodeKind.OUTPUT and succs:
+                raise GraphStructureError(
+                    f"{self.name}: output node {node.node_id} has successors"
+                )
+            if node.kind is NodeKind.OUTPUT and not preds:
+                raise GraphStructureError(
+                    f"{self.name}: output node {node.node_id} is unconnected"
+                )
+            if node.kind is NodeKind.COMPUTE:
+                if not preds:
+                    raise GraphStructureError(
+                        f"{self.name}: compute node {node.node_id} has no operands"
+                    )
+                if not succs:
+                    raise GraphStructureError(
+                        f"{self.name}: compute node {node.node_id} is dead "
+                        "(no consumers); run dead_code_eliminate first"
+                    )
+        self._check_acyclic()
+        return self
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm; raises if any vertex is left unprocessed."""
+        in_degree = {nid: len(self._pred[nid]) for nid in self._nodes}
+        ready = [nid for nid, deg in in_degree.items() if deg == 0]
+        seen = 0
+        while ready:
+            nid = ready.pop()
+            seen += 1
+            for succ in self._succ[nid]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if seen != len(self._nodes):
+            raise GraphStructureError(f"{self.name}: graph contains a cycle")
+
+    # -- structural copy -------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Dfg":
+        """Deep structural copy."""
+        clone = Dfg(name or self.name)
+        clone._nodes = dict(self._nodes)
+        clone._succ = {nid: list(dsts) for nid, dsts in self._succ.items()}
+        clone._pred = {nid: list(srcs) for nid, srcs in self._pred.items()}
+        clone._next_id = self._next_id
+        return clone
+
+    def subgraph(self, keep: Set[int], name: Optional[str] = None) -> "Dfg":
+        """Induced subgraph over the vertex set *keep*."""
+        missing = keep - set(self._nodes)
+        if missing:
+            raise GraphStructureError(f"subgraph references unknown nodes {missing}")
+        clone = Dfg(name or f"{self.name}-sub")
+        clone._nodes = {nid: self._nodes[nid] for nid in keep}
+        clone._succ = {
+            nid: [d for d in self._succ[nid] if d in keep] for nid in keep
+        }
+        clone._pred = {
+            nid: [s for s in self._pred[nid] if s in keep] for nid in keep
+        }
+        clone._next_id = self._next_id
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Dfg({self.name!r}: {len(self)} nodes, {self.num_edges} edges, "
+            f"{len(self.inputs())} in, {len(self.outputs())} out)"
+        )

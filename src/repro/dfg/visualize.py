@@ -1,0 +1,70 @@
+"""Graphviz DOT export for dataflow graphs.
+
+``to_dot`` renders a DFG as DOT text (inputs as boxes, outputs as double
+circles, compute vertices as ellipses labelled with their op), optionally
+clustered by computation stage so the working-set structure is visible.
+Feed the output to any Graphviz installation; nothing here imports one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.analysis import stage_levels
+from repro.dfg.graph import Dfg, NodeKind
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_line(dfg: Dfg, nid: int) -> str:
+    node = dfg.node(nid)
+    if node.kind is NodeKind.INPUT:
+        label = node.label or f"in{nid}"
+        shape = "box"
+    elif node.kind is NodeKind.OUTPUT:
+        label = node.label or f"out{nid}"
+        shape = "doublecircle"
+    else:
+        label = node.op if not node.label else f"{node.op}\\n{node.label}"
+        shape = "ellipse"
+    return f'  n{nid} [label="{_escape(label)}", shape={shape}];'
+
+
+def to_dot(
+    dfg: Dfg,
+    cluster_stages: bool = False,
+    max_nodes: Optional[int] = 2000,
+) -> str:
+    """Render *dfg* as DOT text.
+
+    With ``cluster_stages=True`` vertices are grouped into per-stage
+    subgraph clusters (the ASAP levels of the Section V-B analysis).
+    *max_nodes* guards against accidentally dumping a huge trace; pass
+    ``None`` to disable.
+    """
+    if max_nodes is not None and len(dfg) > max_nodes:
+        raise ValueError(
+            f"{dfg.name}: {len(dfg)} nodes exceeds max_nodes={max_nodes}; "
+            "pass max_nodes=None to force"
+        )
+    lines = [f'digraph "{_escape(dfg.name)}" {{', "  rankdir=TB;"]
+    if cluster_stages:
+        levels = stage_levels(dfg)
+        by_stage: dict = {}
+        for nid, stage in levels.items():
+            by_stage.setdefault(stage, []).append(nid)
+        for stage in sorted(by_stage):
+            lines.append(f"  subgraph cluster_stage{stage} {{")
+            lines.append(f'    label="stage {stage}";')
+            for nid in sorted(by_stage[stage]):
+                lines.append("  " + _node_line(dfg, nid))
+            lines.append("  }")
+    else:
+        for nid in dfg.node_ids():
+            lines.append(_node_line(dfg, nid))
+    for src, dst in dfg.edges():
+        lines.append(f"  n{src} -> n{dst};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the accelerator-wall reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class UnknownNodeError(ReproError, ValueError):
+    """A CMOS process node was requested that the model cannot represent."""
+
+    def __init__(self, node: object, valid_range: tuple[float, float]):
+        self.node = node
+        self.valid_range = valid_range
+        super().__init__(
+            f"unknown CMOS node {node!r}: model covers "
+            f"{valid_range[0]:g}nm down to {valid_range[1]:g}nm"
+        )
+
+
+class InvalidChipSpecError(ReproError, ValueError):
+    """A chip datasheet record failed validation."""
+
+
+class InvalidDesignPointError(ReproError, ValueError):
+    """An accelerator design point lies outside the explored space."""
+
+
+class GraphStructureError(ReproError, ValueError):
+    """A dataflow graph violates a structural invariant (e.g. a cycle)."""
+
+
+class FitError(ReproError, RuntimeError):
+    """A regression fit could not be computed (e.g. too few points)."""
+
+
+class ProjectionError(ReproError, RuntimeError):
+    """A Pareto-frontier projection could not be constructed."""
+
+
+class DatasetError(ReproError, ValueError):
+    """An embedded case-study dataset is malformed or empty after filtering."""

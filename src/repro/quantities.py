@@ -1,0 +1,86 @@
+"""Lightweight unit helpers.
+
+The library stores all physical quantities as plain floats in a fixed set of
+canonical units.  This module documents those units and provides conversion
+helpers so that call sites can be explicit about what they pass around:
+
+===============  =====================
+Quantity         Canonical unit
+===============  =====================
+process node     nanometres (nm)
+die area         square millimetres
+frequency        megahertz (MHz)
+power / TDP      watts (W)
+energy           nanojoules (nJ)
+transistor count absolute count
+throughput       operations per second
+===============  =====================
+
+Helpers are intentionally trivial; their value is in making conversions
+self-describing at the call site (``ghz(1.5)`` rather than ``1.5e3``).
+"""
+
+from __future__ import annotations
+
+MILLION = 1e6
+BILLION = 1e9
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to the canonical frequency unit (MHz)."""
+    return value * 1e3
+
+
+def mhz(value: float) -> float:
+    """Identity helper: frequency already in canonical MHz."""
+    return float(value)
+
+
+def khz(value: float) -> float:
+    """Convert kilohertz to MHz."""
+    return value * 1e-3
+
+
+def mhz_to_hz(value_mhz: float) -> float:
+    """Convert canonical MHz to Hz."""
+    return value_mhz * 1e6
+
+
+def milliwatts(value: float) -> float:
+    """Convert milliwatts to canonical watts."""
+    return value * 1e-3
+
+
+def watts(value: float) -> float:
+    """Identity helper: power already in canonical watts."""
+    return float(value)
+
+
+def mm2(value: float) -> float:
+    """Identity helper: area already in canonical mm^2."""
+    return float(value)
+
+
+def nanojoules(value: float) -> float:
+    """Identity helper: energy already in canonical nJ."""
+    return float(value)
+
+
+def picojoules(value: float) -> float:
+    """Convert picojoules to canonical nanojoules."""
+    return value * 1e-3
+
+
+def joules_from_nj(value_nj: float) -> float:
+    """Convert canonical nanojoules to joules."""
+    return value_nj * 1e-9
+
+
+def giga(value: float) -> float:
+    """Scale a value by 1e9 (e.g. GOPS -> OP/s)."""
+    return value * BILLION
+
+
+def mega(value: float) -> float:
+    """Scale a value by 1e6 (e.g. MPixels/s -> pixels/s)."""
+    return value * MILLION

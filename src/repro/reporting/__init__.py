@@ -1,0 +1,53 @@
+"""Report generation: the data series behind every paper table and figure.
+
+Each ``fig*``/``table*`` function returns a plain data structure (dict /
+list) holding exactly the series the corresponding paper artifact plots,
+plus ``render_*`` helpers that format them as text tables.  The benchmark
+harness under ``benchmarks/`` calls these to regenerate the evaluation.
+"""
+
+from repro.reporting.figures import (
+    fig1_bitcoin_evolution,
+    fig3a_device_scaling,
+    fig3b_transistor_density,
+    fig3c_tdp_budget,
+    fig3d_chip_gains,
+    fig4_video_decoders,
+    fig5_gpu_frame_rates,
+    fig6_7_architecture_scaling,
+    fig8_fpga_cnn,
+    fig9_bitcoin_platforms,
+    fig13_stencil_sweep,
+    fig14_gain_attribution,
+    fig15_16_projections,
+)
+from repro.reporting.tables import (
+    render_rows,
+    table1_specialization_concepts,
+    table2_concept_limits,
+    table3_sweep_parameters,
+    table4_applications,
+    table5_wall_parameters,
+)
+
+__all__ = [
+    "fig1_bitcoin_evolution",
+    "fig3a_device_scaling",
+    "fig3b_transistor_density",
+    "fig3c_tdp_budget",
+    "fig3d_chip_gains",
+    "fig4_video_decoders",
+    "fig5_gpu_frame_rates",
+    "fig6_7_architecture_scaling",
+    "fig8_fpga_cnn",
+    "fig9_bitcoin_platforms",
+    "fig13_stencil_sweep",
+    "fig14_gain_attribution",
+    "fig15_16_projections",
+    "render_rows",
+    "table1_specialization_concepts",
+    "table2_concept_limits",
+    "table3_sweep_parameters",
+    "table4_applications",
+    "table5_wall_parameters",
+]

@@ -1,0 +1,166 @@
+"""ASCII scatter/line plots for terminal figure regeneration.
+
+The benchmark environment has no plotting stack, so the figure data from
+:mod:`repro.reporting.figures` is rendered as text: log- or linear-scaled
+scatter plots with axes, tick labels, and a marker legend.  Good enough to
+eyeball every paper figure's shape straight from the CLI
+(``accelerator-wall plot fig9``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log axis requires positive values, got {value}")
+        return math.log10(value)
+    return value
+
+
+def _format_tick(value: float, log: bool) -> str:
+    if log:
+        return f"1e{value:.0f}" if value == int(value) else f"1e{value:.1f}"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_scatter(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named point series as an ASCII scatter plot.
+
+    Each series gets the next marker from :data:`MARKERS`; overlapping
+    points show the most recently drawn series.  Axes carry min/max tick
+    labels (as ``1eN`` on log axes).
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("ascii_scatter needs at least one non-empty series")
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small (need width>=16, height>=6)")
+
+    transformed: Dict[str, List[Point]] = {
+        name: [(_transform(x, log_x), _transform(y, log_y)) for x, y in points]
+        for name, points in series.items()
+        if points
+    }
+    xs = [x for points in transformed.values() for x, _ in points]
+    ys = [y for points in transformed.values() for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, points) in enumerate(transformed.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in points:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_max, log_y)
+    bottom_tick = _format_tick(y_min, log_y)
+    margin = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines.append(f"{y_label:>{margin}}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_tick:>{margin}}"
+        elif row_index == height - 1:
+            prefix = f"{bottom_tick:>{margin}}"
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left = _format_tick(x_min, log_x)
+    right = _format_tick(x_max, log_x)
+    axis_line = (
+        " " * (margin + 1)
+        + left
+        + " " * max(1, width - len(left) - len(right))
+        + right
+    )
+    lines.append(axis_line)
+    lines.append(" " * (margin + 1) + x_label)
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_csr_series(
+    series,
+    title: str,
+    log_y: bool = True,
+) -> str:
+    """Plot a :class:`~repro.csr.series.CsrSeries`: gain and CSR vs rank."""
+    points_gain = [(float(i), p.gain) for i, p in enumerate(series)]
+    points_csr = [(float(i), p.csr) for i, p in enumerate(series)]
+    return ascii_scatter(
+        {"gain": points_gain, "CSR": points_csr},
+        log_y=log_y,
+        title=title,
+        x_label="chip (series order)",
+        y_label="x",
+    )
+
+
+def plot_frontier(
+    points: Sequence[Point],
+    frontier: Sequence[Point],
+    title: str,
+    log_x: bool = True,
+    log_y: bool = True,
+) -> str:
+    """Plot a gain-vs-physical scatter with its Pareto frontier (Figs 15-16)."""
+    return ascii_scatter(
+        {"chips": list(points), "frontier": list(frontier)},
+        log_x=log_x,
+        log_y=log_y,
+        title=title,
+        x_label="physical capability (x)",
+        y_label="gain",
+    )
+
+
+def plot_runtime_power(
+    reports,
+    title: str = "Fig 13: runtime-power space",
+) -> str:
+    """Plot sweep results in the Fig 13 runtime-power space (log-log)."""
+    by_node: Dict[str, List[Point]] = {}
+    for report in reports:
+        label = f"{report.design.node_nm:g}nm"
+        by_node.setdefault(label, []).append(
+            (report.runtime_s * 1e9, report.power_w)
+        )
+    return ascii_scatter(
+        by_node,
+        log_x=True,
+        log_y=True,
+        title=title,
+        x_label="runtime [ns]",
+        y_label="power [W]",
+    )

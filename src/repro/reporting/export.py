@@ -1,0 +1,121 @@
+"""Machine-readable export of every regenerated paper artifact.
+
+``export_all`` writes one JSON file per table/figure into a directory, so
+plots and downstream analyses can consume the reproduction without
+importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.cmos.model import CmosPotentialModel
+from repro.dfg.analysis import analyze
+from repro.reporting import figures, tables
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value):
+    """Coerce figure payloads (tuple keys, dataclass-free dicts) to JSON."""
+    if isinstance(value, dict):
+        return {
+            (k if isinstance(k, str) else repr(k)): _jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return value
+
+
+def _table2_payload():
+    from repro.workloads import WORKLOADS
+
+    return {
+        workload.abbrev: tables.table2_concept_limits(
+            analyze(workload.build().dfg)
+        )
+        for workload in WORKLOADS
+    }
+
+
+def artifact_builders(
+    model: Optional[CmosPotentialModel] = None,
+    fast: bool = True,
+) -> Dict[str, Callable[[], object]]:
+    """Name -> builder for every exportable artifact.
+
+    With ``fast=True`` the DSE artifacts (Figs 13-14) use a representative
+    Table III sub-grid; ``fast=False`` runs the full sweep ranges.
+    """
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    if fast:
+        partitions = (1, 4, 16, 64, 256, 1024)
+        simplifications = (1, 3, 5, 7, 9, 11, 13)
+    else:
+        partitions = None
+        simplifications = None
+    return {
+        "table1": tables.table1_specialization_concepts,
+        "table2": _table2_payload,
+        "table3": tables.table3_sweep_parameters,
+        "table4": tables.table4_applications,
+        "table5": tables.table5_wall_parameters,
+        "fig1": lambda: figures.fig1_bitcoin_evolution(cmos),
+        "fig3a": figures.fig3a_device_scaling,
+        "fig3b": lambda: figures.fig3b_transistor_density(cmos),
+        "fig3c": lambda: figures.fig3c_tdp_budget(cmos),
+        "fig3d": lambda: figures.fig3d_chip_gains(cmos),
+        "fig4": lambda: figures.fig4_video_decoders(cmos),
+        "fig5": lambda: figures.fig5_gpu_frame_rates(cmos),
+        "fig6_7": lambda: figures.fig6_7_architecture_scaling(cmos),
+        "fig8": lambda: figures.fig8_fpga_cnn(cmos),
+        "fig9": lambda: figures.fig9_bitcoin_platforms(cmos),
+        "fig13": lambda: figures.fig13_stencil_sweep(
+            partitions=partitions, simplifications=simplifications
+        ),
+        "fig14": lambda: figures.fig14_gain_attribution(
+            partitions=partitions, simplifications=simplifications
+        ),
+        "fig15_16": lambda: figures.fig15_16_projections(cmos),
+    }
+
+
+def export_artifact(
+    name: str,
+    directory: PathLike,
+    model: Optional[CmosPotentialModel] = None,
+    fast: bool = True,
+) -> Path:
+    """Regenerate one artifact and write ``<directory>/<name>.json``."""
+    builders = artifact_builders(model, fast)
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown artifact {name!r}; known: {sorted(builders)}"
+        ) from None
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(_jsonable(builder()), handle, indent=2)
+    return path
+
+
+def export_all(
+    directory: PathLike,
+    model: Optional[CmosPotentialModel] = None,
+    fast: bool = True,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, Path]:
+    """Regenerate and write every (or the named) artifacts."""
+    builders = artifact_builders(model, fast)
+    selected = list(names) if names is not None else sorted(builders)
+    return {
+        name: export_artifact(name, directory, model, fast) for name in selected
+    }

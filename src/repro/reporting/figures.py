@@ -1,0 +1,288 @@
+"""Figure regeneration: one function per paper figure.
+
+Every function returns the plotted data series as plain Python structures so
+callers (benchmarks, notebooks, tests) can print, assert on, or re-plot them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cmos.model import CmosPotentialModel
+from repro.cmos.scaling import default_scaling_table
+
+
+def _model(model: Optional[CmosPotentialModel]) -> CmosPotentialModel:
+    return model if model is not None else CmosPotentialModel.paper()
+
+
+# -- Section III: the CMOS potential model -----------------------------------
+
+
+def fig3a_device_scaling() -> Dict[str, Dict[float, float]]:
+    """Fig 3a: relative device scaling, 45nm..5nm, normalised to 45nm."""
+    return default_scaling_table().fig3a_series()
+
+
+def fig3b_transistor_density(
+    model: Optional[CmosPotentialModel] = None,
+) -> Dict[str, object]:
+    """Fig 3b: the transistor-count-vs-density-factor power law."""
+    fit = _model(model).density_fit
+    sample_densities = [0.01, 0.1, 1.0, 10.0, 30.0, 100.0]
+    return {
+        "coefficient": fit.coefficient,
+        "exponent": fit.exponent,
+        "equation": fit.describe(),
+        "curve": {d: fit.transistors(d) for d in sample_densities},
+    }
+
+
+def fig3c_tdp_budget(
+    model: Optional[CmosPotentialModel] = None,
+    tdps_w: Sequence[float] = (24.0, 60.0, 120.0, 300.0, 600.0),
+) -> Dict[str, object]:
+    """Fig 3c: per-era transistor-budget power laws and sample curves."""
+    tdp_model = _model(model).tdp_model
+    return {
+        "fits": [fit.describe() for fit in tdp_model.fits],
+        "curves": {
+            fit.era.name: {tdp: fit.budget_product(tdp) for tdp in tdps_w}
+            for fit in tdp_model.fits
+        },
+    }
+
+
+def fig3d_chip_gains(
+    model: Optional[CmosPotentialModel] = None,
+) -> Dict[tuple, Dict[str, float]]:
+    """Fig 3d: relative throughput / energy efficiency over the node x die
+    x TDP-zone grid at 1GHz."""
+    return _model(model).fig3d_grid()
+
+
+# -- Section IV: case studies ---------------------------------------------------
+
+
+def fig1_bitcoin_evolution(
+    model: Optional[CmosPotentialModel] = None,
+) -> List[Dict[str, float]]:
+    """Fig 1: Bitcoin ASIC per-area performance vs transistor performance."""
+    from repro.studies import bitcoin
+
+    cmos = _model(model)
+    series = bitcoin.asic_study().performance_series(cmos)
+    return [
+        {
+            "name": p.name,
+            "node_nm": p.node_nm,
+            "performance": p.gain,
+            "transistor_performance": p.physical,
+            "csr": p.csr,
+        }
+        for p in series
+    ]
+
+
+def fig4_video_decoders(
+    model: Optional[CmosPotentialModel] = None,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Fig 4: decoder ASIC performance, hardware budget, energy efficiency."""
+    from repro.studies import video_decoders
+
+    cmos = _model(model)
+    study = video_decoders.study()
+    perf = study.performance_series(cmos).sorted_by_gain()
+    eff = study.efficiency_series(cmos).sorted_by_gain()
+    budget = [
+        {
+            "name": chip.spec.name,
+            "transistors": chip.spec.transistors,
+            "frequency_mhz": chip.spec.frequency_mhz,
+        }
+        for chip in study.chips
+    ]
+    def rows(series):
+        return [
+            {"name": p.name, "gain": p.gain, "csr": p.csr, "node_nm": p.node_nm}
+            for p in series
+        ]
+    return {"performance": rows(perf), "budget": budget, "efficiency": rows(eff)}
+
+
+def fig5_gpu_frame_rates(
+    model: Optional[CmosPotentialModel] = None,
+) -> Dict[str, Dict[str, List[Dict[str, float]]]]:
+    """Fig 5: per-application GPU frame-rate and frames/J series with CSR."""
+    from repro.studies import gpu_graphics
+
+    cmos = _model(model)
+    result: Dict[str, Dict[str, List[Dict[str, float]]]] = {}
+    for app, _base in gpu_graphics.APPS:
+        study = gpu_graphics.study(app)
+        perf = study.performance_series(cmos)
+        eff = study.efficiency_series(cmos)
+        result[app] = {
+            "performance": [
+                {"name": p.name, "year": p.year, "gain": p.gain, "csr": p.csr}
+                for p in perf
+            ],
+            "efficiency": [
+                {"name": p.name, "year": p.year, "gain": p.gain, "csr": p.csr}
+                for p in eff
+            ],
+        }
+    return result
+
+
+def fig6_7_architecture_scaling(
+    model: Optional[CmosPotentialModel] = None,
+) -> List[Dict[str, float]]:
+    """Figs 6-7: per-architecture absolute gain (vs Tesla) and CSR."""
+    from repro.studies import gpu_graphics
+
+    cmos = _model(model)
+    relations = gpu_graphics.architecture_relations(cmos)
+    csr = gpu_graphics.architecture_csr(cmos)
+    nodes = gpu_graphics.architecture_nodes()
+    return [
+        {
+            "architecture": arch,
+            "node_nm": nodes[arch],
+            "gain_vs_tesla": relations.gain(arch, "Tesla"),
+            "csr": csr[arch],
+        }
+        for arch in relations.architectures
+    ]
+
+
+def fig8_fpga_cnn(
+    model: Optional[CmosPotentialModel] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Fig 8: FPGA CNN performance/efficiency/utilisation for both models."""
+    from repro.studies import fpga_cnn
+
+    cmos = _model(model)
+    result: Dict[str, Dict[str, object]] = {}
+    for cnn in ("alexnet", "vgg16"):
+        study = fpga_cnn.study(cnn)
+        perf = study.performance_series(cmos).sorted_by_gain()
+        eff = study.efficiency_series(cmos).sorted_by_gain()
+        result[cnn] = {
+            "performance": [
+                {"name": p.name, "gain": p.gain, "csr": p.csr} for p in perf
+            ],
+            "efficiency": [
+                {"name": p.name, "gain": p.gain, "csr": p.csr} for p in eff
+            ],
+            "utilization": fpga_cnn.utilization_table(cnn),
+        }
+    return result
+
+
+def fig9_bitcoin_platforms(
+    model: Optional[CmosPotentialModel] = None,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Fig 9: mining gains and CSR across CPU/GPU/FPGA/ASIC platforms."""
+    from repro.studies import bitcoin
+
+    cmos = _model(model)
+    study = bitcoin.study()
+    perf = study.performance_series(cmos)
+    eff = study.efficiency_series(cmos)
+    def rows(series):
+        return [
+            {"name": p.name, "node_nm": p.node_nm, "gain": p.gain, "csr": p.csr}
+            for p in series
+        ]
+    return {"performance": rows(perf), "efficiency": rows(eff)}
+
+
+# -- Section VI: design-space exploration -----------------------------------------
+
+
+def fig13_stencil_sweep(
+    partitions: Optional[Sequence[int]] = None,
+    simplifications: Optional[Sequence[int]] = None,
+    nodes: Optional[Sequence[float]] = None,
+) -> List[Dict[str, float]]:
+    """Fig 13: 3D-stencil design points in the runtime-power space."""
+    from repro.accel.sweep import default_design_grid, sweep
+    from repro.workloads import s3d
+
+    kernel = s3d.build()
+    grid = default_design_grid(
+        nodes=nodes if nodes is not None else (45.0, 32.0, 22.0, 14.0, 10.0, 7.0, 5.0),
+        partitions=partitions,
+        simplifications=simplifications,
+    )
+    result = sweep(kernel, grid)
+    return [
+        {
+            "node_nm": r.design.node_nm,
+            "partition": r.design.partition,
+            "simplification": r.design.simplification,
+            "runtime_s": r.runtime_s,
+            "power_w": r.power_w,
+            "energy_efficiency": r.energy_efficiency,
+        }
+        for r in result
+    ]
+
+
+def fig14_gain_attribution(
+    metric: str = "throughput",
+    workload_abbrevs: Optional[Sequence[str]] = None,
+    partitions: Optional[Sequence[int]] = None,
+    simplifications: Optional[Sequence[int]] = None,
+) -> List[Dict[str, object]]:
+    """Fig 14: per-kernel gain attribution across specialization concepts."""
+    from repro.accel.attribution import attribute_gains
+    from repro.workloads import WORKLOADS, get_workload
+
+    workloads = (
+        [get_workload(a) for a in workload_abbrevs]
+        if workload_abbrevs is not None
+        else list(WORKLOADS)
+    )
+    rows = []
+    for workload in workloads:
+        attribution = attribute_gains(
+            workload.build(),
+            metric=metric,
+            partitions=partitions,
+            simplifications=simplifications,
+        )
+        rows.append(
+            {
+                "workload": workload.abbrev,
+                "total_gain": attribution.total_gain,
+                "csr": attribution.csr,
+                "shares": attribution.shares,
+            }
+        )
+    return rows
+
+
+# -- Section VII: the accelerator wall ----------------------------------------------
+
+
+def fig15_16_projections(
+    model: Optional[CmosPotentialModel] = None,
+) -> List[Dict[str, object]]:
+    """Figs 15-16: per-domain wall projections, both metrics."""
+    from repro.wall import wall_report_all_domains
+
+    return [
+        {
+            "domain": report.domain,
+            "metric": report.metric,
+            "unit": report.gain_unit,
+            "current_best": report.current_best,
+            "physical_limit": report.physical_limit,
+            "projected_log": report.projected_log,
+            "projected_linear": report.projected_linear,
+            "headroom": report.headroom,
+        }
+        for report in wall_report_all_domains(_model(model))
+    ]

@@ -1,0 +1,121 @@
+"""Table regeneration: one function per paper table."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dfg.analysis import DfgStats
+from repro.dfg.complexity import complexity_table
+
+
+def render_rows(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Format a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0])
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+    table = [[fmt(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(cols[i]), max(len(line[i]) for line in table))
+        for i in range(len(cols))
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(cols)))
+        for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def table1_specialization_concepts() -> List[Dict[str, str]]:
+    """Table I: specialization concepts with TPU examples."""
+    return [
+        {"component": "Memory", "concept": "Simplification",
+         "example": "Simple DDR3 chips, interfaces, and physical memory space"},
+        {"component": "Memory", "concept": "Partitioning",
+         "example": "Memory module banking storing NN layer weights"},
+        {"component": "Memory", "concept": "Heterogeneity",
+         "example": "Hybrid memory for input and intermediary results"},
+        {"component": "Communication", "concept": "Simplification",
+         "example": "Simple FIFO communication"},
+        {"component": "Communication", "concept": "Partitioning",
+         "example": "Concurrent FIFOs for weights and systolic array data"},
+        {"component": "Communication", "concept": "Heterogeneity",
+         "example": "Software-defined DMA interface for chip I/O"},
+        {"component": "Computation", "concept": "Simplification",
+         "example": "Multiply+add units with small precision (8-bit integers)"},
+        {"component": "Computation", "concept": "Partitioning",
+         "example": "Parallel multiply+add paths and systolic array data reuse"},
+        {"component": "Computation", "concept": "Heterogeneity",
+         "example": "Non-linear activation unit (e.g., ReLU)"},
+    ]
+
+
+def table2_concept_limits(stats: DfgStats) -> List[Dict[str, object]]:
+    """Table II: time/space limits of each concept, evaluated on *stats*."""
+    rows = []
+    for (component, concept), limit in complexity_table(stats).items():
+        rows.append(
+            {
+                "component": component.value,
+                "concept": concept.value,
+                "time_formula": limit.time_formula,
+                "time": limit.time,
+                "space_formula": limit.space_formula,
+                "space": limit.space,
+            }
+        )
+    return rows
+
+
+def table3_sweep_parameters() -> List[Dict[str, str]]:
+    """Table III: the CMOS-specialization sweep parameters."""
+    from repro.accel.sweep import table3_partitions, table3_simplifications
+    from repro.accel.design import SWEEP_NODES
+
+    return [
+        {
+            "parameter": "Partitioning Factor",
+            "values": ", ".join(str(p) for p in table3_partitions()[:4])
+            + f", ... {table3_partitions()[-1]}",
+        },
+        {
+            "parameter": "Simplification Degree",
+            "values": ", ".join(str(s) for s in table3_simplifications()),
+        },
+        {
+            "parameter": "CMOS Process (nm)",
+            "values": ", ".join(f"{n:g}" for n in SWEEP_NODES),
+        },
+    ]
+
+
+def table4_applications() -> List[Dict[str, str]]:
+    """Table IV: the evaluated applications and domains."""
+    from repro.workloads import WORKLOADS
+
+    return [
+        {"application": w.name, "abbrev": w.abbrev, "domain": w.domain}
+        for w in WORKLOADS
+    ]
+
+
+def table5_wall_parameters() -> List[Dict[str, object]]:
+    """Table V: accelerator-wall physical parameters per domain."""
+    from repro.wall.limits import _limits
+
+    return [
+        {
+            "domain": row.domain,
+            "platform": row.platform.value,
+            "min_die_mm2": row.min_die_mm2,
+            "max_die_mm2": row.max_die_mm2,
+            "tdp_w": row.tdp_w,
+            "frequency_mhz": row.frequency_mhz,
+        }
+        for row in _limits().values()
+    ]

@@ -1,0 +1,22 @@
+"""Empirical case studies of chip specialization return (paper Section IV).
+
+Four accelerator domains, each reconstructed from the paper's figures and
+cited public sources (see DESIGN.md's substitution table):
+
+* :mod:`repro.studies.video_decoders` — ASIC video decoders (Fig 4);
+* :mod:`repro.studies.gpu_graphics` — GPU graphics rendering (Figs 5-7);
+* :mod:`repro.studies.fpga_cnn` — FPGA CNN accelerators (Fig 8);
+* :mod:`repro.studies.bitcoin` — CPU/GPU/FPGA/ASIC Bitcoin miners (Figs 1, 9).
+"""
+
+from repro.studies.base import CaseStudy, StudyChip
+from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+
+__all__ = [
+    "CaseStudy",
+    "StudyChip",
+    "bitcoin",
+    "fpga_cnn",
+    "gpu_graphics",
+    "video_decoders",
+]

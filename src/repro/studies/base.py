@@ -1,0 +1,118 @@
+"""Shared case-study framework.
+
+Every Section IV study is a population of chips with measured application
+gains.  :class:`CaseStudy` wraps the population with the operations the
+figures need: baseline-normalised gain/CSR series (via
+:mod:`repro.csr.series`), best-performer extraction, and the
+(physical, gain) scatter the Section VII projections consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cmos.model import CmosPotentialModel
+from repro.csr.series import CsrSeries, compute_csr_series
+from repro.datasheets.schema import ChipSpec
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class StudyChip:
+    """A chip in a case study: physical spec plus measured application gains.
+
+    ``measured`` maps metric names (study-specific, e.g.
+    ``"throughput_mpixels_s"``, ``"power_w"``) to values.
+    """
+
+    spec: ChipSpec
+    measured: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.measured[name]
+        except KeyError:
+            raise DatasetError(
+                f"{self.spec.name}: no measured metric {name!r}; "
+                f"has {sorted(self.measured)}"
+            ) from None
+
+
+class CaseStudy:
+    """A named population of measured chips with CSR-series operations."""
+
+    #: Mapping from the study's measured-performance metric name to the
+    #: physical-model metric used as its CMOS-potential counterpart.
+    performance_metric: str = "throughput"
+    physical_performance_metric: str = "throughput"
+
+    def __init__(
+        self,
+        name: str,
+        chips: Sequence[StudyChip],
+        performance_metric: str,
+        efficiency_metric: str,
+        physical_performance_metric: str = "throughput",
+        capped: bool = True,
+    ):
+        if not chips:
+            raise DatasetError(f"case study {name!r} has no chips")
+        self.name = name
+        self.chips = tuple(chips)
+        self.performance_metric = performance_metric
+        self.efficiency_metric = efficiency_metric
+        self.physical_performance_metric = physical_performance_metric
+        #: Whether physical potential is TDP-capped (see compute_csr_series).
+        self.capped = capped
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    def names(self) -> List[str]:
+        return [chip.spec.name for chip in self.chips]
+
+    def performance_series(
+        self, model: CmosPotentialModel, baseline: Optional[str] = None
+    ) -> CsrSeries:
+        """Measured performance vs. physical potential, baseline-normalised."""
+        pairs = [
+            (chip.spec, chip.metric(self.performance_metric)) for chip in self.chips
+        ]
+        return compute_csr_series(
+            pairs,
+            model,
+            metric=self.physical_performance_metric,
+            baseline=baseline,
+            capped=self.capped,
+        )
+
+    def efficiency_series(
+        self, model: CmosPotentialModel, baseline: Optional[str] = None
+    ) -> CsrSeries:
+        """Measured energy efficiency vs. physical potential."""
+        pairs = [
+            (chip.spec, chip.metric(self.efficiency_metric)) for chip in self.chips
+        ]
+        return compute_csr_series(
+            pairs,
+            model,
+            metric="energy_efficiency",
+            baseline=baseline,
+            capped=self.capped,
+        )
+
+    def summary(self, model: CmosPotentialModel) -> Dict[str, float]:
+        """Headline numbers for reports and shape tests."""
+        perf = self.performance_series(model)
+        eff = self.efficiency_series(model)
+        return {
+            "chips": float(len(self)),
+            "max_performance_gain": perf.max_gain,
+            "max_efficiency_gain": eff.max_gain,
+            "max_physical_gain": perf.max_physical,
+            "best_performer_csr": perf.best_performer().csr,
+            "best_efficiency_csr": eff.best_performer().csr,
+            "max_performance_csr": perf.max_csr,
+            "max_efficiency_csr": eff.max_csr,
+        }

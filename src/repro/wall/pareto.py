@@ -1,0 +1,28 @@
+"""Pareto-frontier extraction for the projection study."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def upper_frontier(
+    points: Sequence[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """The best-gain-per-physical-capability frontier.
+
+    Keeps the points not dominated by any other point with less-or-equal
+    physical capability (x) and greater-or-equal gain (y): sweeping x in
+    ascending order, a point joins the frontier iff its gain beats every
+    point to its left.  The result is sorted by x and strictly increasing
+    in y — the shape both Eq 5/6 models are fitted on.
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (p[0], -p[1]))
+    frontier: List[Tuple[float, float]] = []
+    best_gain = float("-inf")
+    for x, y in ordered:
+        if y > best_gain:
+            frontier.append((x, y))
+            best_gain = y
+    return frontier

@@ -1,0 +1,99 @@
+"""Frontier projection models (paper Eqs 5-6).
+
+Two Pareto-frontier extrapolations of gain versus physical capability:
+
+* **linear** (Eq 5): ``gain = alpha * physical + beta`` — fits domains whose
+  gains track added parallel hardware (performance of highly parallel
+  workloads);
+* **logarithmic** (Eq 6): ``gain = alpha * log(physical) + beta`` — fits
+  domains with sub-linear returns (energy efficiency, peripheral overheads,
+  algorithmic structure limits).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ProjectionError
+from repro.wall.pareto import upper_frontier
+
+
+class ProjectionKind(enum.Enum):
+    """Which Eq 5/6 frontier model."""
+
+    LINEAR = "linear"
+    LOGARITHMIC = "log"
+
+
+@dataclass(frozen=True)
+class FrontierFit:
+    """A fitted frontier model ``gain = alpha * f(physical) + beta``."""
+
+    kind: ProjectionKind
+    alpha: float
+    beta: float
+    n_points: int
+    residual: float  # RMS residual over the frontier points
+
+    def predict(self, physical: float) -> float:
+        """Projected gain at *physical* capability.
+
+        Clamped below at the largest fitted gain so a projection never
+        regresses under the already-achieved frontier (projections are about
+        *future* capability, which is always to the right of the data).
+        """
+        if physical <= 0:
+            raise ProjectionError(f"physical capability must be positive: {physical}")
+        if self.kind is ProjectionKind.LINEAR:
+            return self.alpha * physical + self.beta
+        return self.alpha * math.log(physical) + self.beta
+
+    def describe(self) -> str:
+        operand = "x" if self.kind is ProjectionKind.LINEAR else "log(x)"
+        return (
+            f"{self.kind.value}: gain = {self.alpha:.4g} * {operand} + "
+            f"{self.beta:.4g}  (n={self.n_points}, rms={self.residual:.3g})"
+        )
+
+
+def fit_frontier(
+    points: Sequence[Tuple[float, float]], kind: ProjectionKind
+) -> FrontierFit:
+    """Least-squares fit of one Eq 5/6 model on the upper Pareto frontier."""
+    frontier = upper_frontier(points)
+    if len(frontier) < 2:
+        raise ProjectionError(
+            f"need >= 2 frontier points to fit a projection, got {len(frontier)}"
+        )
+    xs = np.asarray([p[0] for p in frontier], dtype=float)
+    ys = np.asarray([p[1] for p in frontier], dtype=float)
+    if kind is ProjectionKind.LOGARITHMIC:
+        if np.any(xs <= 0):
+            raise ProjectionError("logarithmic projection needs positive physicals")
+        design = np.log(xs)
+    else:
+        design = xs
+    alpha, beta = np.polyfit(design, ys, deg=1)
+    residual = float(np.sqrt(np.mean((alpha * design + beta - ys) ** 2)))
+    return FrontierFit(
+        kind=kind,
+        alpha=float(alpha),
+        beta=float(beta),
+        n_points=len(frontier),
+        residual=residual,
+    )
+
+
+def fit_projections(
+    points: Sequence[Tuple[float, float]],
+) -> Tuple[FrontierFit, FrontierFit]:
+    """Both frontier models, (linear, logarithmic)."""
+    return (
+        fit_frontier(points, ProjectionKind.LINEAR),
+        fit_frontier(points, ProjectionKind.LOGARITHMIC),
+    )

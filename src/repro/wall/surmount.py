@@ -1,0 +1,118 @@
+"""Surmounting the wall: multi-chip-module (MCM) scaling past the die limit.
+
+The paper closes by calling for "novel solutions to surmount the
+accelerator wall", and its related work points at multi-chip-module GPUs
+(Arunkumar et al., cited [79]) as the post-monolithic path.  This module
+quantifies how far MCM integration moves each domain's wall: N chiplets of
+the largest economic die, each at the final node, with a per-hop
+inter-chiplet communication tax on throughput and a packaging power
+overhead — then the domain's frontier models are re-evaluated at the
+extended physical limit.
+
+The headline result mirrors the MCM-GPU paper's: chiplets buy a few more
+"virtual nodes" of *performance* scaling (throughput is parallel), but they
+do **not** move the energy-efficiency wall — communication and packaging
+overheads make a 4-chiplet module strictly *less* efficient per op than one
+die, so the efficiency limits of Section VII stand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cmos.model import CmosPotentialModel
+from repro.cmos.nodes import FINAL_NODE
+from repro.errors import ProjectionError
+from repro.wall.limits import WallReport, _limits, accelerator_wall
+
+#: Throughput retained per chiplet relative to monolithic scaling, per the
+#: MCM-GPU paper's regime (~10% loss at 4 chiplets from inter-module traffic).
+COMM_EFFICIENCY_PER_CHIPLET: float = 0.965
+
+#: Extra power per additional chiplet (SerDes links, package regulation),
+#: as a fraction of one chiplet's budget.
+PACKAGING_POWER_OVERHEAD: float = 0.08
+
+
+@dataclass(frozen=True)
+class McmWall:
+    """The wall with and without multi-chip integration."""
+
+    domain: str
+    n_chiplets: int
+    monolithic: WallReport
+    mcm_physical_limit: float
+    mcm_projected_log: float
+    mcm_projected_linear: float
+    efficiency_factor: float  # MCM ops/J relative to one monolithic die
+
+    @property
+    def extra_headroom(self) -> float:
+        """How much further the linear wall moves with MCM (x)."""
+        return self.mcm_projected_linear / self.monolithic.projected_linear
+
+    @property
+    def moves_efficiency_wall(self) -> bool:
+        """Whether MCM improves the energy-efficiency limit (it should not)."""
+        return self.efficiency_factor > 1.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.domain}: {self.n_chiplets} chiplets move the linear "
+            f"performance wall {self.extra_headroom:.2f}x further "
+            f"({self.monolithic.projected_linear:.4g} -> "
+            f"{self.mcm_projected_linear:.4g} {self.monolithic.gain_unit}); "
+            f"energy efficiency x{self.efficiency_factor:.2f} (the "
+            "efficiency wall does not move)"
+        )
+
+
+def mcm_wall(
+    domain: str,
+    n_chiplets: int = 4,
+    model: Optional[CmosPotentialModel] = None,
+) -> McmWall:
+    """Project *domain*'s performance wall with an N-chiplet module.
+
+    The module's physical capability is ``N x comm_eff^(N-1)`` of one
+    largest-die chiplet (each chiplet keeps its own Table V power budget,
+    as MCM packages do); the domain's already-fitted frontier models are
+    evaluated at that extended limit.
+    """
+    if n_chiplets < 1:
+        raise ProjectionError(f"need >= 1 chiplet, got {n_chiplets}")
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    monolithic = accelerator_wall(domain, cmos, metric="performance")
+
+    comm_efficiency = COMM_EFFICIENCY_PER_CHIPLET ** (n_chiplets - 1)
+    mcm_limit = monolithic.physical_limit * n_chiplets * comm_efficiency
+    projected_log = max(
+        monolithic.current_best, monolithic.log_fit.predict(mcm_limit)
+    )
+    projected_linear = max(
+        monolithic.current_best, monolithic.linear_fit.predict(mcm_limit)
+    )
+    # Energy per op: same silicon doing comm_eff x the work, plus packaging
+    # power — efficiency strictly degrades with chiplet count.
+    power_factor = 1.0 + PACKAGING_POWER_OVERHEAD * (n_chiplets - 1) / n_chiplets
+    efficiency_factor = comm_efficiency / power_factor
+
+    return McmWall(
+        domain=domain,
+        n_chiplets=n_chiplets,
+        monolithic=monolithic,
+        mcm_physical_limit=mcm_limit,
+        mcm_projected_log=projected_log,
+        mcm_projected_linear=projected_linear,
+        efficiency_factor=efficiency_factor,
+    )
+
+
+def mcm_walls_all_domains(
+    n_chiplets: int = 4,
+    model: Optional[CmosPotentialModel] = None,
+) -> List[McmWall]:
+    """MCM extension for every Table V domain."""
+    cmos = model if model is not None else CmosPotentialModel.paper()
+    return [mcm_wall(domain, n_chiplets, cmos) for domain in _limits()]

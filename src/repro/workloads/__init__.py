@@ -1,0 +1,27 @@
+"""The 16 accelerator benchmark kernels of paper Table IV.
+
+Each module implements one kernel twice: a *traced* build (concolic execution
+under :class:`repro.accel.trace.Tracer`, yielding the dynamic DFG the
+scheduler consumes) and a plain *reference* implementation used by the test
+suite to check that the traced execution computes the right answer.
+
+Kernels are drawn from the suites the paper cites (MachSuite, SHOC,
+CortexSuite, PARSEC) and re-implemented from their textbook definitions —
+see DESIGN.md's substitution table.
+"""
+
+from repro.workloads.registry import (
+    WORKLOADS,
+    Workload,
+    build_all_kernels,
+    build_kernel,
+    get_workload,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "build_all_kernels",
+    "build_kernel",
+    "get_workload",
+]

@@ -1,0 +1,46 @@
+"""Deterministic input-data generation shared by the workload kernels."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def rng(seed: int) -> np.random.Generator:
+    """Deterministic generator; every kernel offsets its own default seed."""
+    return np.random.default_rng(seed)
+
+
+def floats(seed: int, n: int, lo: float = -1.0, hi: float = 1.0) -> List[float]:
+    """n uniform floats in [lo, hi)."""
+    return [float(x) for x in rng(seed).uniform(lo, hi, size=n)]
+
+
+def positive_floats(seed: int, n: int, lo: float = 0.1, hi: float = 2.0) -> List[float]:
+    """n uniform floats bounded away from zero (safe divisors/coordinates)."""
+    return [float(x) for x in rng(seed).uniform(lo, hi, size=n)]
+
+
+def ints(seed: int, n: int, lo: int = 0, hi: int = 255) -> List[int]:
+    """n uniform integers in [lo, hi]."""
+    return [int(x) for x in rng(seed).integers(lo, hi + 1, size=n)]
+
+
+def random_graph(seed: int, n_vertices: int, n_edges: int) -> List[tuple]:
+    """A connected-ish random digraph as an edge list with float weights.
+
+    A spanning chain guarantees reachability from vertex 0, then extra random
+    edges are layered on top (deduplicated).
+    """
+    generator = rng(seed)
+    edges = {}
+    for v in range(1, n_vertices):
+        u = int(generator.integers(0, v))
+        edges[(u, v)] = float(generator.uniform(0.5, 2.0))
+    while len(edges) < n_edges:
+        u = int(generator.integers(0, n_vertices))
+        v = int(generator.integers(0, n_vertices))
+        if u != v:
+            edges.setdefault((u, v), float(generator.uniform(0.5, 2.0)))
+    return [(u, v, w) for (u, v), w in sorted(edges.items())]

@@ -1,0 +1,154 @@
+"""AES — AES-128 single-block encryption (MachSuite ``aes``).
+
+Full FIPS-197 cipher: key expansion, 10 rounds of SubBytes (S-box gathers),
+ShiftRows (wiring), MixColumns (xtime/xor networks) and AddRoundKey.  The
+algorithm body is written once against an abstract byte-operations adapter
+and instantiated twice: over plain integers (the reference) and over traced
+values (the accelerator kernel), so both paths execute the same code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.accel.trace import TracedKernel, Tracer
+
+#: FIPS-197 Appendix C.1 test vector.
+FIPS_KEY = bytes(range(16))
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+class _IntOps:
+    """Byte operations over plain integers (the reference instantiation)."""
+
+    def xor(self, a, b):
+        return a ^ b
+
+    def sub(self, a):
+        return _SBOX[a]
+
+    def xtime(self, a):
+        doubled = (a << 1) & 0xFF
+        return doubled ^ 0x1B if a & 0x80 else doubled
+
+
+class _TracedOps:
+    """Byte operations over traced values (the accelerator instantiation)."""
+
+    def __init__(self, tracer: Tracer):
+        self.t = tracer
+        self.sbox = tracer.array("sbox", _SBOX)
+        self._mask = tracer.const(0xFF)
+        self._poly = tracer.const(0x1B)
+        self._zero = tracer.const(0)
+        self._hi = tracer.const(0x80)
+        self._one = tracer.const(1)
+
+    def xor(self, a, b):
+        return a ^ b
+
+    def sub(self, a):
+        return self.sbox.gather(a)
+
+    def xtime(self, a):
+        doubled = (a << self._one) & self._mask
+        overflow = (a & self._hi).ne(self._zero)
+        return self.t.select(overflow, doubled ^ self._poly, doubled)
+
+
+def _expand_key(key: Sequence, ops) -> List[List]:
+    """FIPS-197 key schedule: 11 round keys of 16 bytes."""
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [ops.sub(b) for b in temp]  # SubWord
+            temp[0] = ops.xor(temp[0], _RCON[i // 4 - 1])
+        words.append([ops.xor(words[i - 4][j], temp[j]) for j in range(4)])
+    return [
+        [byte for word in words[4 * r : 4 * r + 4] for byte in word]
+        for r in range(11)
+    ]
+
+
+def _encrypt_block(block: Sequence, key: Sequence, ops) -> List:
+    """The cipher body, generic over the byte-operations adapter."""
+    round_keys = _expand_key(key, ops)
+    state = [ops.xor(b, k) for b, k in zip(block, round_keys[0])]
+
+    def shift_rows(s: List) -> List:
+        # Column-major state: byte (row, col) lives at index col*4 + row.
+        return [s[(((i // 4) + (i % 4)) % 4) * 4 + (i % 4)] for i in range(16)]
+
+    def mix_column(col: List) -> List:
+        total = ops.xor(ops.xor(col[0], col[1]), ops.xor(col[2], col[3]))
+        out = []
+        for i in range(4):
+            doubled = ops.xtime(ops.xor(col[i], col[(i + 1) % 4]))
+            out.append(ops.xor(col[i], ops.xor(total, doubled)))
+        return out
+
+    for round_index in range(1, 11):
+        state = [ops.sub(b) for b in state]
+        state = shift_rows(state)
+        if round_index < 10:
+            mixed = []
+            for c in range(4):
+                mixed.extend(mix_column(state[4 * c : 4 * c + 4]))
+            state = mixed
+        state = [ops.xor(b, k) for b, k in zip(state, round_keys[round_index])]
+    return state
+
+
+def reference(plaintext: bytes = FIPS_PLAINTEXT, key: bytes = FIPS_KEY) -> bytes:
+    """Reference AES-128 encryption over plain integers."""
+    return bytes(_encrypt_block(list(plaintext), list(key), _IntOps()))
+
+
+def build(plaintext: bytes = FIPS_PLAINTEXT, key: bytes = FIPS_KEY) -> TracedKernel:
+    """Trace AES-128 encryption of one block."""
+    if len(plaintext) != 16 or len(key) != 16:
+        raise ValueError("AES-128 needs a 16-byte block and a 16-byte key")
+    t = Tracer("aes")
+    block_arr = t.array("block", list(plaintext))
+    key_arr = t.array("key", list(key))
+    ops = _TracedOps(t)
+    block = [block_arr.read(i) for i in range(16)]
+    key_values = [key_arr.read(i) for i in range(16)]
+    ciphertext = _encrypt_block(block, key_values, ops)
+    for i, byte in enumerate(ciphertext):
+        t.output(byte, f"ct[{i}]")
+    return t.kernel()
+
+
+def build_inputs():
+    return FIPS_PLAINTEXT, FIPS_KEY

@@ -1,0 +1,86 @@
+"""BFS — breadth-first search level assignment (MachSuite ``bfs``).
+
+Frontier expansion over a deterministic random digraph.  Control flow
+(frontier membership) is concrete, as in a dynamic trace; the level updates
+(compare + select) are traced, so the DFG records the real dependence chain
+between BFS levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import random_graph
+
+DEFAULT_VERTICES = 24
+DEFAULT_EDGES = 60
+_SEED = 901
+_UNREACHED = 999
+
+
+def reference(edges: List[Tuple[int, int, float]], n_vertices: int) -> List[int]:
+    """Plain BFS levels from vertex 0 (``_UNREACHED`` when unreachable)."""
+    adjacency: Dict[int, List[int]] = {v: [] for v in range(n_vertices)}
+    for u, v, _ in edges:
+        adjacency[u].append(v)
+    levels = [_UNREACHED] * n_vertices
+    levels[0] = 0
+    frontier = [0]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            for v in adjacency[u]:
+                if levels[v] == _UNREACHED:
+                    levels[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return levels
+
+
+def build(
+    n_vertices: int = DEFAULT_VERTICES,
+    n_edges: int = DEFAULT_EDGES,
+    seed: int = _SEED,
+) -> TracedKernel:
+    """Trace BFS level assignment from vertex 0."""
+    edges = random_graph(seed, n_vertices, n_edges)
+    adjacency: Dict[int, List[int]] = {v: [] for v in range(n_vertices)}
+    for u, v, _ in edges:
+        adjacency[u].append(v)
+
+    t = Tracer("bfs")
+    unreached = t.const(_UNREACHED)
+    levels = t.array("levels", length=n_vertices)
+    for v in range(n_vertices):
+        levels.write(v, unreached)
+    levels.write(0, t.const(0))
+
+    frontier = [0]
+    depth = 0
+    while frontier:
+        depth += 1
+        depth_value = t.const(depth)
+        nxt = []
+        for u in frontier:
+            for v in adjacency[u]:
+                current = levels.read(v)
+                not_seen = current.eq(unreached)
+                levels.write(v, t.select(not_seen, depth_value, current))
+                if not_seen.concrete:
+                    nxt.append(v)
+        frontier = nxt
+
+    for v in range(n_vertices):
+        t.output(levels.read(v), f"level[{v}]")
+    return t.kernel()
+
+
+def build_inputs(
+    n_vertices: int = DEFAULT_VERTICES,
+    n_edges: int = DEFAULT_EDGES,
+    seed: int = _SEED,
+):
+    return random_graph(seed, n_vertices, n_edges), n_vertices

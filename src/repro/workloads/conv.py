@@ -1,0 +1,144 @@
+"""2D convolution, direct vs Winograd — the algorithm layer of the stack.
+
+The paper's FPGA CNN study highlights algorithmic specialization: applying
+the Winograd transform to 3x3 convolutions "improves throughput by
+minimizing the complexity of convolutional operations" (Section IV-C,
+FPGA2017*).  This module implements both algorithms as traced kernels over
+the *same* computation (identical outputs), so the DSE can quantify the
+CSR of an algorithm change: Winograd F(2x2, 3x3) needs 16 multiplies per
+2x2 output tile where the direct form needs 36.
+
+The filter is a hardware constant; Winograd's filter transform
+``U = G g G^T`` is therefore precomputed at build time (as a real
+accelerator would), and only the input transform ``V = B^T d B`` (additions),
+the Hadamard product ``M = U . V`` (the 16 multiplies), and the output
+transform ``Y = A^T M A`` (additions) are traced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_N = 8  # input image side; output is (n-2) x (n-2)
+_SEED = 2101
+
+#: Winograd F(2x2, 3x3) transform matrices.
+_BT = np.array(
+    [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=float
+)
+_G = np.array(
+    [[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0, 0, 1]], dtype=float
+)
+_AT = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=float)
+
+#: A fixed, asymmetric 3x3 filter (so transform mistakes cannot cancel).
+FILTER = np.array(
+    [[0.25, -0.125, 0.0625], [0.5, 0.75, -0.25], [-0.0625, 0.125, 0.375]]
+)
+
+
+def reference(image: List[float], n: int) -> List[float]:
+    """Valid 3x3 convolution (cross-correlation form), row-major output."""
+    img = np.asarray(image, dtype=float).reshape(n, n)
+    out = []
+    for i in range(n - 2):
+        for j in range(n - 2):
+            out.append(float(np.sum(img[i : i + 3, j : j + 3] * FILTER)))
+    return out
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return floats(seed, n * n), n
+
+
+def build_direct(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace the direct 9-multiply-per-output convolution."""
+    image, _ = build_inputs(n, seed)
+    t = Tracer("conv-direct")
+    img = t.array("img", image)
+    coeffs = [[t.const(float(FILTER[a, b])) for b in range(3)] for a in range(3)]
+    for i in range(n - 2):
+        for j in range(n - 2):
+            acc = None
+            for a in range(3):
+                for b in range(3):
+                    term = coeffs[a][b] * img.read((i + a) * n + (j + b))
+                    acc = term if acc is None else acc + term
+            t.output(acc, f"y[{i},{j}]")
+    return t.kernel()
+
+
+def _mat_apply(
+    rows: Sequence[Sequence[float]], values: List[List[Value]], tracer: Tracer
+) -> List[List[Value]]:
+    """Multiply a small constant matrix into a grid of traced values.
+
+    Coefficients are restricted to {0, +/-1, +/-0.5 ...}; +/-1 entries
+    trace as pure additions/subtractions (wiring in hardware), other
+    magnitudes as constant multiplies.
+    """
+    out: List[List[Value]] = []
+    for row in rows:
+        out_row: List[Value] = []
+        for col in range(len(values[0])):
+            acc = None
+            for k, coeff in enumerate(row):
+                if coeff == 0:
+                    continue
+                value = values[k][col]
+                if coeff == 1:
+                    term = value
+                elif coeff == -1:
+                    term = -value
+                else:
+                    term = tracer.const(float(coeff)) * value
+                acc = term if acc is None else acc + term
+            assert acc is not None, "transform row was all zeros"
+            out_row.append(acc)
+        out.append(out_row)
+    return out
+
+
+def _transpose(values: List[List[Value]]) -> List[List[Value]]:
+    return [list(row) for row in zip(*values)]
+
+
+def build_winograd(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace the Winograd F(2x2, 3x3) convolution (16 multiplies/tile)."""
+    if (n - 2) % 2:
+        raise ValueError("Winograd F(2x2,3x3) needs an even output size")
+    image, _ = build_inputs(n, seed)
+    t = Tracer("conv-winograd")
+    img = t.array("img", image)
+    # Precomputed filter transform U = G g G^T (hardware constants).
+    u_const = _G @ FILTER @ _G.T
+    u = [[t.const(float(u_const[a, b])) for b in range(4)] for a in range(4)]
+
+    for ti in range(0, n - 2, 2):
+        for tj in range(0, n - 2, 2):
+            tile = [
+                [img.read((ti + a) * n + (tj + b)) for b in range(4)]
+                for a in range(4)
+            ]
+            # V = B^T d B  — additions only.
+            v = _mat_apply(_BT, tile, t)
+            v = _transpose(_mat_apply(_BT, _transpose(v), t))
+            # M = U . V  — the tile's 16 multiplies.
+            m = [[u[a][b] * v[a][b] for b in range(4)] for a in range(4)]
+            # Y = A^T M A — additions only.
+            y = _mat_apply(_AT, m, t)
+            y = _transpose(_mat_apply(_AT, _transpose(y), t))
+            for a in range(2):
+                for b in range(2):
+                    t.output(y[a][b], f"y[{ti + a},{tj + b}]")
+    return t.kernel()
+
+
+def multiply_count(kernel: TracedKernel) -> int:
+    """Number of multiply vertices in a traced kernel's DFG."""
+    return sum(1 for node in kernel.dfg.nodes() if node.op == "mul")

@@ -1,0 +1,73 @@
+"""FFT — iterative radix-2 Cooley-Tukey transform (MachSuite ``fft``).
+
+Complex values are traced as (real, imaginary) pairs; twiddle factors are
+compile-time constants, as in a fixed-size hardware FFT.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_N = 32
+_SEED = 1001
+
+
+def reference(real: List[float], imag: List[float]) -> Tuple[List[float], List[float]]:
+    """DFT via numpy for result checking."""
+    spectrum = np.fft.fft(np.asarray(real) + 1j * np.asarray(imag))
+    return [float(x) for x in spectrum.real], [float(x) for x in spectrum.imag]
+
+
+def _bit_reverse(index: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (index & 1)
+        index >>= 1
+    return result
+
+
+def build(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace an *n*-point FFT (n must be a power of two)."""
+    if n & (n - 1) or n < 2:
+        raise ValueError(f"FFT size must be a power of two >= 2, got {n}")
+    bits = n.bit_length() - 1
+    real_data = floats(seed, n)
+    imag_data = floats(seed + 1, n)
+
+    t = Tracer("fft")
+    re_in = t.array("re", real_data)
+    im_in = t.array("im", imag_data)
+    # Bit-reversal permutation (pure wiring: no traced ops).
+    re: List[Value] = [re_in.read(_bit_reverse(i, bits)) for i in range(n)]
+    im: List[Value] = [im_in.read(_bit_reverse(i, bits)) for i in range(n)]
+
+    size = 2
+    while size <= n:
+        half = size // 2
+        for start in range(0, n, size):
+            for k in range(half):
+                w = cmath.exp(-2j * math.pi * k / size)
+                wr, wi = t.const(w.real), t.const(w.imag)
+                a, b = start + k, start + k + half
+                # (tr + i*ti) = w * x[b]
+                tr = wr * re[b] - wi * im[b]
+                ti = wr * im[b] + wi * re[b]
+                re[a], re[b] = re[a] + tr, re[a] - tr
+                im[a], im[b] = im[a] + ti, im[a] - ti
+        size *= 2
+
+    for i in range(n):
+        t.output(re[i], f"re[{i}]")
+        t.output(im[i], f"im[{i}]")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return floats(seed, n), floats(seed + 1, n)

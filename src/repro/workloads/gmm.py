@@ -1,0 +1,50 @@
+"""GMM — general matrix-matrix multiplication (MachSuite ``gemm``).
+
+``C = A @ B`` over square matrices, with each dot product accumulated as a
+balanced tree so the DFG exposes the kernel's full parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_N = 8
+_SEED = 1101
+
+
+def reference(a: List[float], b: List[float], n: int) -> List[float]:
+    """Row-major ``C = A @ B`` via numpy."""
+    result = np.asarray(a).reshape(n, n) @ np.asarray(b).reshape(n, n)
+    return [float(x) for x in result.ravel()]
+
+
+def _tree_sum(terms: List[Value]) -> Value:
+    while len(terms) > 1:
+        nxt = [terms[i] + terms[i + 1] for i in range(0, len(terms) - 1, 2)]
+        if len(terms) % 2:
+            nxt.append(terms[-1])
+        terms = nxt
+    return terms[0]
+
+
+def build(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace an ``n x n`` GEMM."""
+    a_data = floats(seed, n * n)
+    b_data = floats(seed + 1, n * n)
+    t = Tracer("gmm")
+    a = t.array("A", a_data)
+    b = t.array("B", b_data)
+    for i in range(n):
+        for j in range(n):
+            terms = [a.read(i * n + k) * b.read(k * n + j) for k in range(n)]
+            t.output(_tree_sum(terms), f"C[{i},{j}]")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return floats(seed, n * n), floats(seed + 1, n * n), n

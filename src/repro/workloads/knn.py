@@ -1,0 +1,77 @@
+"""KNN — k-nearest-neighbours distance kernel (MachSuite/CortexSuite style).
+
+Squared Euclidean distances from one query to a point set, followed by a
+traced selection network extracting the k smallest distances.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_POINTS = 32
+DEFAULT_DIMS = 4
+DEFAULT_K = 4
+_SEED = 501
+
+
+def reference(
+    points: List[List[float]], query: List[float], k: int
+) -> List[float]:
+    """The k smallest squared distances, ascending."""
+    distances = [
+        sum((p - q) ** 2 for p, q in zip(point, query)) for point in points
+    ]
+    return sorted(distances)[:k]
+
+
+def build(
+    n_points: int = DEFAULT_POINTS,
+    dims: int = DEFAULT_DIMS,
+    k: int = DEFAULT_K,
+    seed: int = _SEED,
+) -> TracedKernel:
+    """Trace distance computation plus k-minimum selection."""
+    point_data = [floats(seed + i, dims) for i in range(n_points)]
+    query_data = floats(seed + n_points, dims)
+
+    t = Tracer("knn")
+    query = t.array("query", query_data)
+    distances: List[Value] = []
+    for index, coords in enumerate(point_data):
+        point = t.array(f"p{index}", coords)
+        acc = None
+        for d in range(dims):
+            diff = point.read(d) - query.read(d)
+            term = diff * diff
+            acc = term if acc is None else acc + term
+        distances.append(acc)
+
+    # Selection: k passes of traced minimum extraction.  After each pass the
+    # winner is replaced by +inf so the next pass finds the runner-up.
+    big = t.const(1e30)
+    working = list(distances)
+    for rank in range(k):
+        best = working[0]
+        best_index = 0
+        for i in range(1, len(working)):
+            smaller = working[i] < best
+            best = t.select(smaller, working[i], best)
+            if smaller.concrete:
+                best_index = i
+        t.output(best, f"nn[{rank}]")
+        working[best_index] = big
+    return t.kernel()
+
+
+def build_inputs(
+    n_points: int = DEFAULT_POINTS,
+    dims: int = DEFAULT_DIMS,
+    k: int = DEFAULT_K,
+    seed: int = _SEED,
+):
+    points = [floats(seed + i, dims) for i in range(n_points)]
+    query = floats(seed + n_points, dims)
+    return points, query, k

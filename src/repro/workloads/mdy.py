@@ -1,0 +1,100 @@
+"""MDY — molecular dynamics Lennard-Jones force kernel (SHOC ``md``).
+
+Per-particle force accumulation over a fixed neighbour list:
+``F += (48/r^14 - 24/r^8) * d`` per axis (unit-parameter LJ form).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import positive_floats, rng
+
+DEFAULT_PARTICLES = 16
+DEFAULT_NEIGHBOURS = 6
+_SEED = 401
+
+
+def _positions(n: int, seed: int) -> List[Tuple[float, float, float]]:
+    xs = positive_floats(seed, n, 0.5, 4.0)
+    ys = positive_floats(seed + 1, n, 0.5, 4.0)
+    zs = positive_floats(seed + 2, n, 0.5, 4.0)
+    return list(zip(xs, ys, zs))
+
+
+def _neighbour_list(n: int, k: int, seed: int) -> List[List[int]]:
+    generator = rng(seed + 3)
+    neighbours = []
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        picks = generator.choice(others, size=min(k, len(others)), replace=False)
+        neighbours.append(sorted(int(j) for j in picks))
+    return neighbours
+
+
+def reference(
+    positions: List[Tuple[float, float, float]], neighbours: List[List[int]]
+) -> List[Tuple[float, float, float]]:
+    """Plain-Python LJ force accumulation."""
+    forces = []
+    for i, (xi, yi, zi) in enumerate(positions):
+        fx = fy = fz = 0.0
+        for j in neighbours[i]:
+            xj, yj, zj = positions[j]
+            dx, dy, dz = xi - xj, yi - yj, zi - zj
+            r2 = dx * dx + dy * dy + dz * dz
+            inv_r2 = 1.0 / r2
+            inv_r6 = inv_r2 * inv_r2 * inv_r2
+            scale = (48.0 * inv_r6 - 24.0) * inv_r6 * inv_r2
+            fx += scale * dx
+            fy += scale * dy
+            fz += scale * dz
+        forces.append((fx, fy, fz))
+    return forces
+
+
+def build(
+    n_particles: int = DEFAULT_PARTICLES,
+    n_neighbours: int = DEFAULT_NEIGHBOURS,
+    seed: int = _SEED,
+) -> TracedKernel:
+    """Trace the LJ force kernel over the deterministic particle system."""
+    positions = _positions(n_particles, seed)
+    neighbours = _neighbour_list(n_particles, n_neighbours, seed)
+
+    t = Tracer("mdy")
+    x = t.array("x", [p[0] for p in positions])
+    y = t.array("y", [p[1] for p in positions])
+    z = t.array("z", [p[2] for p in positions])
+    c48 = t.const(48.0)
+    c24 = t.const(24.0)
+    one = t.const(1.0)
+    for i in range(n_particles):
+        fx = fy = fz = None
+        for j in neighbours[i]:
+            dx = x.read(i) - x.read(j)
+            dy = y.read(i) - y.read(j)
+            dz = z.read(i) - z.read(j)
+            r2 = dx * dx + dy * dy + dz * dz
+            inv_r2 = one / r2
+            inv_r6 = inv_r2 * inv_r2 * inv_r2
+            scale = (c48 * inv_r6 - c24) * inv_r6 * inv_r2
+            tx, ty, tz = scale * dx, scale * dy, scale * dz
+            fx = tx if fx is None else fx + tx
+            fy = ty if fy is None else fy + ty
+            fz = tz if fz is None else fz + tz
+        t.output(fx, f"fx[{i}]")
+        t.output(fy, f"fy[{i}]")
+        t.output(fz, f"fz[{i}]")
+    return t.kernel()
+
+
+def build_inputs(
+    n_particles: int = DEFAULT_PARTICLES,
+    n_neighbours: int = DEFAULT_NEIGHBOURS,
+    seed: int = _SEED,
+):
+    return _positions(n_particles, seed), _neighbour_list(
+        n_particles, n_neighbours, seed
+    )

@@ -1,0 +1,68 @@
+"""NWN — Needleman-Wunsch global sequence alignment (MachSuite ``nw``).
+
+Dynamic-programming score matrix over two random nucleotide sequences; the
+three-way max recurrence and the match/mismatch scoring are fully traced.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import ints
+
+DEFAULT_LEN = 12
+MATCH = 1
+MISMATCH = -1
+GAP = -1
+_SEED = 701
+
+
+def reference(seq_a: List[int], seq_b: List[int]) -> int:
+    """Plain DP alignment score."""
+    rows, cols = len(seq_a) + 1, len(seq_b) + 1
+    score = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        score[i][0] = i * GAP
+    for j in range(cols):
+        score[0][j] = j * GAP
+    for i in range(1, rows):
+        for j in range(1, cols):
+            sub = MATCH if seq_a[i - 1] == seq_b[j - 1] else MISMATCH
+            score[i][j] = max(
+                score[i - 1][j - 1] + sub,
+                score[i - 1][j] + GAP,
+                score[i][j - 1] + GAP,
+            )
+    return score[rows - 1][cols - 1]
+
+
+def build(length: int = DEFAULT_LEN, seed: int = _SEED) -> TracedKernel:
+    """Trace the alignment of two *length*-long sequences."""
+    seq_a = ints(seed, length, 0, 3)
+    seq_b = ints(seed + 1, length, 0, 3)
+    t = Tracer("nwn")
+    a = t.array("a", seq_a)
+    b = t.array("b", seq_b)
+    match = t.const(MATCH)
+    mismatch = t.const(MISMATCH)
+    gap = t.const(GAP)
+
+    rows, cols = length + 1, length + 1
+    score = [[t.const(i * GAP) if j == 0 else None for j in range(cols)] for i in range(rows)]
+    for j in range(cols):
+        score[0][j] = t.const(j * GAP)
+    for i in range(1, rows):
+        for j in range(1, cols):
+            is_match = a.read(i - 1).eq(b.read(j - 1))
+            sub = t.select(is_match, match, mismatch)
+            diagonal = score[i - 1][j - 1] + sub
+            up = score[i - 1][j] + gap
+            left = score[i][j - 1] + gap
+            score[i][j] = t.maximum(diagonal, t.maximum(up, left))
+    t.output(score[rows - 1][cols - 1], "score")
+    return t.kernel()
+
+
+def build_inputs(length: int = DEFAULT_LEN, seed: int = _SEED):
+    return ints(seed, length, 0, 3), ints(seed + 1, length, 0, 3)

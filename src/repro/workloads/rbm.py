@@ -1,0 +1,78 @@
+"""RBM — restricted Boltzmann machine hidden-layer inference (CortexSuite).
+
+One visible-to-hidden pass: ``h = sigmoid(W @ v + b)``, the dense
+matrix-vector + activation core the paper's machine-learning kernel
+exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_VISIBLE = 16
+DEFAULT_HIDDEN = 8
+_SEED = 301
+
+
+def reference(
+    weights: List[float], bias: List[float], visible: List[float], n_hidden: int
+) -> List[float]:
+    """Plain-Python forward pass."""
+    n_visible = len(visible)
+    hidden = []
+    for h in range(n_hidden):
+        acc = bias[h]
+        for v in range(n_visible):
+            acc += weights[h * n_visible + v] * visible[v]
+        hidden.append(1.0 / (1.0 + math.exp(-acc)))
+    return hidden
+
+
+def _tree_sum(terms: List[Value]) -> Value:
+    while len(terms) > 1:
+        nxt = [terms[i] + terms[i + 1] for i in range(0, len(terms) - 1, 2)]
+        if len(terms) % 2:
+            nxt.append(terms[-1])
+        terms = nxt
+    return terms[0]
+
+
+def build(
+    n_visible: int = DEFAULT_VISIBLE,
+    n_hidden: int = DEFAULT_HIDDEN,
+    seed: int = _SEED,
+) -> TracedKernel:
+    """Trace one hidden-layer inference pass."""
+    weight_data = floats(seed, n_hidden * n_visible)
+    bias_data = floats(seed + 1, n_hidden)
+    visible_data = floats(seed + 2, n_visible)
+
+    t = Tracer("rbm")
+    weights = t.array("W", weight_data)
+    bias = t.array("b", bias_data)
+    visible = t.array("v", visible_data)
+    for h in range(n_hidden):
+        terms = [
+            weights.read(h * n_visible + v) * visible.read(v)
+            for v in range(n_visible)
+        ]
+        pre_activation = _tree_sum(terms) + bias.read(h)
+        t.output(t.sigmoid(pre_activation), f"h[{h}]")
+    return t.kernel()
+
+
+def build_inputs(
+    n_visible: int = DEFAULT_VISIBLE,
+    n_hidden: int = DEFAULT_HIDDEN,
+    seed: int = _SEED,
+):
+    return (
+        floats(seed, n_hidden * n_visible),
+        floats(seed + 1, n_hidden),
+        floats(seed + 2, n_visible),
+        n_hidden,
+    )

@@ -1,0 +1,41 @@
+"""RED — parallel reduction microbenchmark (SHOC): tree sum of a vector.
+
+Expressed as a balanced binary reduction tree (the natural spatial mapping
+an accelerator uses), so the DFG exposes ``n/2`` parallelism at the first
+stage and ``log2(n)`` depth.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_N = 64
+_SEED = 1701
+
+
+def reference(data: List[float]) -> float:
+    return float(sum(data))
+
+
+def build(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace a balanced tree reduction over *n* elements."""
+    data = floats(seed, n)
+    t = Tracer("red")
+    arr = t.array("x", data)
+    level: List[Value] = [arr.read(i) for i in range(n)]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(level[i] + level[i + 1])
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    t.output(level[0], "sum")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return (floats(seed, n),)

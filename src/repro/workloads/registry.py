@@ -1,0 +1,69 @@
+"""Registry of the Table IV benchmark kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.accel.trace import TracedKernel
+from repro.errors import DatasetError
+from repro.workloads import (
+    aes, bfs, fft, gmm, knn, mdy, nwn, rbm, red, sad, smv, srt, ssp, s2d, s3d, trd,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Table IV row: name, domain, and the traced-kernel builder."""
+
+    abbrev: str
+    name: str
+    domain: str
+    builder: Callable[..., TracedKernel]
+
+    def build(self, **kwargs) -> TracedKernel:
+        """Trace the kernel with its default (or overridden) parameters."""
+        return self.builder(**kwargs)
+
+
+#: Table IV, in the paper's row order.
+WORKLOADS: Tuple[Workload, ...] = (
+    Workload("AES", "Advanced Encryption Standard", "Cryptography", aes.build),
+    Workload("BFS", "Breadth-First Search", "Graph Processing", bfs.build),
+    Workload("FFT", "Fast Fourier Transform", "Signal Processing", fft.build),
+    Workload("GMM", "General Matrix Multiplication", "Linear Algebra", gmm.build),
+    Workload("MDY", "Molecular Dynamics", "Molecular Dynamics", mdy.build),
+    Workload("KNN", "K-Nearest Neighbors", "Data Mining", knn.build),
+    Workload("NWN", "Needleman-Wunsch", "Bioinformatics", nwn.build),
+    Workload("RBM", "Restricted Boltzmann machine", "Machine Learning", rbm.build),
+    Workload("RED", "Reduction", "Microbenchmarking", red.build),
+    Workload("SAD", "Sum of Absolute Differences", "Video Processing", sad.build),
+    Workload("SRT", "Merge Sort", "Algorithms", srt.build),
+    Workload("SMV", "Sparse Matrix-Vector Multiply", "Linear Algebra", smv.build),
+    Workload("SSP", "Single Source, Shortest Path", "Graph Processing", ssp.build),
+    Workload("S2D", "2D Stencil", "Image Processing", s2d.build),
+    Workload("S3D", "3D Stencil", "Image Processing", s3d.build),
+    Workload("TRD", "Triad", "Microbenchmarking", trd.build),
+)
+
+_BY_ABBREV: Dict[str, Workload] = {w.abbrev: w for w in WORKLOADS}
+
+
+def get_workload(abbrev: str) -> Workload:
+    """Look up a Table IV workload by abbreviation (case-insensitive)."""
+    try:
+        return _BY_ABBREV[abbrev.upper()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown workload {abbrev!r}; known: {sorted(_BY_ABBREV)}"
+        ) from None
+
+
+def build_kernel(abbrev: str, **kwargs) -> TracedKernel:
+    """Trace one workload by abbreviation."""
+    return get_workload(abbrev).build(**kwargs)
+
+
+def build_all_kernels() -> List[TracedKernel]:
+    """Trace the full Table IV suite (default parameters)."""
+    return [workload.build() for workload in WORKLOADS]

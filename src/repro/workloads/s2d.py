@@ -1,0 +1,51 @@
+"""S2D — 9-point 2D stencil (MachSuite ``stencil2d``).
+
+Weighted 3x3 convolution over the interior of a square grid.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import floats
+
+DEFAULT_N = 10
+#: 3x3 filter coefficients (row-major), a mild sharpening kernel.
+COEFFS = (0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625)
+_SEED = 1401
+
+
+def reference(grid: List[float], n: int) -> List[float]:
+    """Interior (n-2)x(n-2) filtered values, row-major."""
+    g = np.asarray(grid).reshape(n, n)
+    k = np.asarray(COEFFS).reshape(3, 3)
+    out = []
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            out.append(float(np.sum(g[i - 1 : i + 2, j - 1 : j + 2] * k)))
+    return out
+
+
+def build(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace the stencil over an ``n x n`` grid."""
+    grid_data = floats(seed, n * n)
+    t = Tracer("s2d")
+    grid = t.array("grid", grid_data)
+    coeffs = [t.const(c) for c in COEFFS]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            acc = None
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    k = (di + 1) * 3 + (dj + 1)
+                    term = coeffs[k] * grid.read((i + di) * n + (j + dj))
+                    acc = term if acc is None else acc + term
+            t.output(acc, f"out[{i},{j}]")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return floats(seed, n * n), n

@@ -1,0 +1,61 @@
+"""S3D — 7-point 3D stencil (MachSuite ``stencil3d``; paper Figs 12-13).
+
+``out = C0 * center + C1 * sum(6 face neighbours)`` over the interior of a
+cubic lattice — the kernel the paper uses for its Fig 13 sweep case study.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import floats
+
+DEFAULT_N = 6
+C0 = 0.5
+C1 = 0.0833
+_SEED = 1501
+
+
+def reference(grid: List[float], n: int) -> List[float]:
+    """Interior (n-2)^3 stencil values, x-major."""
+    g = np.asarray(grid).reshape(n, n, n)
+    out = []
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            for k in range(1, n - 1):
+                neighbours = (
+                    g[i - 1, j, k] + g[i + 1, j, k]
+                    + g[i, j - 1, k] + g[i, j + 1, k]
+                    + g[i, j, k - 1] + g[i, j, k + 1]
+                )
+                out.append(float(C0 * g[i, j, k] + C1 * neighbours))
+    return out
+
+
+def build(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace the stencil over an ``n^3`` lattice."""
+    grid_data = floats(seed, n**3)
+    t = Tracer("s3d")
+    grid = t.array("grid", grid_data)
+    c0 = t.const(C0)
+    c1 = t.const(C1)
+
+    def at(i: int, j: int, k: int):
+        return grid.read((i * n + j) * n + k)
+
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            for k in range(1, n - 1):
+                left_right = at(i - 1, j, k) + at(i + 1, j, k)
+                up_down = at(i, j - 1, k) + at(i, j + 1, k)
+                front_back = at(i, j, k - 1) + at(i, j, k + 1)
+                neighbours = left_right + (up_down + front_back)
+                t.output(c0 * at(i, j, k) + c1 * neighbours, f"out[{i},{j},{k}]")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return floats(seed, n**3), n

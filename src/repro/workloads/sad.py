@@ -1,0 +1,56 @@
+"""SAD — sum of absolute differences (PARSEC x264 motion estimation core).
+
+Compares a reference 8x8 block against a candidate block: per-pixel absolute
+difference, tree-reduced to one score.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import ints
+
+DEFAULT_BLOCK = 8
+DEFAULT_CANDIDATES = 4
+_SEED = 1201
+
+
+def reference(ref: List[int], candidates: List[List[int]]) -> List[int]:
+    """SAD score per candidate block."""
+    return [sum(abs(r - c) for r, c in zip(ref, cand)) for cand in candidates]
+
+
+def _tree_sum(terms: List[Value]) -> Value:
+    while len(terms) > 1:
+        nxt = [terms[i] + terms[i + 1] for i in range(0, len(terms) - 1, 2)]
+        if len(terms) % 2:
+            nxt.append(terms[-1])
+        terms = nxt
+    return terms[0]
+
+
+def build(
+    block: int = DEFAULT_BLOCK,
+    candidates: int = DEFAULT_CANDIDATES,
+    seed: int = _SEED,
+) -> TracedKernel:
+    """Trace SAD of *candidates* blocks against one reference block."""
+    n = block * block
+    ref_data = ints(seed, n)
+    t = Tracer("sad")
+    ref = t.array("ref", ref_data)
+    for c in range(candidates):
+        cand = t.array(f"cand{c}", ints(seed + 1 + c, n))
+        diffs = [abs(ref.read(i) - cand.read(i)) for i in range(n)]
+        t.output(_tree_sum(diffs), f"sad[{c}]")
+    return t.kernel()
+
+
+def build_inputs(
+    block: int = DEFAULT_BLOCK,
+    candidates: int = DEFAULT_CANDIDATES,
+    seed: int = _SEED,
+):
+    n = block * block
+    return ints(seed, n), [ints(seed + 1 + c, n) for c in range(candidates)]

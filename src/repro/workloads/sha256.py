@@ -1,0 +1,193 @@
+"""SHA-256 compression function — the Bitcoin mining core (paper §IV-D).
+
+A full FIPS-180-4 single-block SHA-256, written once against a
+byte-operations adapter and instantiated over plain integers (reference)
+and traced values (the accelerator kernel), like :mod:`repro.workloads.aes`.
+Bitcoin mining hashes a candidate block header twice through this function;
+the paper's "confined computation" discussion is about the limited number of
+ways this fixed dataflow can be mapped to hardware.
+
+Not part of the Table IV registry (the paper's DSE suite); used by the
+mining-accelerator extension study and its benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+
+#: FIPS-180-4 round constants.
+_K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+#: Initial hash state.
+_H0 = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+_MASK32 = 0xFFFFFFFF
+
+#: FIPS-180-4 test vector: SHA-256("abc"), already padded to one block.
+ABC_BLOCK_WORDS = [
+    0x61626380, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x18,
+]
+ABC_DIGEST = [
+    0xBA7816BF, 0x8F01CFEA, 0x414140DE, 0x5DAE2223,
+    0xB00361A3, 0x96177A9C, 0xB410FF61, 0xF20015AD,
+]
+
+
+class _IntOps:
+    """32-bit word operations over plain integers."""
+
+    def add(self, *values):
+        total = 0
+        for value in values:
+            total += value
+        return total & _MASK32
+
+    def xor(self, a, b):
+        return a ^ b
+
+    def land(self, a, b):
+        return a & b
+
+    def lnot(self, a):
+        return a ^ _MASK32
+
+    def rotr(self, a, n):
+        return ((a >> n) | (a << (32 - n))) & _MASK32
+
+    def shr(self, a, n):
+        return a >> n
+
+
+class _TracedOps:
+    """32-bit word operations over traced values."""
+
+    def __init__(self, tracer: Tracer):
+        self.t = tracer
+        self._mask = tracer.const(_MASK32)
+
+    def add(self, *values):
+        total = self.t.lift(values[0])
+        for value in values[1:]:
+            total = total + value
+        return total & self._mask
+
+    def xor(self, a, b):
+        return self.t.lift(a) ^ b
+
+    def land(self, a, b):
+        return self.t.lift(a) & b
+
+    def lnot(self, a):
+        return self.t.lift(a) ^ self._mask
+
+    def rotr(self, a, n):
+        a = self.t.lift(a)
+        left = a >> self.t.const(n)
+        right = (a << self.t.const(32 - n)) & self._mask
+        return left | right
+
+    def shr(self, a, n):
+        return self.t.lift(a) >> self.t.const(n)
+
+
+def _compress(block_words: Sequence, ops, rounds: int = 64) -> List:
+    """One SHA-256 compression over a 16-word block (generic over ops).
+
+    *rounds* < 64 yields a reduced-round variant (cryptographically broken
+    but structurally identical), used to keep DSE traces small.
+    """
+    w = list(block_words)
+    for i in range(16, rounds):
+        s0 = ops.xor(
+            ops.xor(ops.rotr(w[i - 15], 7), ops.rotr(w[i - 15], 18)),
+            ops.shr(w[i - 15], 3),
+        )
+        s1 = ops.xor(
+            ops.xor(ops.rotr(w[i - 2], 17), ops.rotr(w[i - 2], 19)),
+            ops.shr(w[i - 2], 10),
+        )
+        w.append(ops.add(w[i - 16], s0, w[i - 7], s1))
+
+    a, b, c, d, e, f, g, h = _H0
+    state = [a, b, c, d, e, f, g, h]
+    a, b, c, d, e, f, g, h = state
+    for i in range(rounds):
+        big_s1 = ops.xor(
+            ops.xor(ops.rotr(e, 6), ops.rotr(e, 11)), ops.rotr(e, 25)
+        )
+        choose = ops.xor(ops.land(e, f), ops.land(ops.lnot(e), g))
+        temp1 = ops.add(h, big_s1, choose, _K[i], w[i])
+        big_s0 = ops.xor(
+            ops.xor(ops.rotr(a, 2), ops.rotr(a, 13)), ops.rotr(a, 22)
+        )
+        majority = ops.xor(
+            ops.xor(ops.land(a, b), ops.land(a, c)), ops.land(b, c)
+        )
+        temp2 = ops.add(big_s0, majority)
+        h, g, f, e = g, f, e, ops.add(d, temp1)
+        d, c, b, a = c, b, a, ops.add(temp1, temp2)
+
+    return [
+        ops.add(x, y)
+        for x, y in zip(_H0, [a, b, c, d, e, f, g, h])
+    ]
+
+
+def reference(
+    block_words: Sequence[int] = ABC_BLOCK_WORDS, rounds: int = 64
+) -> List[int]:
+    """Reference compression over plain integers."""
+    return _compress(list(block_words), _IntOps(), rounds)
+
+
+def build(
+    block_words: Sequence[int] = ABC_BLOCK_WORDS, rounds: int = 64
+) -> TracedKernel:
+    """Trace one SHA-256 compression (optionally reduced-round)."""
+    if len(block_words) != 16:
+        raise ValueError("SHA-256 block must be 16 x 32-bit words")
+    if not (16 <= rounds <= 64):
+        raise ValueError("rounds must lie in [16, 64]")
+    t = Tracer("sha256")
+    arr = t.array("block", list(block_words))
+    words: List[Value] = [arr.read(i) for i in range(16)]
+    digest = _compress(words, _TracedOps(t), rounds)
+    for i, word in enumerate(digest):
+        t.output(word, f"h[{i}]")
+    return t.kernel()
+
+
+def double_sha_header(nonce: int = 0, rounds: int = 64) -> TracedKernel:
+    """Trace the Bitcoin mining inner loop: SHA-256 over a header block
+    whose last word is the nonce (single compression per stage, the
+    per-nonce marginal work of a miner with precomputed midstate)."""
+    block = list(ABC_BLOCK_WORDS)
+    block[3] = nonce & _MASK32
+    t = Tracer("btc-double-sha")
+    arr = t.array("header", block)
+    words = [arr.read(i) for i in range(16)]
+    ops = _TracedOps(t)
+    first = _compress(words, ops, rounds)
+    # Second compression: digest (8 words) + fixed padding words.
+    padded = first + [t.const(x) for x in (0x80000000, 0, 0, 0, 0, 0, 0, 0x100)]
+    second = _compress(padded, ops, rounds)
+    for i, word in enumerate(second):
+        t.output(word, f"hash[{i}]")
+    return t.kernel()

@@ -1,0 +1,79 @@
+"""SMV — sparse matrix-vector multiply in CSR form (MachSuite ``spmv``).
+
+Column indices are traced values feeding ``gather`` accesses, so the DFG
+records the data-dependent addressing that makes SpMV memory-irregular.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import rng
+
+DEFAULT_N = 16
+DEFAULT_DENSITY = 0.2
+_SEED = 1301
+
+
+def make_csr(
+    n: int = DEFAULT_N, density: float = DEFAULT_DENSITY, seed: int = _SEED
+) -> Tuple[List[float], List[int], List[int], List[float]]:
+    """Deterministic CSR matrix (values, col_idx, row_ptr) and dense vector.
+
+    Every row gets at least one entry so no output is trivially zero.
+    """
+    generator = rng(seed)
+    values: List[float] = []
+    col_idx: List[int] = []
+    row_ptr: List[int] = [0]
+    for _ in range(n):
+        cols = sorted(
+            set(int(c) for c in generator.integers(0, n, size=max(1, int(n * density))))
+        )
+        for c in cols:
+            values.append(float(generator.uniform(-1.0, 1.0)))
+            col_idx.append(c)
+        row_ptr.append(len(values))
+    x = [float(v) for v in generator.uniform(-1.0, 1.0, size=n)]
+    return values, col_idx, row_ptr, x
+
+
+def reference(
+    values: List[float], col_idx: List[int], row_ptr: List[int], x: List[float]
+) -> List[float]:
+    """Dense re-expansion check of ``y = A @ x``."""
+    n = len(row_ptr) - 1
+    y = []
+    for row in range(n):
+        acc = 0.0
+        for k in range(row_ptr[row], row_ptr[row + 1]):
+            acc += values[k] * x[col_idx[k]]
+        y.append(acc)
+    return y
+
+
+def build(
+    n: int = DEFAULT_N, density: float = DEFAULT_DENSITY, seed: int = _SEED
+) -> TracedKernel:
+    """Trace ``y = A @ x`` over the deterministic CSR matrix."""
+    values, col_idx, row_ptr, x_data = make_csr(n, density, seed)
+    t = Tracer("smv")
+    vals = t.array("vals", values)
+    cols = t.array("cols", col_idx)
+    x = t.array("x", x_data)
+    for row in range(n):
+        acc: Value = t.const(0.0)
+        for k in range(row_ptr[row], row_ptr[row + 1]):
+            xk = x.gather(cols.read(k))
+            acc = acc + vals.read(k) * xk
+        t.output(acc, f"y[{row}]")
+    return t.kernel()
+
+
+def build_inputs(
+    n: int = DEFAULT_N, density: float = DEFAULT_DENSITY, seed: int = _SEED
+):
+    return make_csr(n, density, seed)

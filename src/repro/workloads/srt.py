@@ -1,0 +1,59 @@
+"""SRT — merge sort (MachSuite ``sort``).
+
+Bottom-up merge sort over a vector of traced values.  Comparisons are traced
+(and drive the concrete merge), so the DFG is the dependence structure of
+one dynamic sorting execution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer, Value
+from repro.workloads._data import floats
+
+DEFAULT_N = 32
+_SEED = 601
+
+
+def reference(data: List[float]) -> List[float]:
+    return sorted(data)
+
+
+def _merge(t: Tracer, left: List[Value], right: List[Value]) -> List[Value]:
+    merged: List[Value] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        take_left = left[i] <= right[j]
+        # The select records both candidates as data dependences; the
+        # concrete branch advances the correct cursor.
+        merged.append(t.select(take_left, left[i], right[j]))
+        if take_left.concrete:
+            i += 1
+        else:
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged
+
+
+def build(n: int = DEFAULT_N, seed: int = _SEED) -> TracedKernel:
+    """Trace a bottom-up merge sort of *n* values."""
+    data = floats(seed, n)
+    t = Tracer("srt")
+    arr = t.array("x", data)
+    runs: List[List[Value]] = [[arr.read(i)] for i in range(n)]
+    while len(runs) > 1:
+        nxt = []
+        for i in range(0, len(runs) - 1, 2):
+            nxt.append(_merge(t, runs[i], runs[i + 1]))
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        runs = nxt
+    for index, value in enumerate(runs[0]):
+        t.output(value, f"sorted[{index}]")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    return (floats(seed, n),)

@@ -1,0 +1,59 @@
+"""SSP — single-source shortest paths (paper-internal benchmark).
+
+Bellman-Ford relaxation over a weighted random digraph: every edge
+relaxation (add + min) is traced for all ``|V| - 1`` rounds, matching the
+hardware-friendly fixed-iteration formulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import random_graph
+
+DEFAULT_VERTICES = 12
+DEFAULT_EDGES = 28
+_INFINITY = 1e9
+_SEED = 801
+
+
+def reference(edges: List[Tuple[int, int, float]], n_vertices: int) -> List[float]:
+    """Plain Bellman-Ford distances from vertex 0."""
+    dist = [_INFINITY] * n_vertices
+    dist[0] = 0.0
+    for _ in range(n_vertices - 1):
+        for u, v, w in edges:
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+    return dist
+
+
+def build(
+    n_vertices: int = DEFAULT_VERTICES,
+    n_edges: int = DEFAULT_EDGES,
+    seed: int = _SEED,
+) -> TracedKernel:
+    """Trace Bellman-Ford from vertex 0."""
+    edges = random_graph(seed, n_vertices, n_edges)
+    t = Tracer("ssp")
+    dist = t.array("dist", length=n_vertices)
+    dist.write(0, t.const(0.0))
+    for v in range(1, n_vertices):
+        dist.write(v, t.const(_INFINITY))
+    weights = t.array("w", [w for _, _, w in edges])
+    for _ in range(n_vertices - 1):
+        for index, (u, v, _) in enumerate(edges):
+            candidate = dist.read(u) + weights.read(index)
+            dist.write(v, t.minimum(dist.read(v), candidate))
+    for v in range(n_vertices):
+        t.output(dist.read(v), f"dist[{v}]")
+    return t.kernel()
+
+
+def build_inputs(
+    n_vertices: int = DEFAULT_VERTICES,
+    n_edges: int = DEFAULT_EDGES,
+    seed: int = _SEED,
+):
+    return random_graph(seed, n_vertices, n_edges), n_vertices

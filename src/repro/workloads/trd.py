@@ -1,0 +1,38 @@
+"""TRD — STREAM Triad microbenchmark (SHOC): ``a[i] = b[i] + s * c[i]``."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accel.trace import TracedKernel, Tracer
+from repro.workloads._data import floats
+
+DEFAULT_N = 64
+DEFAULT_SCALAR = 1.5
+_SEED = 1601
+
+
+def reference(b: List[float], c: List[float], scalar: float) -> List[float]:
+    """Plain-Python triad for result checking."""
+    return [bi + scalar * ci for bi, ci in zip(b, c)]
+
+
+def build(n: int = DEFAULT_N, scalar: float = DEFAULT_SCALAR, seed: int = _SEED) -> TracedKernel:
+    """Trace a triad over *n* elements."""
+    b_data = floats(seed, n)
+    c_data = floats(seed + 1, n)
+    t = Tracer("trd")
+    b = t.array("b", b_data)
+    c = t.array("c", c_data)
+    s = t.const(scalar)
+    a = t.array("a", length=n)
+    for i in range(n):
+        a.write(i, b.read(i) + s * c.read(i))
+    for i in range(n):
+        t.output(a.read(i), f"a[{i}]")
+    return t.kernel()
+
+
+def build_inputs(n: int = DEFAULT_N, seed: int = _SEED):
+    """The same inputs :func:`build` uses, for reference checking."""
+    return floats(seed, n), floats(seed + 1, n)

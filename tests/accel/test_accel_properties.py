@@ -1,0 +1,159 @@
+"""Hypothesis property tests over the accelerator model."""
+
+import math
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.design import DesignPoint
+from repro.accel.power import evaluate_design
+from repro.accel.resources import ResourceLibrary
+from repro.accel.scheduler import schedule
+from repro.accel.trace import Tracer
+from repro.cmos.gains import GainsModel
+from repro.dfg.analysis import critical_path, stage_levels
+
+LIB = ResourceLibrary()
+GAINS = GainsModel()
+
+
+# -- tracer semantics ----------------------------------------------------------
+
+_BINOPS = [
+    ("add", operator.add),
+    ("sub", operator.sub),
+    ("mul", operator.mul),
+    ("min", min),
+    ("max", max),
+]
+
+
+@st.composite
+def expression_results(draw):
+    """Build a random expression over traced and plain floats in lockstep."""
+    t = Tracer("expr")
+    n_leaves = draw(st.integers(min_value=2, max_value=8))
+    plain = [
+        draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+        for _ in range(n_leaves)
+    ]
+    traced = [t.input(f"v{i}", value) for i, value in enumerate(plain)]
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        op_name, fn = draw(st.sampled_from(_BINOPS))
+        i = draw(st.integers(min_value=0, max_value=len(plain) - 1))
+        j = draw(st.integers(min_value=0, max_value=len(plain) - 1))
+        plain.append(fn(plain[i], plain[j]))
+        if op_name in ("min", "max"):
+            traced.append(t.binary(op_name, traced[i], traced[j]))
+        else:
+            traced.append(t.binary(op_name, traced[i], traced[j]))
+    return t, plain, traced
+
+
+@given(expression_results())
+@settings(max_examples=60, deadline=None)
+def test_tracer_concrete_values_match_python(data):
+    _t, plain, traced = data
+    for expected, value in zip(plain, traced):
+        if math.isinf(expected):
+            continue  # overflow edge: comparison is meaningless
+        assert value.concrete == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+@given(expression_results())
+@settings(max_examples=40, deadline=None)
+def test_traced_expression_schedules(data):
+    t, _plain, traced = data
+    t.output(traced[-1])
+    kernel = t.kernel()
+    result = schedule(kernel.dfg, partition=4, library=LIB)
+    assert result.cycles >= 1
+    assert result.total_ops == len(kernel.dfg)
+
+
+# -- scheduler invariants ---------------------------------------------------------
+
+
+def _tree_kernel(width, depth):
+    t = Tracer("tree")
+    level = [t.input(f"x{i}", float(i)) for i in range(width)]
+    for _ in range(depth):
+        level = [
+            level[i] + level[(i + 1) % len(level)] for i in range(len(level))
+        ]
+    for value in level:
+        t.output(value)
+    return t.kernel()
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([1, 2, 4, 8, 16]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cycles_bounded_by_critical_path_and_serial_time(width, depth, partition):
+    kernel = _tree_kernel(width, depth)
+    result = schedule(kernel.dfg, partition=partition, library=LIB)
+    levels = stage_levels(kernel.dfg)
+    # Lower bound: every vertex on the critical path runs serially and the
+    # cheapest op takes one cycle.
+    assert result.cycles >= max(levels.values())
+    # Upper bound: fully serial execution at the slowest op latency.
+    slowest = 12  # divider latency, the largest in the library
+    assert result.cycles <= len(kernel.dfg) * slowest
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_unlimited_partition_is_a_fixpoint(width):
+    kernel = _tree_kernel(width, 2)
+    big = schedule(kernel.dfg, partition=1024, library=LIB)
+    bigger = schedule(kernel.dfg, partition=4096, library=LIB)
+    assert big.cycles == bigger.cycles
+
+
+# -- gains-model monotonicity -------------------------------------------------------
+
+nodes = st.sampled_from([45.0, 28.0, 16.0, 10.0, 7.0, 5.0])
+areas = st.floats(min_value=10.0, max_value=800.0)
+freqs = st.floats(min_value=200.0, max_value=3000.0)
+tdps = st.floats(min_value=5.0, max_value=800.0)
+
+
+@given(nodes, areas, freqs, tdps)
+@settings(max_examples=60, deadline=None)
+def test_capping_never_increases_throughput(node, area, freq, tdp):
+    capped = GAINS.evaluate(node, freq, area_mm2=area, tdp_w=tdp)
+    uncapped = GAINS.evaluate(node, freq, area_mm2=area)
+    assert capped.throughput <= uncapped.throughput * (1 + 1e-9)
+    assert 0 < capped.active_fraction <= 1.0
+
+
+@given(nodes, areas, freqs)
+@settings(max_examples=60, deadline=None)
+def test_throughput_monotone_in_area_uncapped(node, area, freq):
+    smaller = GAINS.evaluate(node, freq, area_mm2=area)
+    larger = GAINS.evaluate(node, freq, area_mm2=area * 1.5)
+    assert larger.throughput > smaller.throughput
+
+
+@given(nodes, areas, tdps)
+@settings(max_examples=60, deadline=None)
+def test_more_tdp_never_hurts(node, area, tdp):
+    lo = GAINS.evaluate(node, 1000.0, area_mm2=area, tdp_w=tdp)
+    hi = GAINS.evaluate(node, 1000.0, area_mm2=area, tdp_w=tdp * 2)
+    assert hi.throughput >= lo.throughput * (1 - 1e-9)
+
+
+@given(nodes, areas, freqs, tdps)
+@settings(max_examples=60, deadline=None)
+def test_power_accounting_positive_and_bounded(node, area, freq, tdp):
+    gains = GAINS.evaluate(node, freq, area_mm2=area, tdp_w=tdp)
+    uncapped = GAINS.evaluate(node, freq, area_mm2=area)
+    assert gains.power_w > 0
+    # Capping can only shed power, never add it.
+    assert gains.power_w <= uncapped.power_w * (1 + 1e-9)
+    if gains.tdp_limited:
+        assert gains.active_fraction < 1.0

@@ -1,0 +1,67 @@
+"""Tests for the design-area model."""
+
+import pytest
+
+from repro.accel.area import estimate_area, throughput_per_area
+from repro.accel.design import DesignPoint
+from repro.workloads import gmm, trd
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return gmm.build(n=4)
+
+
+class TestEstimateArea:
+    def test_breakdown_sums(self, kernel):
+        report = estimate_area(kernel, DesignPoint(node_nm=45, partition=4))
+        assert report.total_mm2 == pytest.approx(
+            report.compute_mm2 + report.memory_ports_mm2 + report.storage_mm2
+        )
+        assert report.total_mm2 > 0
+
+    def test_node_shrink_is_quadratic(self, kernel):
+        design45 = DesignPoint(node_nm=45, partition=4)
+        design5 = DesignPoint(node_nm=5, partition=4)
+        big = estimate_area(kernel, design45)
+        small = estimate_area(kernel, design5)
+        # Storage shrinks exactly with node^2 (fusion can shift compute).
+        assert small.storage_mm2 / big.storage_mm2 == pytest.approx(
+            (5 / 45) ** 2
+        )
+        assert small.total_mm2 < big.total_mm2
+
+    def test_partitioning_costs_area(self, kernel):
+        narrow = estimate_area(kernel, DesignPoint(node_nm=45, partition=1))
+        wide = estimate_area(kernel, DesignPoint(node_nm=45, partition=32))
+        assert wide.compute_mm2 > narrow.compute_mm2
+        assert wide.memory_ports_mm2 > narrow.memory_ports_mm2
+
+    def test_simplification_narrows_datapaths(self, kernel):
+        plain = estimate_area(kernel, DesignPoint(node_nm=45, partition=4,
+                                                  simplification=1))
+        narrow = estimate_area(kernel, DesignPoint(node_nm=45, partition=4,
+                                                   simplification=9))
+        assert narrow.compute_mm2 < plain.compute_mm2
+
+
+class TestThroughputPerArea:
+    def test_positive(self, kernel):
+        assert throughput_per_area(kernel, DesignPoint(node_nm=45, partition=4)) > 0
+
+    def test_new_node_wins_per_area(self, kernel):
+        # Fig 1's driver: density x speed compound into per-area gains.
+        old = throughput_per_area(kernel, DesignPoint(node_nm=45, partition=16))
+        new = throughput_per_area(kernel, DesignPoint(node_nm=5, partition=16))
+        assert new > 10 * old
+
+    def test_overpartitioning_wastes_area(self):
+        # A serial kernel gains nothing from lanes but still pays for them.
+        t_kernel = trd.build(n=8)
+        modest = throughput_per_area(
+            t_kernel, DesignPoint(node_nm=45, partition=8)
+        )
+        extreme = throughput_per_area(
+            t_kernel, DesignPoint(node_nm=45, partition=512)
+        )
+        assert extreme <= modest * 1.05

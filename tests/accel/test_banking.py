@@ -1,0 +1,80 @@
+"""Tests for banked-scratchpad scheduling (memory partitioning)."""
+
+import pytest
+
+from repro.accel.resources import OpClass, ResourceLibrary
+from repro.accel.scheduler import schedule
+from repro.accel.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return ResourceLibrary()
+
+
+def memory_heavy_kernel(n=32):
+    """n independent element reads feeding one reduction."""
+    t = Tracer("membound")
+    arr = t.array("x", [float(i) for i in range(n)])
+    values = [arr.read(i) for i in range(n)]
+    while len(values) > 1:
+        values = [
+            values[i] + values[i + 1] for i in range(0, len(values) - 1, 2)
+        ] + ([values[-1]] if len(values) % 2 else [])
+    t.output(values[0])
+    return t.kernel()
+
+
+class TestBankedMemory:
+    def test_banked_never_faster_than_pooled_at_same_ports_on_average(self, lib):
+        # Banking adds placement constraints; across a range of partition
+        # factors the banked schedule must not be systematically faster.
+        kernel = memory_heavy_kernel()
+        deltas = []
+        for p in (2, 4, 8, 16):
+            pooled = schedule(kernel.dfg, partition=p, library=lib).cycles
+            banked = schedule(
+                kernel.dfg, partition=p, library=lib, banked_memory=True
+            ).cycles
+            deltas.append(banked - pooled)
+        assert sum(deltas) >= 0
+
+    def test_banked_single_partition_equals_pooled(self, lib):
+        # One bank == one pooled port.
+        kernel = memory_heavy_kernel(8)
+        pooled = schedule(kernel.dfg, partition=1, library=lib).cycles
+        banked = schedule(
+            kernel.dfg, partition=1, library=lib, banked_memory=True
+        ).cycles
+        assert banked == pooled
+
+    def test_bank_conflicts_slow_down_skewed_placement(self, lib):
+        # All loads share a label -> all map to one bank: worst case.
+        t = Tracer("skew")
+        values = [t.input("same-label", float(i)) for i in range(16)]
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        t.output(total)
+        kernel = t.kernel()
+        pooled = schedule(kernel.dfg, partition=16, library=lib).cycles
+        banked = schedule(
+            kernel.dfg, partition=16, library=lib, banked_memory=True
+        ).cycles
+        assert banked > pooled
+
+    def test_provisioned_banks_bounded_by_partition(self, lib):
+        kernel = memory_heavy_kernel(32)
+        result = schedule(
+            kernel.dfg, partition=8, library=lib, banked_memory=True
+        )
+        assert 1 <= result.provisioned[OpClass.MEMORY] <= 8
+
+    def test_banking_preserves_op_accounting(self, lib):
+        kernel = memory_heavy_kernel(16)
+        pooled = schedule(kernel.dfg, partition=4, library=lib)
+        banked = schedule(
+            kernel.dfg, partition=4, library=lib, banked_memory=True
+        )
+        assert pooled.op_counts == banked.op_counts
+        assert pooled.total_ops == banked.total_ops

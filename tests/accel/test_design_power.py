@@ -1,0 +1,144 @@
+"""Unit tests for design points and the power model."""
+
+import pytest
+
+from repro.accel.design import (
+    MAX_PARTITION_FACTOR,
+    DesignPoint,
+    baseline_design,
+)
+from repro.accel.power import evaluate_design
+from repro.accel.resources import ResourceLibrary
+from repro.errors import InvalidDesignPointError
+from repro.workloads import trd
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return trd.build(n=16)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return ResourceLibrary()
+
+
+class TestDesignPoint:
+    def test_defaults(self):
+        d = DesignPoint(node_nm=45)
+        assert d.partition == 1 and d.simplification == 1 and d.heterogeneity
+
+    def test_node_parsed(self):
+        assert DesignPoint(node_nm="28nm").node_nm == 28.0
+
+    def test_partition_must_be_power_of_two(self):
+        with pytest.raises(InvalidDesignPointError):
+            DesignPoint(node_nm=45, partition=3)
+
+    def test_partition_range(self):
+        DesignPoint(node_nm=45, partition=MAX_PARTITION_FACTOR)
+        with pytest.raises(InvalidDesignPointError):
+            DesignPoint(node_nm=45, partition=MAX_PARTITION_FACTOR * 2)
+
+    def test_simplification_range(self):
+        with pytest.raises(InvalidDesignPointError):
+            DesignPoint(node_nm=45, simplification=14)
+        with pytest.raises(InvalidDesignPointError):
+            DesignPoint(node_nm=45, simplification=0)
+
+    def test_with_helpers(self):
+        d = DesignPoint(node_nm=45, partition=4, simplification=3)
+        assert d.with_node(5).node_nm == 5.0
+        assert d.with_partition(8).partition == 8
+        assert d.with_simplification(1).simplification == 1
+        assert not d.without_heterogeneity().heterogeneity
+
+    def test_baseline_design(self):
+        base = baseline_design()
+        assert base.partition == 1
+        assert base.simplification == 1
+        assert not base.heterogeneity
+
+    def test_describe(self):
+        d = DesignPoint(node_nm=7, partition=16, simplification=5)
+        assert d.describe() == "7nm/P16/S5+hetero"
+
+
+class TestPowerReport:
+    def test_energy_identity(self, kernel, lib):
+        report = evaluate_design(kernel, DesignPoint(node_nm=45), lib)
+        assert report.energy_nj == pytest.approx(
+            report.dynamic_energy_nj + report.leakage_energy_nj
+        )
+
+    def test_power_is_energy_over_time(self, kernel, lib):
+        report = evaluate_design(kernel, DesignPoint(node_nm=45), lib)
+        assert report.power_w == pytest.approx(
+            report.energy_nj * 1e-9 / report.runtime_s
+        )
+
+    def test_runtime_from_cycles_and_clock(self, kernel, lib):
+        report = evaluate_design(kernel, DesignPoint(node_nm=45), lib)
+        assert report.runtime_s == pytest.approx(
+            report.cycles / (report.clock_mhz * 1e6)
+        )
+
+    def test_throughput_and_efficiency(self, kernel, lib):
+        report = evaluate_design(kernel, DesignPoint(node_nm=45), lib)
+        assert report.throughput_ops == pytest.approx(
+            report.total_ops / report.runtime_s
+        )
+        assert report.energy_efficiency == pytest.approx(
+            report.total_ops / (report.energy_nj * 1e-9)
+        )
+
+    def test_newer_node_is_faster_and_leaner(self, kernel, lib):
+        old = evaluate_design(kernel, DesignPoint(node_nm=45, partition=4), lib)
+        new = evaluate_design(kernel, DesignPoint(node_nm=5, partition=4), lib)
+        assert new.runtime_s < old.runtime_s
+        assert new.dynamic_energy_nj < old.dynamic_energy_nj
+
+    def test_partitioning_improves_runtime(self, kernel, lib):
+        p1 = evaluate_design(kernel, DesignPoint(node_nm=45, partition=1), lib)
+        p16 = evaluate_design(kernel, DesignPoint(node_nm=45, partition=16), lib)
+        assert p16.runtime_s < p1.runtime_s
+
+    def test_simplification_saves_energy_not_runtime(self, kernel, lib):
+        s1 = evaluate_design(
+            kernel, DesignPoint(node_nm=45, partition=4, simplification=1), lib
+        )
+        s8 = evaluate_design(
+            kernel, DesignPoint(node_nm=45, partition=4, simplification=8), lib
+        )
+        assert s8.dynamic_energy_nj < s1.dynamic_energy_nj
+        assert s8.runtime_s == pytest.approx(s1.runtime_s)
+
+    def test_extreme_simplification_hurts_runtime(self, kernel, lib):
+        s9 = evaluate_design(
+            kernel, DesignPoint(node_nm=45, partition=4, simplification=9), lib
+        )
+        s13 = evaluate_design(
+            kernel, DesignPoint(node_nm=45, partition=4, simplification=13), lib
+        )
+        assert s13.runtime_s > s9.runtime_s
+
+    def test_memory_accesses_charged(self, lib):
+        # Two kernels with identical DFGs but different re-read counts must
+        # differ in dynamic energy.
+        from repro.accel.trace import Tracer
+
+        def build(rereads):
+            t = Tracer("m")
+            arr = t.array("x", [1.0, 2.0])
+            for _ in range(rereads):
+                arr.read(0)
+            t.output(arr.read(0) + arr.read(1))
+            return t.kernel()
+
+        few = evaluate_design(build(0), DesignPoint(node_nm=45), lib)
+        many = evaluate_design(build(50), DesignPoint(node_nm=45), lib)
+        assert many.dynamic_energy_nj > few.dynamic_energy_nj
+
+    def test_default_library_created_when_missing(self, kernel):
+        report = evaluate_design(kernel, DesignPoint(node_nm=45))
+        assert report.cycles > 0

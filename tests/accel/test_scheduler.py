@@ -1,0 +1,168 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.accel.resources import OpClass, ResourceLibrary
+from repro.accel.scheduler import _fuse_chains, schedule
+from repro.accel.trace import Tracer
+from repro.dfg.graph import Dfg
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return ResourceLibrary()
+
+
+def wide_kernel(n=16):
+    """n independent adds: fully parallel."""
+    t = Tracer("wide")
+    arr = t.array("x", [float(i) for i in range(n)])
+    one = t.const(1.0)
+    for i in range(n):
+        t.output(arr.read(i) + one)
+    return t.kernel()
+
+
+def chain_kernel(n=16):
+    """n dependent adds: fully serial."""
+    t = Tracer("chain")
+    acc = t.input("x", 0.0)
+    one = t.const(1.0)
+    for _ in range(n):
+        acc = acc + one
+    t.output(acc)
+    return t.kernel()
+
+
+class TestResourceConstraints:
+    def test_more_units_never_slower(self, lib):
+        kernel = wide_kernel()
+        cycles = [
+            schedule(kernel.dfg, partition=p, library=lib).cycles
+            for p in (1, 2, 4, 8, 16)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+        assert cycles[0] > cycles[-1]
+
+    def test_parallel_kernel_saturates(self, lib):
+        kernel = wide_kernel()
+        at_width = schedule(kernel.dfg, partition=64, library=lib).cycles
+        beyond = schedule(kernel.dfg, partition=512, library=lib).cycles
+        assert at_width == beyond
+
+    def test_serial_chain_does_not_benefit_from_partitioning(self, lib):
+        kernel = chain_kernel()
+        narrow = schedule(kernel.dfg, partition=1, library=lib).cycles
+        wide = schedule(kernel.dfg, partition=64, library=lib).cycles
+        # Only the independent input loads can overlap; the add chain cannot.
+        assert wide >= narrow - 4
+        assert wide >= 16  # 16 dependent 1-cycle adds at minimum
+
+    def test_cycles_lower_bounded_by_critical_path(self, lib):
+        kernel = chain_kernel(8)
+        result = schedule(kernel.dfg, partition=1024, library=lib)
+        # load(2) + 8 adds + store(2) = at least 12 cycles.
+        assert result.cycles >= 12
+
+    def test_bad_partition_rejected(self, lib):
+        kernel = wide_kernel(2)
+        with pytest.raises(ValueError):
+            schedule(kernel.dfg, partition=0, library=lib)
+
+
+class TestOpAccounting:
+    def test_op_counts_cover_all_nodes(self, lib):
+        kernel = wide_kernel(8)
+        result = schedule(kernel.dfg, partition=4, library=lib)
+        assert result.total_ops == len(kernel.dfg)
+        assert result.op_counts["add"] == 8
+
+    def test_inputs_counted_as_loads(self, lib):
+        kernel = wide_kernel(8)
+        result = schedule(kernel.dfg, partition=4, library=lib)
+        # 8 array elements + 1 const.
+        assert result.op_counts["load"] == 9
+        assert result.op_counts["store"] == 8
+
+    def test_provisioned_units_capped_by_demand(self, lib):
+        kernel = wide_kernel(8)
+        result = schedule(kernel.dfg, partition=1024, library=lib)
+        assert result.provisioned[OpClass.ALU] == 8
+        assert result.provisioned[OpClass.MEMORY] == 17
+
+    def test_provisioned_units_capped_by_partition(self, lib):
+        kernel = wide_kernel(8)
+        result = schedule(kernel.dfg, partition=2, library=lib)
+        assert result.provisioned[OpClass.ALU] == 2
+
+    def test_unused_classes_not_provisioned(self, lib):
+        kernel = wide_kernel(4)
+        result = schedule(kernel.dfg, partition=2, library=lib)
+        assert OpClass.DIVIDER not in result.provisioned
+
+
+class TestFusion:
+    def test_chain_fusion_reduces_macros(self, lib):
+        kernel = chain_kernel(16)
+        plain = schedule(kernel.dfg, partition=4, library=lib, fusion_window=1)
+        fused = schedule(kernel.dfg, partition=4, library=lib, fusion_window=4)
+        assert fused.n_macros < plain.n_macros
+        assert fused.fused_away > 0
+        assert fused.cycles < plain.cycles
+
+    def test_fusion_respects_window(self):
+        g = Dfg("chain")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        c = g.add_compute("add", [b])
+        d = g.add_compute("add", [c])
+        e = g.add_compute("add", [d])
+        g.add_output(e)
+        macros = _fuse_chains(g, window=2)
+        # Chains capped at 2 members: 4 adds -> 2 macros.
+        add_macros = {macros[n] for n in (b, c, d, e)}
+        assert len(add_macros) == 2
+
+    def test_fusion_only_chains_single_consumers(self):
+        g = Dfg("fanout")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        c = g.add_compute("add", [b])
+        d = g.add_compute("add", [b])  # b has two consumers
+        g.add_output(c)
+        g.add_output(d)
+        macros = _fuse_chains(g, window=4)
+        assert macros[b] == b  # cannot fuse into either consumer
+        assert macros[c] == c and macros[d] == d
+
+    def test_window_one_is_identity(self):
+        g = Dfg("chain")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        g.add_output(b)
+        macros = _fuse_chains(g, window=1)
+        assert all(macros[n] == n for n in g.node_ids())
+
+    def test_multiplies_not_fused(self, lib):
+        t = Tracer("muls")
+        x = t.input("x", 2.0)
+        y = x * x
+        z = y * y
+        t.output(z)
+        kernel = t.kernel()
+        result = schedule(kernel.dfg, partition=4, library=lib, fusion_window=8)
+        assert result.fused_away == 0
+
+
+class TestLatencyExtra:
+    def test_deep_pipelining_increases_cycles(self, lib):
+        kernel = chain_kernel(8)
+        base = schedule(kernel.dfg, partition=4, library=lib, latency_extra=0)
+        deep = schedule(kernel.dfg, partition=4, library=lib, latency_extra=3)
+        assert deep.cycles > base.cycles
+
+    def test_all_kernels_schedule(self, lib, all_kernels):
+        for name, kernel in all_kernels.items():
+            result = schedule(kernel.dfg, partition=8, library=lib)
+            assert result.cycles > 0, name
+            assert result.total_ops == len(kernel.dfg), name

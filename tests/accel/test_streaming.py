@@ -1,0 +1,70 @@
+"""Tests for the streaming (pipelined) evaluation mode."""
+
+import pytest
+
+from repro.accel.design import DesignPoint
+from repro.accel.power import evaluate_design
+from repro.accel.resources import OpClass, ResourceLibrary
+from repro.accel.streaming import evaluate_streaming, initiation_interval
+from repro.workloads import gmm, trd
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return gmm.build(n=4)
+
+
+class TestInitiationInterval:
+    def test_ii_at_most_fill_latency(self, kernel):
+        report = evaluate_streaming(kernel, DesignPoint(node_nm=45, partition=4))
+        assert report.initiation_interval <= report.fill_latency_cycles
+
+    def test_ii_shrinks_with_partitioning(self, kernel):
+        narrow = evaluate_streaming(kernel, DesignPoint(node_nm=45, partition=1))
+        wide = evaluate_streaming(kernel, DesignPoint(node_nm=45, partition=64))
+        assert wide.initiation_interval < narrow.initiation_interval
+
+    def test_bottleneck_identified(self, kernel):
+        report = evaluate_streaming(kernel, DesignPoint(node_nm=45, partition=4))
+        assert isinstance(report.bottleneck, OpClass)
+
+    def test_memory_bound_kernel_bottlenecks_on_memory(self):
+        # Triad does almost no compute per element: memory ports dominate.
+        report = evaluate_streaming(
+            trd.build(n=32), DesignPoint(node_nm=45, partition=2)
+        )
+        assert report.bottleneck is OpClass.MEMORY
+
+
+class TestSteadyState:
+    def test_streaming_beats_back_to_back(self, kernel):
+        design = DesignPoint(node_nm=45, partition=8)
+        streaming = evaluate_streaming(kernel, design)
+        single = evaluate_design(kernel, design)
+        assert streaming.throughput_ops > single.throughput_ops
+        assert streaming.speedup_over_latency_mode > 1.0
+
+    def test_power_decomposition(self, kernel):
+        design = DesignPoint(node_nm=45, partition=8)
+        report = evaluate_streaming(kernel, design)
+        dynamic = (
+            report.energy_per_invocation_nj
+            * 1e-9
+            * report.invocations_per_second
+        )
+        assert report.power_w == pytest.approx(dynamic + report.leakage_power_w)
+
+    def test_efficiency_definition(self, kernel):
+        report = evaluate_streaming(kernel, DesignPoint(node_nm=45, partition=8))
+        assert report.energy_efficiency == pytest.approx(
+            report.throughput_ops / report.power_w
+        )
+
+    def test_newer_node_streams_faster(self, kernel):
+        old = evaluate_streaming(kernel, DesignPoint(node_nm=45, partition=8))
+        new = evaluate_streaming(kernel, DesignPoint(node_nm=5, partition=8))
+        assert new.throughput_ops > old.throughput_ops
+
+    def test_default_library(self, kernel):
+        report = evaluate_streaming(kernel, DesignPoint(node_nm=45))
+        assert report.invocations_per_second > 0

@@ -1,0 +1,172 @@
+"""Unit tests for sweeps, Pareto extraction, and gain attribution."""
+
+import pytest
+
+from repro.accel.attribution import CONCEPTS, attribute_gains, find_best_design
+from repro.accel.design import DesignPoint
+from repro.accel.sweep import (
+    default_design_grid,
+    pareto_points,
+    sweep,
+    table3_partitions,
+    table3_simplifications,
+)
+from repro.workloads import s3d, trd
+
+SMALL_PARTITIONS = (1, 4, 16, 64)
+SMALL_SIMPLIFICATIONS = (1, 5, 9, 13)
+SMALL_NODES = (45.0, 14.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return trd.build(n=16)
+
+
+@pytest.fixture(scope="module")
+def small_sweep(kernel):
+    grid = default_design_grid(
+        nodes=SMALL_NODES,
+        partitions=SMALL_PARTITIONS,
+        simplifications=SMALL_SIMPLIFICATIONS,
+    )
+    return sweep(kernel, grid)
+
+
+class TestTable3:
+    def test_partition_factors(self):
+        factors = table3_partitions()
+        assert factors[0] == 1
+        assert factors[-1] == 524288
+        assert len(factors) == 20
+        assert all(b == 2 * a for a, b in zip(factors, factors[1:]))
+
+    def test_simplification_degrees(self):
+        assert table3_simplifications() == tuple(range(1, 14))
+
+    def test_default_grid_size(self):
+        grid = default_design_grid(nodes=(45.0,), partitions=(1, 2),
+                                   simplifications=(1, 2, 3))
+        assert len(grid) == 6
+
+    def test_full_grid_matches_paper_dimensions(self):
+        grid = default_design_grid()
+        assert len(grid) == 7 * 20 * 13
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self, small_sweep):
+        expected = len(SMALL_NODES) * len(SMALL_PARTITIONS) * len(SMALL_SIMPLIFICATIONS)
+        assert len(small_sweep) == expected
+
+    def test_best_throughput_has_high_partition(self, small_sweep):
+        best = small_sweep.best_throughput()
+        assert best.design.partition >= 16
+        assert best.design.node_nm == 5.0
+
+    def test_best_energy_efficiency_at_newest_node(self, small_sweep):
+        best = small_sweep.best_energy_efficiency()
+        assert best.design.node_nm == 5.0
+
+    def test_runtime_power_points_shape(self, small_sweep):
+        points = small_sweep.runtime_power_points()
+        assert len(points) == len(small_sweep)
+        for runtime, power, report in points:
+            assert runtime == report.runtime_s
+            assert power == report.power_w
+
+    def test_pareto_frontier_subset_and_nondominated(self, small_sweep):
+        frontier = small_sweep.pareto_frontier()
+        assert 0 < len(frontier) <= len(small_sweep)
+        for a in frontier:
+            dominated = any(
+                (b.runtime_s <= a.runtime_s and b.power_w < a.power_w)
+                or (b.runtime_s < a.runtime_s and b.power_w <= a.power_w)
+                for b in small_sweep
+            )
+            assert not dominated
+
+    def test_schedule_cache_consistency(self, kernel):
+        # A design swept alone must match the same design inside a grid.
+        design = DesignPoint(node_nm=14, partition=16, simplification=5)
+        alone = sweep(kernel, [design]).reports[0]
+        from repro.accel.power import evaluate_design
+
+        direct = evaluate_design(kernel, design)
+        assert alone.cycles == direct.cycles
+        assert alone.dynamic_energy_nj == pytest.approx(direct.dynamic_energy_nj)
+
+
+class TestParetoPoints:
+    def test_single_point(self):
+        assert pareto_points([(1.0, 1.0, "a")]) == [(1.0, 1.0, "a")]
+
+    def test_dominated_point_removed(self):
+        points = [(1.0, 1.0, "good"), (2.0, 2.0, "bad")]
+        assert [p[2] for p in pareto_points(points)] == ["good"]
+
+    def test_tradeoff_points_kept(self):
+        points = [(1.0, 5.0, "fast"), (5.0, 1.0, "frugal")]
+        assert len(pareto_points(points)) == 2
+
+    def test_ties_keep_first(self):
+        points = [(1.0, 1.0, "a"), (1.0, 1.0, "b")]
+        assert len(pareto_points(points)) == 1
+
+
+class TestAttribution:
+    @pytest.fixture(scope="class")
+    def perf_attr(self):
+        return attribute_gains(
+            s3d.build(),
+            metric="throughput",
+            partitions=SMALL_PARTITIONS,
+            simplifications=SMALL_SIMPLIFICATIONS,
+        )
+
+    @pytest.fixture(scope="class")
+    def eff_attr(self):
+        return attribute_gains(
+            s3d.build(),
+            metric="energy_efficiency",
+            partitions=SMALL_PARTITIONS,
+            simplifications=SMALL_SIMPLIFICATIONS,
+        )
+
+    def test_total_gain_substantial(self, perf_attr):
+        assert perf_attr.total_gain > 10
+
+    def test_factors_cover_concepts(self, perf_attr):
+        assert set(perf_attr.factors) == set(CONCEPTS)
+        assert all(f >= 1.0 for f in perf_attr.factors.values())
+
+    def test_shares_sum_to_100(self, perf_attr):
+        assert sum(perf_attr.shares.values()) == pytest.approx(100.0)
+
+    def test_partitioning_dominates_performance(self, perf_attr):
+        # Paper Fig 14a: partitioning is the primary performance source.
+        shares = perf_attr.shares
+        assert shares["partitioning"] == max(shares.values())
+        assert shares["partitioning"] > 50
+
+    def test_cmos_saving_dominates_efficiency(self, eff_attr):
+        # Paper Fig 14b: CMOS saving dominates energy efficiency.
+        shares = eff_attr.shares
+        assert shares["cmos_saving"] == max(shares.values())
+
+    def test_csr_is_low(self, perf_attr, eff_attr):
+        # Paper: "for both performance and energy efficiency, CSR is low".
+        assert perf_attr.csr < 0.1 * perf_attr.total_gain
+        assert eff_attr.csr < 0.5 * eff_attr.total_gain
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            attribute_gains(trd.build(n=8), metric="speed")
+
+    def test_find_best_design_returns_consistent_pair(self):
+        kernel = trd.build(n=8)
+        design, report = find_best_design(
+            kernel, "throughput", node_nm=5.0,
+            partitions=(1, 8), simplifications=(1, 5),
+        )
+        assert report.design == design

@@ -1,0 +1,133 @@
+"""Unit tests for the physical chip-gains model (Fig 3d)."""
+
+import pytest
+
+from repro.cmos.gains import ChipGains, GainsConfig, GainsModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GainsModel()
+
+
+class TestEvaluateBasics:
+    def test_area_or_transistors_required(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(45, 1000)
+
+    def test_transistors_derive_area(self, model):
+        gains = model.evaluate(45, 1000, transistors=1e8)
+        assert gains.area_mm2 > 0
+        assert gains.potential_transistors == pytest.approx(1e8)
+
+    def test_area_derives_transistors(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=100)
+        assert gains.potential_transistors > 0
+
+    def test_rejects_bad_frequency(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(45, -5, area_mm2=100)
+
+    def test_rejects_bad_tdp(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(45, 1000, area_mm2=100, tdp_w=0)
+
+    def test_uncapped_fully_active(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=100)
+        assert gains.active_fraction == pytest.approx(1.0)
+        assert not gains.tdp_limited
+
+    def test_generous_tdp_not_limited(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=25, tdp_w=10_000)
+        assert not gains.tdp_limited
+        assert gains.active_fraction == pytest.approx(1.0)
+
+    def test_tight_tdp_limits(self, model):
+        gains = model.evaluate(5, 1000, area_mm2=800, tdp_w=50)
+        assert gains.tdp_limited
+        assert gains.active_fraction < 0.2
+
+    def test_power_never_exceeds_tdp_when_limited(self, model):
+        gains = model.evaluate(5, 1000, area_mm2=800, tdp_w=200)
+        assert gains.tdp_limited
+        assert gains.power_w <= 200 * 1.001
+
+
+class TestMetrics:
+    def test_throughput_definition(self, model):
+        gains = model.evaluate(45, 2000, area_mm2=100)
+        assert gains.throughput == pytest.approx(gains.active_transistors * 2.0)
+
+    def test_energy_efficiency_definition(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=100)
+        assert gains.energy_efficiency == pytest.approx(
+            gains.throughput / gains.power_w
+        )
+
+    def test_throughput_per_area(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=100)
+        assert gains.throughput_per_area == pytest.approx(gains.throughput / 100)
+
+    def test_metric_lookup(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=100)
+        assert gains.metric("throughput") == gains.throughput
+        assert gains.metric("energy_efficiency") == gains.energy_efficiency
+        assert gains.metric("throughput_per_area") == gains.throughput_per_area
+
+    def test_metric_lookup_unknown(self, model):
+        gains = model.evaluate(45, 1000, area_mm2=100)
+        with pytest.raises(ValueError):
+            gains.metric("speedup")
+
+
+class TestFig3dShapes:
+    """The qualitative claims the paper makes about Fig 3d."""
+
+    def test_uncapped_800mm2_5nm_is_about_1000x(self, model):
+        base = model.evaluate(45, 1000, area_mm2=25)
+        big = model.evaluate(5, 1000, area_mm2=800)
+        ratio = big.throughput / base.throughput
+        assert 700 < ratio < 1400
+
+    def test_800w_envelope_cuts_throughput_by_most(self, model):
+        # Paper: under an 800W envelope the ~1000x drops by ~70% to ~300x.
+        base = model.evaluate(45, 1000, area_mm2=25)
+        capped = model.evaluate(5, 1000, area_mm2=800, tdp_w=800)
+        ratio = capped.throughput / base.throughput
+        assert 150 < ratio < 500
+
+    def test_small_chips_favor_energy_efficiency(self, model):
+        base = model.evaluate(45, 1000, area_mm2=25)
+        small = model.evaluate(5, 1000, area_mm2=25, tdp_w=50)
+        large = model.evaluate(5, 1000, area_mm2=800, tdp_w=50)
+        assert (
+            small.energy_efficiency / base.energy_efficiency
+            > large.energy_efficiency / base.energy_efficiency
+        )
+
+    def test_newer_node_improves_efficiency_at_fixed_size(self, model):
+        old = model.evaluate(45, 1000, area_mm2=25)
+        new = model.evaluate(5, 1000, area_mm2=25)
+        assert new.energy_efficiency > old.energy_efficiency
+
+    def test_under_tight_tdp_old_node_can_beat_new_large_chip(self, model):
+        # Paper: high transistor count and static power of new nodes make
+        # old nodes more appealing for large dies under restricted TDP.
+        old = model.evaluate(45, 1000, area_mm2=800, tdp_w=100)
+        new = model.evaluate(5, 1000, area_mm2=800, tdp_w=100)
+        assert new.energy_efficiency < 10 * old.energy_efficiency
+
+
+class TestConfigValidation:
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            GainsConfig(ref_dynamic_density_w_mm2=-1.0)
+
+    def test_bad_min_active_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GainsConfig(min_active_fraction=0.0)
+
+    def test_min_active_fraction_floor_applies(self, model):
+        # Absurdly tight TDP: throughput floored, never zero.
+        gains = model.evaluate(5, 1000, area_mm2=800, tdp_w=0.001)
+        assert gains.throughput > 0

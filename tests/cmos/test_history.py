@@ -1,0 +1,74 @@
+"""Tests for Dennard counterfactuals and beyond-5nm extrapolation."""
+
+import pytest
+
+from repro.cmos.history import (
+    cost_of_the_wall,
+    dennard_gap,
+    dennard_gap_series,
+    dennard_ideal,
+    extrapolated_table,
+)
+
+
+class TestDennardIdeal:
+    def test_reference_is_identity(self):
+        ideal = dennard_ideal(45.0)
+        assert ideal.frequency == pytest.approx(1.0)
+        assert ideal.vdd == pytest.approx(1.0)
+
+    def test_ideal_rules(self):
+        ideal = dennard_ideal(22.5)  # shrink of exactly 2
+        assert ideal.frequency == pytest.approx(2.0)
+        assert ideal.vdd == pytest.approx(0.5)
+        assert ideal.capacitance == pytest.approx(0.5)
+
+    def test_constant_power_density(self):
+        # Per-area dynamic power: s^2 devices * C V^2 f = s^2 * (1/s)(1/s^2)(s) = 1.
+        for node in (22.5, 11.25, 5.625):
+            ideal = dennard_ideal(node)
+            shrink = 45.0 / node
+            density = shrink**2 * ideal.dynamic_energy * ideal.frequency
+            assert density == pytest.approx(1.0)
+
+
+class TestDennardGap:
+    def test_gap_grows_with_scaling(self):
+        series = dennard_gap_series()
+        shortfalls = [series[n].frequency_shortfall for n in sorted(series, reverse=True)]
+        assert shortfalls == sorted(shortfalls)
+        assert shortfalls[-1] > 3.0  # 5nm fell >3x short of Dennard frequency
+
+    def test_power_density_excess_grows(self):
+        series = dennard_gap_series()
+        excesses = [series[n].power_density_excess for n in sorted(series, reverse=True)]
+        assert excesses == sorted(excesses)
+        assert excesses[-1] > 5.0  # the dark-silicon driver
+
+    def test_45nm_has_no_gap(self):
+        gap = dennard_gap(45.0)
+        assert gap.frequency_shortfall == pytest.approx(1.0)
+        assert gap.power_density_excess == pytest.approx(1.0)
+
+
+class TestBeyond5nm:
+    def test_extrapolated_table_covers_new_nodes(self):
+        table = extrapolated_table((3.0, 2.0))
+        assert table.scaling(3.0).frequency > table.scaling(5.0).frequency
+        assert table.scaling(2.0).capacitance < table.scaling(3.0).capacitance
+
+    def test_non_monotone_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            extrapolated_table((6.0,))
+
+    def test_cost_of_the_wall_shape(self):
+        result = cost_of_the_wall(beyond_node=3.0)
+        # An extra node still grows the *potential*...
+        assert result["uncapped_throughput_gain"] > 1.0
+        # ...but under a fixed envelope the active fraction collapses and
+        # the net gain is marginal at best: the wall is a power wall too.
+        assert result["capped_throughput_gain"] < 1.3
+        assert (
+            result["active_fraction_beyond"]
+            < result["active_fraction_at_wall"]
+        )

@@ -1,0 +1,122 @@
+"""Unit + property tests for the device-scaling table (Fig 3a)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cmos.scaling import REFERENCE_NODE, ScalingTable, default_scaling_table
+from repro.errors import UnknownNodeError
+
+TABLE = default_scaling_table()
+
+
+class TestAnchors:
+    def test_reference_node_is_unity(self):
+        rel = TABLE.relative(REFERENCE_NODE)
+        assert rel.frequency == pytest.approx(1.0)
+        assert rel.capacitance == pytest.approx(1.0)
+        assert rel.leakage_power == pytest.approx(1.0)
+
+    def test_nodes_listed_newest_last(self):
+        nodes = TABLE.nodes
+        assert nodes[0] == 180.0 and nodes[-1] == 5.0
+
+    def test_frequency_improves_monotonically_with_scaling(self):
+        values = [TABLE.scaling(n).frequency for n in sorted(TABLE.nodes, reverse=True)]
+        assert values == sorted(values)
+
+    def test_capacitance_shrinks_monotonically(self):
+        values = [TABLE.scaling(n).capacitance for n in sorted(TABLE.nodes, reverse=True)]
+        assert values == sorted(values, reverse=True)
+
+    def test_leakage_shrinks_monotonically(self):
+        values = [
+            TABLE.scaling(n).leakage_power for n in sorted(TABLE.nodes, reverse=True)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_vdd_shrinks_monotonically(self):
+        values = [TABLE.scaling(n).vdd for n in sorted(TABLE.nodes, reverse=True)]
+        assert values == sorted(values, reverse=True)
+
+    def test_dynamic_energy_derived_from_cap_and_vdd(self):
+        s = TABLE.scaling(28)
+        assert s.dynamic_energy == pytest.approx(s.capacitance * s.vdd**2)
+
+    def test_relative_dynamic_energy_is_exact_ratio(self):
+        a, b = TABLE.scaling(16), TABLE.scaling(45)
+        rel = a.relative_to(b)
+        assert rel.dynamic_energy == pytest.approx(
+            a.dynamic_energy / b.dynamic_energy
+        )
+
+
+class TestInterpolation:
+    @given(st.floats(min_value=5.0, max_value=180.0))
+    def test_interpolated_values_within_neighbour_bounds(self, node):
+        s = TABLE.scaling(node)
+        anchors = sorted(TABLE.nodes)
+        lo = max(a for a in anchors if a <= node)
+        hi = min(a for a in anchors if a >= node)
+        lo_s, hi_s = TABLE.scaling(lo), TABLE.scaling(hi)
+        for attr in ("vdd", "frequency", "capacitance", "leakage_power"):
+            value = getattr(s, attr)
+            bounds = sorted([getattr(lo_s, attr), getattr(hi_s, attr)])
+            assert bounds[0] - 1e-12 <= value <= bounds[1] + 1e-12
+
+    def test_exact_anchor_roundtrip(self):
+        for node in TABLE.nodes:
+            assert TABLE.scaling(node).node_nm == node
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(UnknownNodeError):
+            TABLE.scaling(4.0)
+
+    def test_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            ScalingTable({45.0: (1.0, 1.0, 1.0, 1.0)})
+
+
+class TestRelative:
+    def test_relative_to_self_is_unity(self):
+        rel = TABLE.relative(16, 16)
+        assert rel.frequency == pytest.approx(1.0)
+        assert rel.dynamic_energy == pytest.approx(1.0)
+
+    def test_relative_composes(self):
+        # (5 rel 45) == (5 rel 16) * (16 rel 45) component-wise.
+        a = TABLE.relative(5, 45)
+        b = TABLE.relative(5, 16)
+        c = TABLE.relative(16, 45)
+        assert a.frequency == pytest.approx(b.frequency * c.frequency)
+        assert a.capacitance == pytest.approx(b.capacitance * c.capacitance)
+
+    def test_newer_node_is_better_on_every_axis(self):
+        rel = TABLE.relative(5, 45)
+        assert rel.frequency > 1.0
+        assert rel.capacitance < 1.0
+        assert rel.vdd < 1.0
+        assert rel.leakage_power < 1.0
+        assert rel.dynamic_energy < 1.0
+
+
+class TestFig3aSeries:
+    def test_panels_present(self):
+        series = TABLE.fig3a_series()
+        assert set(series) == {
+            "leakage_power", "capacitance", "vdd", "frequency", "dynamic_power",
+        }
+
+    def test_all_series_start_at_one_and_decrease(self):
+        series = TABLE.fig3a_series()
+        for name, panel in series.items():
+            nodes = sorted(panel, reverse=True)
+            assert panel[nodes[0]] == pytest.approx(1.0), name
+            values = [panel[n] for n in nodes]
+            assert values == sorted(values, reverse=True), name
+            assert all(v > 0 for v in values), name
+
+    def test_5nm_values_in_paper_band(self):
+        # Fig 3a's curves land between ~0.15 and ~0.6 at 5nm.
+        series = TABLE.fig3a_series()
+        for name, panel in series.items():
+            assert 0.05 < panel[5.0] < 0.7, name

@@ -1,0 +1,92 @@
+"""Unit tests for the Fig 3c TDP transistor-budget model."""
+
+import pytest
+
+from repro.cmos.nodes import NODE_ERAS_TDP
+from repro.cmos.tdp import (
+    PAPER_TDP_FITS,
+    TdpFit,
+    TdpModel,
+    fit_tdp_model,
+    paper_tdp_model,
+)
+from repro.errors import FitError
+
+
+class TestTdpFit:
+    @pytest.fixture
+    def fit(self):
+        return TdpFit(era=NODE_ERAS_TDP[2], coefficient=0.49, exponent=0.557)
+
+    def test_budget_product_matches_law(self, fit):
+        assert fit.budget_product(100.0) == pytest.approx(0.49 * 100**0.557)
+
+    def test_active_transistors_inverse_of_frequency(self, fit):
+        slow = fit.active_transistors(100.0, 1000.0)
+        fast = fit.active_transistors(100.0, 2000.0)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_tdp_for_roundtrip(self, fit):
+        active = fit.active_transistors(150.0, 1500.0)
+        assert fit.tdp_for(active, 1500.0) == pytest.approx(150.0)
+
+    def test_rejects_non_positive_tdp(self, fit):
+        with pytest.raises(ValueError):
+            fit.budget_product(0.0)
+
+    def test_rejects_non_positive_frequency(self, fit):
+        with pytest.raises(ValueError):
+            fit.active_transistors(100.0, 0.0)
+
+    def test_describe_contains_era(self, fit):
+        assert "22nm-12nm" in fit.describe()
+
+
+class TestPaperModel:
+    def test_all_four_eras_present(self):
+        model = paper_tdp_model()
+        assert [fit.era.name for fit in model.fits] == [
+            "55nm-40nm", "32nm-28nm", "22nm-12nm", "10nm-5nm",
+        ]
+
+    def test_newer_eras_have_larger_coefficient_smaller_exponent(self):
+        model = paper_tdp_model()
+        coefficients = [fit.coefficient for fit in model.fits]
+        exponents = [fit.exponent for fit in model.fits]
+        assert coefficients == sorted(coefficients)
+        assert exponents == sorted(exponents, reverse=True)
+
+    def test_node_lookup_nearest_era(self):
+        model = paper_tdp_model()
+        assert model.era_fit(28).era.name == "32nm-28nm"
+        assert model.era_fit(65).era.name == "55nm-40nm"  # nearest
+        assert model.era_fit(7).era.name == "10nm-5nm"
+
+    def test_newer_node_supports_more_transistors_at_same_tdp(self):
+        model = paper_tdp_model()
+        # At 100W / 1GHz, each era jump multiplies the active budget.
+        budgets = [
+            model.active_transistors(node, 100.0, 1000.0)
+            for node in (45, 28, 16, 7)
+        ]
+        assert budgets == sorted(budgets)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(FitError):
+            TdpModel([])
+
+
+class TestFittedModel:
+    def test_synthetic_population_recovers_paper_constants(self, reference_db):
+        model = fit_tdp_model(reference_db)
+        for fit in model.fits:
+            paper_c, paper_e = PAPER_TDP_FITS[fit.era.name]
+            assert fit.coefficient == pytest.approx(paper_c, rel=0.35), fit.era.name
+            assert fit.exponent == pytest.approx(paper_e, rel=0.15), fit.era.name
+
+    def test_sparse_era_falls_back_to_paper_constants(self, curated_db):
+        # The curated seed has almost no 10nm-5nm chips; fallback applies.
+        model = fit_tdp_model(curated_db)
+        fit = model.era_fit(5)
+        paper_c, paper_e = PAPER_TDP_FITS["10nm-5nm"]
+        assert (fit.coefficient, fit.exponent) == (paper_c, paper_e)

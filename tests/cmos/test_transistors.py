@@ -1,0 +1,108 @@
+"""Unit + property tests for the Fig 3b transistor-count regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cmos.transistors import (
+    PAPER_DENSITY_FIT,
+    TransistorCountFit,
+    fit_power_law,
+    fit_transistor_count,
+)
+from repro.errors import FitError
+
+
+class TestPaperFit:
+    def test_paper_constants(self):
+        assert PAPER_DENSITY_FIT.coefficient == pytest.approx(4.99e9)
+        assert PAPER_DENSITY_FIT.exponent == pytest.approx(0.877)
+
+    def test_sublinear_scaling(self):
+        # Doubling density less than doubles transistor count.
+        tc1 = PAPER_DENSITY_FIT.transistors(1.0)
+        tc2 = PAPER_DENSITY_FIT.transistors(2.0)
+        assert tc1 < tc2 < 2 * tc1
+
+    def test_large_5nm_chip_reaches_100_billion(self):
+        # Paper: "for large 5nm CMOS chips (D <= 30) the number of
+        # transistors can reach 100 billion".
+        assert PAPER_DENSITY_FIT.transistors(30.0) >= 0.9e11
+
+    def test_inverse_roundtrip(self):
+        density = 3.7
+        tc = PAPER_DENSITY_FIT.transistors(density)
+        assert PAPER_DENSITY_FIT.density_for(tc) == pytest.approx(density)
+
+    def test_area_roundtrip(self):
+        tc = PAPER_DENSITY_FIT.transistors_for_chip(250.0, 14.0)
+        assert PAPER_DENSITY_FIT.area_for(tc, 14.0) == pytest.approx(250.0)
+
+    def test_rejects_non_positive_density(self):
+        with pytest.raises(ValueError):
+            PAPER_DENSITY_FIT.transistors(0.0)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            PAPER_DENSITY_FIT.density_for(-5.0)
+
+    def test_describe_mentions_constants(self):
+        text = PAPER_DENSITY_FIT.describe()
+        assert "4.99e9" in text and "0.877" in text
+
+    def test_rejects_non_positive_coefficient(self):
+        with pytest.raises(FitError):
+            TransistorCountFit(coefficient=-1.0, exponent=0.9)
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_law(self):
+        x = np.logspace(-2, 2, 50)
+        y = 3.5 * x**0.8
+        coefficient, exponent, r2 = fit_power_law(x, y)
+        assert coefficient == pytest.approx(3.5, rel=1e-9)
+        assert exponent == pytest.approx(0.8, rel=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.2, max_value=2.0),
+    )
+    def test_recovers_arbitrary_noiseless_law(self, coefficient, exponent):
+        x = np.logspace(-1, 1, 20)
+        y = coefficient * x**exponent
+        got_c, got_e, r2 = fit_power_law(x, y)
+        assert got_c == pytest.approx(coefficient, rel=1e-6)
+        assert got_e == pytest.approx(exponent, rel=1e-6, abs=1e-9)
+
+    def test_ignores_non_positive_points(self):
+        x = np.array([0.0, -1.0, 1.0, 2.0, 4.0])
+        y = np.array([5.0, 5.0, 2.0, 4.0, 8.0])
+        coefficient, exponent, _ = fit_power_law(x, y)
+        assert exponent == pytest.approx(1.0)
+        assert coefficient == pytest.approx(2.0)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(FitError):
+            fit_power_law(np.array([1.0]), np.array([2.0]))
+
+    def test_nan_points_dropped(self):
+        x = np.array([np.nan, 1.0, 2.0, 4.0])
+        y = np.array([1.0, 2.0, 4.0, 8.0])
+        _, exponent, _ = fit_power_law(x, y)
+        assert exponent == pytest.approx(1.0)
+
+
+class TestDatabaseFit:
+    def test_synthetic_population_recovers_paper_constants(self, reference_db):
+        fit = fit_transistor_count(reference_db)
+        assert fit.coefficient == pytest.approx(4.99e9, rel=0.10)
+        assert fit.exponent == pytest.approx(0.877, rel=0.05)
+        assert fit.r2 > 0.9
+        assert fit.n_points == len(reference_db)
+
+    def test_curated_only_fit_is_plausible(self, curated_db):
+        # Real chips alone give a noisier but same-ballpark law.
+        fit = fit_transistor_count(curated_db)
+        assert 0.6 < fit.exponent < 1.1
+        assert 1e9 < fit.coefficient < 3e10

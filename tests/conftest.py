@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmos.model import CmosPotentialModel
+from repro.datasheets.curated import curated_database
+from repro.datasheets.reference import reference_database
+from repro.datasheets.synthetic import SyntheticPopulationConfig, synthetic_database
+
+
+@pytest.fixture(scope="session")
+def paper_model() -> CmosPotentialModel:
+    """CMOS model built from the paper's published constants."""
+    return CmosPotentialModel.paper()
+
+
+@pytest.fixture(scope="session")
+def fitted_model() -> CmosPotentialModel:
+    """CMOS model refitted from the default chip population."""
+    return CmosPotentialModel.from_database(reference_database())
+
+
+@pytest.fixture(scope="session")
+def curated_db():
+    return curated_database()
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_db():
+    """A small (fast) synthetic population for fit tests."""
+    return synthetic_database(SyntheticPopulationConfig(chips_per_era=120, seed=7))
+
+
+@pytest.fixture(scope="session")
+def reference_db():
+    return reference_database()
+
+
+@pytest.fixture(scope="session")
+def all_kernels():
+    """Every Table IV kernel, traced once per session."""
+    from repro.workloads import build_all_kernels
+
+    return {kernel.name: kernel for kernel in build_all_kernels()}

@@ -1,0 +1,69 @@
+"""Unit + property tests for the CSR metric and Eq 2 decomposition."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.csr.metric import GainDecomposition, csr, decompose_gain
+
+positive = st.floats(min_value=1e-3, max_value=1e6)
+
+
+class TestCsr:
+    def test_definition(self):
+        assert csr(reported_gain=10.0, physical_gain=5.0) == pytest.approx(2.0)
+
+    def test_unity_when_gain_tracks_silicon(self):
+        assert csr(7.3, 7.3) == pytest.approx(1.0)
+
+    def test_below_one_when_silicon_outpaces(self):
+        assert csr(64.0, 120.0) < 1.0
+
+    def test_rejects_non_positive_reported(self):
+        with pytest.raises(ValueError):
+            csr(0.0, 1.0)
+
+    def test_rejects_non_positive_physical(self):
+        with pytest.raises(ValueError):
+            csr(1.0, -1.0)
+
+    @given(positive, positive)
+    def test_scale_invariance(self, reported, physical):
+        # Scaling both gains by any factor leaves CSR unchanged.
+        assert csr(reported * 3.7, physical * 3.7) == pytest.approx(
+            csr(reported, physical), rel=1e-9
+        )
+
+
+class TestDecomposition:
+    @given(positive, positive)
+    def test_eq2_identity(self, reported, physical):
+        d = decompose_gain(reported, physical)
+        assert d.specialization * d.cmos == pytest.approx(reported, rel=1e-9)
+
+    def test_fields(self):
+        d = decompose_gain(510.0, 307.0)
+        assert d.cmos == pytest.approx(307.0)
+        assert d.specialization == pytest.approx(510.0 / 307.0)
+
+    def test_shares_sum_to_one(self):
+        d = decompose_gain(100.0, 10.0)
+        assert d.specialization_share + d.cmos_share == pytest.approx(1.0)
+
+    def test_share_values(self):
+        # reported = 100, physical = 10 -> specialization also 10:
+        # each contributes half the log gain.
+        d = decompose_gain(100.0, 10.0)
+        assert d.specialization_share == pytest.approx(0.5)
+
+    def test_no_gain_edge_case(self):
+        d = GainDecomposition(reported=1.0, specialization=1.0, cmos=1.0)
+        assert d.specialization_share == 0.0
+        assert d.cmos_share == 1.0
+
+    def test_bitcoin_headline_numbers(self):
+        # Paper Fig 1: 510x performance, 307x transistor performance
+        # -> CSR ~1.66.
+        d = decompose_gain(510.0, 307.0)
+        assert d.specialization == pytest.approx(1.66, rel=0.01)

@@ -1,0 +1,157 @@
+"""Unit + property tests for the Eq 3/4 relation matrix."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.csr.relations import build_relation_matrix, geometric_mean
+from repro.errors import DatasetError
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=8))
+    def test_bounded_by_min_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+def measurements_direct():
+    """Three architectures sharing all five apps."""
+    apps = [f"app{i}" for i in range(5)]
+    return {
+        "X": {a: 10.0 for a in apps},
+        "Y": {a: 20.0 for a in apps},
+        "Z": {a: 40.0 for a in apps},
+    }
+
+
+class TestDirectRelations:
+    def test_pairwise_gains(self):
+        matrix = build_relation_matrix(measurements_direct())
+        assert matrix.gain("Y", "X") == pytest.approx(2.0)
+        assert matrix.gain("Z", "X") == pytest.approx(4.0)
+
+    def test_self_gain_is_one(self):
+        matrix = build_relation_matrix(measurements_direct())
+        assert matrix.gain("X", "X") == 1.0
+
+    def test_antisymmetry(self):
+        matrix = build_relation_matrix(measurements_direct())
+        for a in "XYZ":
+            for b in "XYZ":
+                assert matrix.gain(a, b) * matrix.gain(b, a) == pytest.approx(1.0)
+
+    def test_direct_flags(self):
+        matrix = build_relation_matrix(measurements_direct())
+        assert matrix.is_direct("X", "Y")
+
+    def test_relative_to_baseline(self):
+        matrix = build_relation_matrix(measurements_direct())
+        relative = matrix.relative_to("X")
+        assert relative == pytest.approx({"X": 1.0, "Y": 2.0, "Z": 4.0})
+
+    def test_eq3_is_geometric_mean_over_shared_apps(self):
+        measurements = {
+            "A": {"g1": 10.0, "g2": 10.0, "g3": 10.0, "g4": 10.0, "g5": 10.0},
+            "B": {"g1": 20.0, "g2": 40.0, "g3": 10.0, "g4": 20.0, "g5": 40.0},
+        }
+        matrix = build_relation_matrix(measurements)
+        expected = geometric_mean([2.0, 4.0, 1.0, 2.0, 4.0])
+        assert matrix.gain("B", "A") == pytest.approx(expected)
+
+
+class TestTransitiveClosure:
+    def test_bridged_pair(self):
+        # A and C share no apps; both share five with B.
+        measurements = {
+            "A": {f"x{i}": 10.0 for i in range(5)},
+            "B": {**{f"x{i}": 20.0 for i in range(5)},
+                  **{f"y{i}": 8.0 for i in range(5)}},
+            "C": {f"y{i}": 16.0 for i in range(5)},
+        }
+        matrix = build_relation_matrix(measurements)
+        assert not matrix.is_direct("A", "C")
+        # A->B is 1/2, B->C is 1/2 => A->C = 1/4, so C beats A by 4.
+        assert matrix.gain("C", "A") == pytest.approx(4.0)
+
+    def test_min_shared_apps_threshold(self):
+        measurements = {
+            "A": {"g1": 1.0, "g2": 1.0},
+            "B": {"g1": 2.0, "g2": 2.0},
+        }
+        strict = build_relation_matrix(measurements, min_shared_apps=5)
+        assert not strict.has("A", "B")
+        relaxed = build_relation_matrix(measurements, min_shared_apps=2)
+        assert relaxed.gain("B", "A") == pytest.approx(2.0)
+
+    def test_unconnected_lookup_raises(self):
+        measurements = {
+            "A": {"g1": 1.0},
+            "B": {"h1": 2.0},
+        }
+        matrix = build_relation_matrix(measurements, min_shared_apps=1)
+        with pytest.raises(DatasetError):
+            matrix.gain("A", "B")
+
+    def test_two_hop_chain(self):
+        # A-B direct, B-C direct, C-D direct; A-D needs two closure rounds.
+        measurements = {
+            "A": {f"ab{i}": 1.0 for i in range(5)},
+            "B": {**{f"ab{i}": 2.0 for i in range(5)},
+                  **{f"bc{i}": 1.0 for i in range(5)}},
+            "C": {**{f"bc{i}": 2.0 for i in range(5)},
+                  **{f"cd{i}": 1.0 for i in range(5)}},
+            "D": {f"cd{i}": 2.0 for i in range(5)},
+        }
+        matrix = build_relation_matrix(measurements)
+        assert matrix.gain("D", "A") == pytest.approx(8.0)
+
+
+class TestValidation:
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(DatasetError):
+            build_relation_matrix({})
+
+    def test_empty_architecture_rejected(self):
+        with pytest.raises(DatasetError):
+            build_relation_matrix({"A": {}})
+
+    def test_non_positive_gain_rejected(self):
+        with pytest.raises(DatasetError):
+            build_relation_matrix({"A": {"app": -1.0}})
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["A", "B", "C", "D"]),
+        st.dictionaries(
+            st.sampled_from([f"app{i}" for i in range(6)]),
+            st.floats(min_value=0.5, max_value=50.0),
+            min_size=5,
+        ),
+        min_size=2,
+    )
+)
+def test_property_antisymmetry_everywhere(measurements):
+    matrix = build_relation_matrix(measurements)
+    for a in matrix.architectures:
+        for b in matrix.architectures:
+            if matrix.has(a, b):
+                assert matrix.gain(a, b) * matrix.gain(b, a) == pytest.approx(
+                    1.0, rel=1e-9
+                )

@@ -1,0 +1,70 @@
+"""Exactness property: Eq 3/4 recover rank-1 gain structures perfectly.
+
+If every measurement factors as ``gain[arch][app] = score(arch) * base(app)``
+(exactly the structure the paper's Eq 2 implies when CSR and physical gain
+are per-architecture), then every recovered relation — direct or bridged
+through any chain of intermediaries — must equal the score ratio exactly.
+This validates the transitive closure against ground truth, including under
+benchmark-window-structured availability like the GPU study's.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csr.relations import build_relation_matrix
+
+ARCHS = ["A", "B", "C", "D", "E"]
+APPS = [f"app{i:02d}" for i in range(19)]
+
+
+@st.composite
+def rank1_measurements(draw):
+    """Chain-structured availability: arch i sees apps [3i, 3i+7)."""
+    scores = {
+        arch: draw(st.floats(min_value=0.5, max_value=20.0))
+        for arch in ARCHS
+    }
+    bases = {
+        app: draw(st.floats(min_value=1.0, max_value=200.0)) for app in APPS
+    }
+    measurements = {}
+    for index, arch in enumerate(ARCHS):
+        window = APPS[3 * index : 3 * index + 7]
+        measurements[arch] = {
+            app: scores[arch] * bases[app] for app in window
+        }
+    return scores, measurements
+
+
+@given(rank1_measurements())
+@settings(max_examples=50, deadline=None)
+def test_closure_recovers_score_ratios_exactly(data):
+    scores, measurements = data
+    matrix = build_relation_matrix(measurements, min_shared_apps=4)
+    for x in ARCHS:
+        for y in ARCHS:
+            assert matrix.has(x, y), (x, y)
+            assert matrix.gain(x, y) == pytest.approx(
+                scores[x] / scores[y], rel=1e-9
+            )
+
+
+@given(rank1_measurements())
+@settings(max_examples=30, deadline=None)
+def test_endpoints_share_no_apps_yet_connect(data):
+    _scores, measurements = data
+    # A sees app0..6, E sees app12..18: disjoint by construction.
+    assert not set(measurements["A"]) & set(measurements["E"])
+    matrix = build_relation_matrix(measurements, min_shared_apps=4)
+    assert not matrix.is_direct("A", "E")
+    assert matrix.has("A", "E")
+
+
+@given(rank1_measurements())
+@settings(max_examples=30, deadline=None)
+def test_relative_to_baseline_consistent(data):
+    scores, measurements = data
+    matrix = build_relation_matrix(measurements, min_shared_apps=4)
+    relative = matrix.relative_to("A")
+    for arch, value in relative.items():
+        assert value == pytest.approx(scores[arch] / scores["A"], rel=1e-9)

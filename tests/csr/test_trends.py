@@ -1,0 +1,123 @@
+"""Tests for CSR trend fitting and maturity classification."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.csr.trends import (
+    Maturity,
+    assess_maturity,
+    fit_quadratic_trend,
+)
+from repro.errors import FitError
+
+
+class TestQuadraticFit:
+    def test_recovers_exact_quadratic(self):
+        xs = [0.0, 1.0, 2.0, 3.0, 4.0]
+        ys = [2 * x * x - 3 * x + 1 for x in xs]
+        fit = fit_quadratic_trend(xs, ys)
+        for x in xs:
+            assert fit.predict(x) == pytest.approx(2 * x * x - 3 * x + 1)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_slope_is_derivative(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [x * x for x in xs]
+        fit = fit_quadratic_trend(xs, ys)
+        assert fit.slope(3.0) == pytest.approx(6.0)
+        assert fit.end_slope == pytest.approx(6.0)
+
+    def test_relative_end_slope(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [1.0, 2.0, 3.0, 4.0]  # slope 1, end value 4
+        fit = fit_quadratic_trend(xs, ys)
+        assert fit.relative_end_slope == pytest.approx(0.25)
+
+    def test_too_few_points(self):
+        with pytest.raises(FitError):
+            fit_quadratic_trend([1.0, 2.0], [1.0, 2.0])
+
+    def test_degenerate_x_spread(self):
+        with pytest.raises(FitError):
+            fit_quadratic_trend([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_nan_filtered(self):
+        fit = fit_quadratic_trend(
+            [0.0, 1.0, 2.0, float("nan")], [0.0, 1.0, 4.0, 9.0]
+        )
+        assert fit.predict(2.0) == pytest.approx(4.0)
+
+    @given(
+        st.floats(min_value=-2, max_value=2),
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-5, max_value=5),
+    )
+    def test_recovers_arbitrary_quadratics(self, a, b, c):
+        xs = [0.0, 1.0, 2.0, 3.0, 5.0]
+        ys = [a * x * x + b * x + c for x in xs]
+        fit = fit_quadratic_trend(xs, ys)
+        for x in (0.5, 4.0):
+            assert fit.predict(x) == pytest.approx(
+                a * x * x + b * x + c, abs=1e-6
+            )
+
+
+def _series(csr_values, years=None):
+    """Build a minimal CsrSeries with prescribed CSR values."""
+    from repro.csr.series import CsrPoint, CsrSeries
+
+    points = []
+    for i, value in enumerate(csr_values):
+        points.append(
+            CsrPoint(
+                name=f"chip{i}",
+                node_nm=28.0,
+                year=(years[i] if years else 2010 + i),
+                gain=value,      # physical = 1 so csr == gain
+                physical=1.0,
+            )
+        )
+    return CsrSeries(metric="throughput", baseline_name="chip0", points=tuple(points))
+
+
+class TestMaturity:
+    def test_rising_csr_is_emerging(self):
+        series = _series([1.0, 1.5, 2.2, 3.1, 4.2])
+        assessment = assess_maturity(series, "toy")
+        assert assessment.maturity is Maturity.EMERGING
+
+    def test_flat_csr_is_mature(self):
+        series = _series([1.0, 1.02, 0.99, 1.01, 1.0])
+        assessment = assess_maturity(series, "toy")
+        assert assessment.maturity is Maturity.MATURE
+
+    def test_falling_csr_is_declining(self):
+        series = _series([2.0, 1.6, 1.2, 0.9, 0.6])
+        assessment = assess_maturity(series, "toy")
+        assert assessment.maturity is Maturity.DECLINING
+
+    def test_describe_mentions_domain(self):
+        assessment = assess_maturity(_series([1, 1, 1, 1]), "widgets")
+        assert "widgets" in assessment.describe()
+
+    def test_paper_domains_classification(self, paper_model):
+        # Section IV-E: mature/confined domains plateau or drop; the
+        # emerging CNN domain must NOT be declining.
+        from repro.studies import fpga_cnn, gpu_graphics, video_decoders
+
+        video = assess_maturity(
+            video_decoders.study().performance_series(paper_model), "video"
+        )
+        assert video.maturity is not Maturity.EMERGING
+
+        gpu = assess_maturity(
+            gpu_graphics.study().performance_series(paper_model), "gpu"
+        )
+        assert gpu.maturity in (Maturity.MATURE, Maturity.DECLINING)
+
+        cnn = assess_maturity(
+            fpga_cnn.study("alexnet").performance_series(paper_model), "cnn"
+        )
+        assert cnn.maturity is not Maturity.DECLINING

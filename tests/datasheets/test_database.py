@@ -1,0 +1,114 @@
+"""Unit tests for the ChipDatabase query layer."""
+
+import numpy as np
+import pytest
+
+from repro.cmos.nodes import NODE_ERAS_TDP
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.schema import Category, ChipSpec
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def db():
+    chips = [
+        ChipSpec(name="a", category=Category.CPU, node_nm=45, area_mm2=100,
+                 transistors=5e8, frequency_mhz=3000, tdp_w=95, year=2009),
+        ChipSpec(name="b", category=Category.GPU, node_nm=28, area_mm2=300,
+                 transistors=4e9, frequency_mhz=1000, tdp_w=250, year=2013),
+        ChipSpec(name="c", category=Category.GPU, node_nm=16, area_mm2=310,
+                 frequency_mhz=1600, tdp_w=180, year=2016),
+        ChipSpec(name="d", category=Category.CPU, node_nm=14,
+                 transistors=5e9, area_mm2=None, frequency_mhz=4000,
+                 tdp_w=91, year=2015),
+    ]
+    return ChipDatabase(chips)
+
+
+class TestBasics:
+    def test_len_and_iter(self, db):
+        assert len(db) == 4
+        assert [c.name for c in db] == ["a", "b", "c", "d"]
+
+    def test_indexing(self, db):
+        assert db[1].name == "b"
+
+    def test_addition_concatenates(self, db):
+        combined = db + db
+        assert len(combined) == 8
+
+    def test_repr_mentions_counts(self, db):
+        assert "4 chips" in repr(db)
+
+    def test_get_by_name(self, db):
+        assert db.get("c").node_nm == 16.0
+
+    def test_get_missing_raises(self, db):
+        with pytest.raises(DatasetError):
+            db.get("zz")
+
+
+class TestQueries:
+    def test_category_filter(self, db):
+        assert db.category("gpu").names() == ["b", "c"]
+        assert db.category(Category.CPU).names() == ["a", "d"]
+
+    def test_filter_predicate(self, db):
+        assert db.filter(lambda c: c.tdp_w > 100).names() == ["b", "c"]
+
+    def test_in_era(self, db):
+        era = NODE_ERAS_TDP[2]  # 22nm-12nm
+        assert db.in_era(era).names() == ["c", "d"]
+
+    def test_with_area(self, db):
+        assert db.with_area().names() == ["a", "b", "c"]
+
+    def test_with_transistors(self, db):
+        assert db.with_transistors().names() == ["a", "b", "d"]
+
+    def test_sorted_by(self, db):
+        assert db.sorted_by(lambda c: c.tdp_w).names() == ["d", "a", "c", "b"]
+
+    def test_sorted_by_reverse(self, db):
+        assert db.sorted_by(lambda c: c.tdp_w, reverse=True)[0].name == "b"
+
+
+class TestArrayExtraction:
+    def test_column_with_none_becomes_nan(self, db):
+        areas = db.column("area_mm2")
+        assert np.isnan(areas[3])
+        assert areas[0] == 100.0
+
+    def test_density_points_require_both_fields(self, db):
+        density, transistors = db.density_points()
+        assert len(density) == 2  # a and b only
+        assert transistors[0] == pytest.approx(5e8)
+
+    def test_density_points_empty_raises(self):
+        lone = ChipDatabase([
+            ChipSpec(name="x", category=Category.CPU, node_nm=45,
+                     transistors=1e9, frequency_mhz=1000, tdp_w=50),
+        ])
+        with pytest.raises(DatasetError):
+            lone.density_points()
+
+    def test_tdp_points_units(self, db):
+        tdp, product = db.tdp_points()
+        # First chip: 5e8 transistors at 3GHz -> 0.5 * 3.0 = 1.5.
+        assert tdp[0] == 95.0
+        assert product[0] == pytest.approx(1.5)
+
+    def test_tdp_points_empty_raises(self):
+        lone = ChipDatabase([
+            ChipSpec(name="x", category=Category.CPU, node_nm=45,
+                     area_mm2=100, frequency_mhz=1000, tdp_w=50),
+        ])
+        with pytest.raises(DatasetError):
+            lone.tdp_points()
+
+    def test_summary(self, db):
+        summary = db.summary()
+        assert summary["count"] == 4
+        assert summary["categories"]["gpu"] == 2
+        assert summary["node_min_nm"] == 14.0
+        assert summary["with_area"] == 3

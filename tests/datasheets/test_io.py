@@ -1,0 +1,90 @@
+"""Tests for CSV/JSON datasheet import/export."""
+
+import json
+
+import pytest
+
+from repro.datasheets.io import from_csv, from_json, to_csv, to_json
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.schema import Category, ChipSpec
+from repro.errors import InvalidChipSpecError
+
+
+@pytest.fixture
+def db():
+    return ChipDatabase([
+        ChipSpec(name="alpha", category=Category.CPU, node_nm=28,
+                 area_mm2=150.0, transistors=1.5e9, frequency_mhz=3200,
+                 tdp_w=84, year=2013, vendor="ACME"),
+        ChipSpec(name="beta", category=Category.GPU, node_nm=16,
+                 area_mm2=300.0, transistors=None, frequency_mhz=1500,
+                 tdp_w=180, year=None, vendor=None),
+    ])
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_specs(self, db, tmp_path):
+        path = tmp_path / "chips.csv"
+        to_csv(db, path)
+        loaded = from_csv(path)
+        assert len(loaded) == 2
+        alpha = loaded.get("alpha")
+        assert alpha.category is Category.CPU
+        assert alpha.transistors == pytest.approx(1.5e9)
+        assert alpha.year == 2013
+        beta = loaded.get("beta")
+        assert beta.transistors is None
+        assert beta.year is None
+        assert beta.vendor is None
+
+    def test_hand_authored_csv(self, tmp_path):
+        path = tmp_path / "hand.csv"
+        path.write_text(
+            "name,category,node_nm,area_mm2,transistors,frequency_mhz,"
+            "tdp_w,year,vendor,source\n"
+            "mychip,asic,7,50,,800,15,2020,,\n"
+        )
+        loaded = from_csv(path)
+        assert loaded.get("mychip").node_nm == 7.0
+        assert loaded.get("mychip").source == "imported"
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "name,category,node_nm,area_mm2,transistors,frequency_mhz,"
+            "tdp_w,year,vendor,source\n"
+            "broken,asic,not-a-node,50,,800,15,,,\n"
+        )
+        with pytest.raises(InvalidChipSpecError):
+            from_csv(path)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, db, tmp_path):
+        path = tmp_path / "chips.json"
+        to_json(db, path)
+        loaded = from_json(path)
+        assert loaded.names() == db.names()
+        assert loaded.get("beta").frequency_mhz == 1500.0
+
+    def test_json_is_valid_and_flat(self, db, tmp_path):
+        path = tmp_path / "chips.json"
+        to_json(db, path)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, list)
+        assert payload[0]["name"] == "alpha"
+
+    def test_non_list_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(InvalidChipSpecError):
+            from_json(path)
+
+    def test_curated_database_roundtrip(self, curated_db, tmp_path):
+        path = tmp_path / "curated.json"
+        to_json(curated_db, path)
+        loaded = from_json(path)
+        assert len(loaded) == len(curated_db)
+        original = curated_db.get("Tesla V100")
+        restored = loaded.get("Tesla V100")
+        assert restored.transistors == pytest.approx(original.transistors)

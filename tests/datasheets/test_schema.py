@@ -1,0 +1,86 @@
+"""Unit tests for the ChipSpec datasheet record."""
+
+import pytest
+
+from repro.cmos.nodes import density_factor
+from repro.datasheets.schema import Category, ChipSpec
+from repro.errors import InvalidChipSpecError
+
+
+def make(**overrides):
+    base = dict(
+        name="chip", category=Category.CPU, node_nm=28, area_mm2=100,
+        frequency_mhz=2000, tdp_w=65,
+    )
+    base.update(overrides)
+    return ChipSpec(**base)
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = make()
+        assert spec.node_nm == 28.0
+
+    def test_category_coerced_from_string(self):
+        spec = make(category="gpu")
+        assert spec.category is Category.GPU
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            make(category="tpu")
+
+    def test_node_string_accepted(self):
+        assert make(node_nm="16nm").node_nm == 16.0
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(node_nm=0.028)  # unit mistake: microns instead of nm
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(name="   ")
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(frequency_mhz=0)
+
+    def test_non_positive_tdp_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(tdp_w=-10)
+
+    def test_area_or_transistors_required(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(area_mm2=None, transistors=None)
+
+    def test_transistors_only_is_fine(self):
+        spec = make(area_mm2=None, transistors=1e9)
+        assert spec.density is None
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(area_mm2=-5)
+
+    def test_negative_transistors_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(transistors=-1)
+
+    def test_implausible_year_rejected(self):
+        with pytest.raises(InvalidChipSpecError):
+            make(year=1815)
+
+
+class TestDerived:
+    def test_density_matches_helper(self):
+        spec = make()
+        assert spec.density == pytest.approx(density_factor(100, 28))
+
+    def test_frequency_ghz(self):
+        assert make(frequency_mhz=2500).frequency_ghz == pytest.approx(2.5)
+
+    def test_with_source_preserves_fields(self):
+        spec = make().with_source("scraped")
+        assert spec.source == "scraped"
+        assert spec.name == "chip"
+
+    def test_source_excluded_from_equality(self):
+        assert make() == make().with_source("other")

@@ -1,0 +1,67 @@
+"""Tests for population validation."""
+
+import pytest
+
+from repro.datasheets.database import ChipDatabase
+from repro.datasheets.schema import Category, ChipSpec
+from repro.datasheets.validation import validate_population
+
+
+def chip(name, node=28, area=200.0, trans=None, tdp=100.0, freq=1500.0):
+    return ChipSpec(
+        name=name, category=Category.GPU, node_nm=node, area_mm2=area,
+        transistors=trans, frequency_mhz=freq, tdp_w=tdp,
+    )
+
+
+class TestValidatePopulation:
+    def test_reference_population_is_fit_ready(self, reference_db):
+        report = validate_population(reference_db)
+        assert report.fit_ready
+        # The calibrated population has essentially no gross outliers.
+        assert len(report.density_outliers) < len(reference_db) * 0.02
+
+    def test_curated_population_reports_thin_eras(self, curated_db):
+        report = validate_population(curated_db)
+        # Almost no 10nm-5nm real chips in the curated seed.
+        assert "10nm-5nm" in report.thin_eras
+        assert not report.fit_ready
+
+    def test_density_outlier_detected(self):
+        from repro.cmos.transistors import PAPER_DENSITY_FIT
+
+        plausible = PAPER_DENSITY_FIT.transistors_for_chip(200.0, 28)
+        db = ChipDatabase([
+            chip("normal", trans=plausible),
+            chip("bloated", trans=plausible * 50),
+            chip("anemic", trans=plausible / 50),
+        ])
+        report = validate_population(db)
+        assert set(report.density_outliers) == {"bloated", "anemic"}
+
+    def test_power_density_bounds(self):
+        db = ChipDatabase([
+            chip("hot", area=50.0, tdp=500.0),      # 10 W/mm^2
+            chip("cold", area=800.0, tdp=0.05),     # 6e-5 W/mm^2
+            chip("fine", area=300.0, tdp=150.0),
+        ])
+        report = validate_population(db)
+        assert set(report.implausible_power_density) == {"hot", "cold"}
+
+    def test_small_population_warns(self):
+        db = ChipDatabase([chip(f"c{i}", trans=1e9) for i in range(5)])
+        report = validate_population(db)
+        assert any("too small" in w for w in report.warnings)
+        assert not report.fit_ready
+
+    def test_missing_transistor_counts_warn(self):
+        db = ChipDatabase(
+            [chip(f"c{i}", trans=None) for i in range(40)]
+        )
+        report = validate_population(db)
+        assert any("disclose" in w for w in report.warnings)
+
+    def test_describe_output(self, curated_db):
+        text = validate_population(curated_db).describe()
+        assert "chips" in text
+        assert "thin eras" in text

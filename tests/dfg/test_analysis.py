@@ -1,0 +1,121 @@
+"""Unit tests for DFG analysis: depth, stages, working sets, paths."""
+
+import pytest
+
+from repro.dfg.analysis import (
+    analyze,
+    count_paths,
+    critical_path,
+    depth,
+    stage_levels,
+    stage_working_sets,
+    topological_order,
+)
+from repro.dfg.graph import Dfg
+
+
+def fig11():
+    """The paper's Fig 11 example: 3 inputs, 2 compute stages, 2 outputs."""
+    g = Dfg("fig11")
+    d1, d2, d3 = g.add_input("d1"), g.add_input("d2"), g.add_input("d3")
+    s1 = g.add_compute("add", [d1, d2])
+    s2 = g.add_compute("div", [d2, d3])
+    t1 = g.add_compute("sub", [s1, s2])
+    t2 = g.add_compute("add", [s2, d3])
+    o1 = g.add_output(t1)
+    o2 = g.add_output(t2)
+    return g
+
+
+class TestTopologicalOrder:
+    def test_order_respects_edges(self):
+        g = fig11()
+        order = topological_order(g)
+        position = {nid: i for i, nid in enumerate(order)}
+        for src, dst in g.edges():
+            assert position[src] < position[dst]
+
+    def test_covers_all_nodes(self):
+        g = fig11()
+        assert len(topological_order(g)) == len(g)
+
+
+class TestStages:
+    def test_inputs_are_stage_one(self):
+        g = fig11()
+        levels = stage_levels(g)
+        for nid in g.inputs():
+            assert levels[nid] == 1
+
+    def test_level_is_one_past_deepest_pred(self):
+        g = fig11()
+        levels = stage_levels(g)
+        for nid in g.node_ids():
+            preds = g.predecessors(nid)
+            if preds:
+                assert levels[nid] == 1 + max(levels[p] for p in preds)
+
+    def test_working_sets_partition_vertices(self):
+        g = fig11()
+        sets = stage_working_sets(g)
+        all_nodes = [nid for members in sets.values() for nid in members]
+        assert sorted(all_nodes) == sorted(g.node_ids())
+
+    def test_fig11_depth_is_four(self):
+        # input -> stage1 compute -> stage2 compute -> output = 4 vertices.
+        assert depth(fig11()) == 4
+
+
+class TestPaths:
+    def test_fig11_path_count(self):
+        # d1->s1->t1->o1; d2->s1->t1; d2->s2->{t1,t2}; d3->s2->{t1,t2}; d3->t2.
+        assert count_paths(fig11()) == 7
+
+    def test_chain_has_one_path(self):
+        g = Dfg("chain")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        c = g.add_compute("add", [b])
+        g.add_output(c)
+        assert count_paths(g) == 1
+
+    def test_critical_path_is_longest(self):
+        g = fig11()
+        path = critical_path(g)
+        assert len(path) == depth(g)
+
+    def test_critical_path_is_connected(self):
+        g = fig11()
+        path = critical_path(g)
+        for src, dst in zip(path, path[1:]):
+            assert dst in g.successors(src)
+
+    def test_critical_path_spans_input_to_output(self):
+        g = fig11()
+        path = critical_path(g)
+        assert path[0] in g.inputs()
+        assert path[-1] in g.outputs()
+
+
+class TestAnalyze:
+    def test_fig11_stats(self):
+        stats = analyze(fig11())
+        assert stats.n_vertices == 9
+        assert stats.n_edges == 10
+        assert stats.n_inputs == 3
+        assert stats.n_outputs == 2
+        assert stats.n_compute == 4
+        assert stats.depth == 4
+        assert stats.max_working_set == 3
+        assert stats.path_count == 7
+
+    def test_stage_sizes_sum_to_vertices(self):
+        stats = analyze(fig11())
+        assert sum(stats.stage_sizes) == stats.n_vertices
+
+    def test_parallelism(self):
+        stats = analyze(fig11())
+        assert stats.parallelism == pytest.approx(9 / 4)
+
+    def test_describe_mentions_name(self):
+        assert "fig11" in analyze(fig11()).describe()

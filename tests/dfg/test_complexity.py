@@ -1,0 +1,123 @@
+"""Unit tests for the Table II concept-limit formulas."""
+
+import math
+
+import pytest
+
+from repro.dfg.analysis import DfgStats, analyze
+from repro.dfg.complexity import (
+    Component,
+    Concept,
+    complexity_table,
+    concept_limit,
+    speedup_bound,
+)
+from repro.dfg.graph import Dfg
+
+
+@pytest.fixture
+def stats():
+    return DfgStats(
+        name="synthetic", n_vertices=100, n_edges=180, n_inputs=16,
+        n_outputs=4, n_compute=80, depth=10, max_working_set=32,
+        stage_sizes=(16, 32, 20, 12, 8, 4, 3, 2, 2, 1), path_count=1000,
+    )
+
+
+class TestTable2Formulas:
+    def test_memory_simplification(self, stats):
+        limit = concept_limit(stats, Component.MEMORY, Concept.SIMPLIFICATION)
+        assert limit.time == pytest.approx(100 * math.log2(32))
+        assert limit.space == 32
+
+    def test_memory_heterogeneity(self, stats):
+        limit = concept_limit(stats, Component.MEMORY, Concept.HETEROGENEITY)
+        assert limit.time == 10
+        assert limit.space == 180
+
+    def test_memory_partitioning(self, stats):
+        limit = concept_limit(stats, Component.MEMORY, Concept.PARTITIONING)
+        assert limit.time == pytest.approx(10 * math.log2(32))
+        assert limit.space == 32
+
+    def test_communication_simplification(self, stats):
+        limit = concept_limit(stats, Component.COMMUNICATION, Concept.SIMPLIFICATION)
+        assert limit.time == 180
+        assert limit.space == 100
+
+    def test_communication_heterogeneity(self, stats):
+        limit = concept_limit(stats, Component.COMMUNICATION, Concept.HETEROGENEITY)
+        assert limit.time == 10
+        assert limit.space == 180
+
+    def test_communication_partitioning(self, stats):
+        limit = concept_limit(stats, Component.COMMUNICATION, Concept.PARTITIONING)
+        assert limit.time == 10
+        assert limit.space == 32
+
+    def test_computation_simplification(self, stats):
+        limit = concept_limit(stats, Component.COMPUTATION, Concept.SIMPLIFICATION)
+        assert limit.time == 180
+        assert limit.space == 1
+
+    def test_computation_heterogeneity_lookup_table(self, stats):
+        limit = concept_limit(stats, Component.COMPUTATION, Concept.HETEROGENEITY)
+        assert limit.time == 16
+        assert limit.space == pytest.approx(2**16 * 4)
+
+    def test_computation_partitioning(self, stats):
+        limit = concept_limit(stats, Component.COMPUTATION, Concept.PARTITIONING)
+        assert limit.time == 10
+        assert limit.space == 32
+
+    def test_lookup_table_overflow_clamps_to_inf(self):
+        huge = DfgStats(
+            name="huge", n_vertices=5000, n_edges=9000, n_inputs=2000,
+            n_outputs=10, n_compute=2990, depth=50, max_working_set=500,
+            stage_sizes=(500,), path_count=1,
+        )
+        limit = concept_limit(huge, Component.COMPUTATION, Concept.HETEROGENEITY)
+        assert limit.space == math.inf
+
+    def test_formulas_are_documented(self, stats):
+        limit = concept_limit(stats, Component.MEMORY, Concept.SIMPLIFICATION)
+        assert "log" in limit.time_formula
+        assert "WS" in limit.space_formula
+
+
+class TestTableAndBounds:
+    def test_full_table_has_nine_entries(self, stats):
+        table = complexity_table(stats)
+        assert len(table) == 9
+
+    def test_heterogeneity_and_partitioning_never_slower_than_simplification(
+        self, stats
+    ):
+        for component in Component:
+            simple = concept_limit(stats, component, Concept.SIMPLIFICATION).time
+            for concept in (Concept.PARTITIONING, Concept.HETEROGENEITY):
+                assert concept_limit(stats, component, concept).time <= simple
+
+    def test_speedup_bound_at_least_one(self, stats):
+        for component in Component:
+            assert speedup_bound(stats, component) >= 1.0
+
+    def test_speedup_bound_memory(self, stats):
+        expected = (100 * math.log2(32)) / 10
+        assert speedup_bound(stats, Component.MEMORY) == pytest.approx(expected)
+
+    def test_on_real_kernel(self, all_kernels):
+        stats = analyze(all_kernels["gmm"].dfg)
+        table = complexity_table(stats)
+        for limit in table.values():
+            assert limit.time >= 1.0
+            assert limit.space >= 1.0
+
+    def test_degenerate_small_graph(self):
+        g = Dfg("tiny")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        g.add_output(b)
+        table = complexity_table(analyze(g))
+        for limit in table.values():
+            assert limit.time > 0 and limit.space > 0

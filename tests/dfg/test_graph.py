@@ -1,0 +1,147 @@
+"""Unit tests for the DFG graph type."""
+
+import pytest
+
+from repro.dfg.graph import Dfg, NodeKind
+from repro.errors import GraphStructureError
+
+
+def diamond():
+    """in -> (left, right) -> join -> out"""
+    g = Dfg("diamond")
+    a = g.add_input("a")
+    left = g.add_compute("add", [a])
+    right = g.add_compute("mul", [a])
+    join = g.add_compute("add", [left, right])
+    out = g.add_output(join, "out")
+    return g, (a, left, right, join, out)
+
+
+class TestConstruction:
+    def test_node_kinds(self):
+        g, (a, left, right, join, out) = diamond()
+        assert g.node(a).kind is NodeKind.INPUT
+        assert g.node(left).kind is NodeKind.COMPUTE
+        assert g.node(out).kind is NodeKind.OUTPUT
+
+    def test_counts(self):
+        g, _ = diamond()
+        assert len(g) == 5
+        assert g.num_edges == 5
+
+    def test_degree_sets(self):
+        g, (a, left, right, join, out) = diamond()
+        assert g.inputs() == [a]
+        assert g.outputs() == [out]
+        assert set(g.compute_nodes()) == {left, right, join}
+
+    def test_adjacency(self):
+        g, (a, left, right, join, out) = diamond()
+        assert set(g.successors(a)) == {left, right}
+        assert set(g.predecessors(join)) == {left, right}
+
+    def test_edges_iterator(self):
+        g, (a, left, *_rest) = diamond()
+        assert (a, left) in set(g.edges())
+
+    def test_duplicate_edge_is_idempotent(self):
+        g = Dfg("dup")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        g.add_edge(a, b)
+        assert g.num_edges == 1
+
+    def test_compute_without_operands_rejected(self):
+        g = Dfg("bad")
+        with pytest.raises(GraphStructureError):
+            g.add_compute("add", [])
+
+    def test_compute_requires_op(self):
+        from repro.dfg.graph import DfgNode
+
+        with pytest.raises(GraphStructureError):
+            DfgNode(0, NodeKind.COMPUTE, op=None)
+
+    def test_input_cannot_carry_op(self):
+        from repro.dfg.graph import DfgNode
+
+        with pytest.raises(GraphStructureError):
+            DfgNode(0, NodeKind.INPUT, op="add")
+
+    def test_self_loop_rejected(self):
+        g = Dfg("loop")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        with pytest.raises(GraphStructureError):
+            g.add_edge(b, b)
+
+    def test_edge_from_output_rejected(self):
+        g, (_a, left, _r, _j, out) = diamond()
+        with pytest.raises(GraphStructureError):
+            g.add_edge(out, left)
+
+    def test_edge_into_input_rejected(self):
+        g, (a, left, *_rest) = diamond()
+        with pytest.raises(GraphStructureError):
+            g.add_edge(left, a)
+
+    def test_unknown_endpoint_rejected(self):
+        g, _ = diamond()
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 999)
+
+    def test_unknown_node_lookup_rejected(self):
+        g, _ = diamond()
+        with pytest.raises(GraphStructureError):
+            g.node(999)
+
+
+class TestValidation:
+    def test_valid_graph_passes_and_chains(self):
+        g, _ = diamond()
+        assert g.validate() is g
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphStructureError):
+            Dfg("empty").validate()
+
+    def test_dead_compute_rejected(self):
+        g = Dfg("dead")
+        a = g.add_input()
+        g.add_compute("add", [a])  # never consumed
+        with pytest.raises(GraphStructureError, match="dead"):
+            g.validate()
+
+    def test_cycle_detected(self):
+        g = Dfg("cyclic")
+        a = g.add_input()
+        b = g.add_compute("add", [a])
+        c = g.add_compute("add", [b])
+        g.add_output(c)
+        g.add_edge(c, b)  # back edge
+        with pytest.raises(GraphStructureError, match="cycle"):
+            g.validate()
+
+    def test_repr(self):
+        g, _ = diamond()
+        assert "diamond" in repr(g) and "5 nodes" in repr(g)
+
+
+class TestCopySubgraph:
+    def test_copy_is_independent(self):
+        g, (a, *_rest) = diamond()
+        clone = g.copy()
+        new = clone.add_compute("add", [a])
+        clone.add_output(new)
+        assert len(clone) == len(g) + 2
+
+    def test_subgraph_restricts_edges(self):
+        g, (a, left, right, join, out) = diamond()
+        sub = g.subgraph({a, left})
+        assert len(sub) == 2
+        assert sub.num_edges == 1
+
+    def test_subgraph_unknown_node_rejected(self):
+        g, _ = diamond()
+        with pytest.raises(GraphStructureError):
+            g.subgraph({999})

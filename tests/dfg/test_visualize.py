@@ -1,0 +1,65 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.dfg.graph import Dfg
+from repro.dfg.visualize import to_dot
+
+
+@pytest.fixture
+def small_graph():
+    g = Dfg("viz")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    total = g.add_compute("add", [a, b], label="sum")
+    g.add_output(total, "out")
+    return g
+
+
+class TestToDot:
+    def test_structure(self, small_graph):
+        dot = to_dot(small_graph)
+        assert dot.startswith('digraph "viz"')
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_node_shapes(self, small_graph):
+        dot = to_dot(small_graph)
+        assert "shape=box" in dot          # inputs
+        assert "shape=doublecircle" in dot  # outputs
+        assert "shape=ellipse" in dot       # compute
+
+    def test_labels_present(self, small_graph):
+        dot = to_dot(small_graph)
+        assert '"a"' in dot
+        assert "add" in dot
+
+    def test_edges_match_graph(self, small_graph):
+        dot = to_dot(small_graph)
+        assert dot.count("->") == small_graph.num_edges
+
+    def test_cluster_stages(self, small_graph):
+        dot = to_dot(small_graph, cluster_stages=True)
+        assert "cluster_stage1" in dot
+        assert "cluster_stage2" in dot
+
+    def test_quote_escaping(self):
+        g = Dfg('has "quotes"')
+        a = g.add_input('in "x"')
+        g.add_output(g.add_compute("add", [a]))
+        dot = to_dot(g)
+        assert '\\"' in dot
+
+    def test_node_limit_guard(self):
+        g = Dfg("big")
+        prev = g.add_input()
+        for _ in range(30):
+            prev = g.add_compute("add", [prev])
+        g.add_output(prev)
+        with pytest.raises(ValueError):
+            to_dot(g, max_nodes=10)
+        assert to_dot(g, max_nodes=None)
+
+    def test_real_kernel_exports(self, all_kernels):
+        dot = to_dot(all_kernels["red"].dfg, cluster_stages=True, max_nodes=None)
+        assert dot.count("->") == all_kernels["red"].dfg.num_edges

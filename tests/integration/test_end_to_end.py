@@ -1,0 +1,97 @@
+"""Integration tests across module boundaries."""
+
+import pytest
+
+from repro import CmosPotentialModel, csr, decompose_gain, reference_database
+from repro.accel.attribution import attribute_gains
+from repro.accel.design import DesignPoint
+from repro.accel.power import evaluate_design
+from repro.accel.sweep import default_design_grid, sweep
+from repro.csr.series import compute_csr_series
+from repro.datasheets.schema import Category, ChipSpec
+from repro.dfg.analysis import analyze
+from repro.dfg.complexity import Component, Concept, concept_limit
+from repro.workloads import WORKLOADS, build_kernel
+
+
+class TestModelPipeline:
+    """datasheets -> fits -> physical gains -> CSR."""
+
+    def test_refit_model_close_to_paper_model(self, paper_model, fitted_model):
+        # Both models must agree on a representative physical gain within 25%.
+        old = dict(node_nm=45, frequency_mhz=1000, area_mm2=100, tdp_w=100)
+        new = dict(node_nm=7, frequency_mhz=1000, area_mm2=100, tdp_w=100)
+        def gain(model):
+            return (
+                model.evaluate(**new).throughput / model.evaluate(**old).throughput
+            )
+        assert gain(fitted_model) == pytest.approx(gain(paper_model), rel=0.25)
+
+    def test_top_level_quickstart(self):
+        model = CmosPotentialModel.paper()
+        old = model.evaluate(45, 1000, area_mm2=100, tdp_w=100)
+        new = model.evaluate(5, 1000, area_mm2=100, tdp_w=100)
+        physical = new.throughput / old.throughput
+        decomposition = decompose_gain(250.0, physical)
+        assert decomposition.specialization == pytest.approx(
+            csr(250.0, physical)
+        )
+
+    def test_series_from_database_chips(self, paper_model, reference_db):
+        gpus = reference_db.category(Category.GPU).with_area()
+        chips = [(spec, spec.transistors or 1e9) for spec in list(gpus)[:5]]
+        series = compute_csr_series(chips, paper_model)
+        assert len(series) == 5
+
+
+class TestDsePipeline:
+    """workloads -> trace -> schedule -> power -> attribution."""
+
+    @pytest.mark.parametrize("abbrev", [w.abbrev for w in WORKLOADS])
+    def test_every_kernel_evaluates_end_to_end(self, abbrev, all_kernels):
+        kernel = all_kernels[abbrev.lower()]
+        report = evaluate_design(kernel, DesignPoint(node_nm=14, partition=8))
+        assert report.runtime_s > 0
+        assert report.energy_nj > 0
+
+    def test_sweep_then_attribute(self):
+        kernel = build_kernel("RED")
+        result = sweep(
+            kernel,
+            default_design_grid(
+                nodes=(45.0, 5.0), partitions=(1, 8, 64), simplifications=(1, 9)
+            ),
+        )
+        best = result.best_throughput()
+        attribution = attribute_gains(
+            kernel, partitions=(1, 8, 64), simplifications=(1, 9)
+        )
+        assert attribution.total_gain >= best.throughput_ops / max(
+            r.throughput_ops for r in result
+        )
+
+    def test_dfg_limits_consistent_with_schedule(self):
+        # The Table II partitioning time limit (depth) lower-bounds the
+        # scheduler's cycle count at unlimited parallelism (up to per-op
+        # latency factors).
+        kernel = build_kernel("RED")
+        stats = analyze(kernel.dfg)
+        limit = concept_limit(stats, Component.COMPUTATION, Concept.PARTITIONING)
+        report = evaluate_design(kernel, DesignPoint(node_nm=45, partition=524288))
+        assert report.cycles >= limit.time
+
+
+class TestStudiesAndWall:
+    def test_fitted_model_reproduces_shapes_too(self, fitted_model):
+        from repro.studies import video_decoders
+
+        summary = video_decoders.study().summary(fitted_model)
+        assert 40 <= summary["max_performance_gain"] <= 95
+        assert summary["best_performer_csr"] < 1.2
+
+    def test_wall_with_fitted_model(self, fitted_model):
+        from repro.wall import accelerator_wall
+
+        report = accelerator_wall("video_decoding", fitted_model)
+        low, high = report.headroom
+        assert high > low >= 1.0

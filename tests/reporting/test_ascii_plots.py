@@ -1,0 +1,101 @@
+"""Tests for the ASCII plotting layer."""
+
+import pytest
+
+from repro.reporting.ascii_plots import (
+    MARKERS,
+    ascii_scatter,
+    plot_csr_series,
+    plot_frontier,
+    plot_runtime_power,
+)
+
+
+class TestAsciiScatter:
+    def test_basic_plot_structure(self):
+        text = ascii_scatter(
+            {"a": [(0.0, 0.0), (1.0, 1.0)]},
+            title="demo", x_label="xs", y_label="ys",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "legend: o a" in lines[-1]
+        assert any("|" in line for line in lines)
+        assert "xs" in text and "ys" in text
+
+    def test_markers_assigned_in_order(self):
+        text = ascii_scatter(
+            {"first": [(0, 0)], "second": [(1, 1)], "third": [(2, 2)]}
+        )
+        assert f"{MARKERS[0]} first" in text
+        assert f"{MARKERS[1]} second" in text
+        assert f"{MARKERS[2]} third" in text
+
+    def test_corners_are_plotted(self):
+        text = ascii_scatter({"a": [(0.0, 0.0), (10.0, 10.0)]}, width=20, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "o" in rows[0]    # max y on top row
+        assert "o" in rows[-1]   # min y on bottom row
+
+    def test_log_axes_ticks(self):
+        text = ascii_scatter(
+            {"a": [(1.0, 1.0), (1000.0, 100.0)]}, log_x=True, log_y=True
+        )
+        assert "1e3" in text
+        assert "1e0" in text
+
+    def test_log_axis_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"a": [(0.0, 1.0)]}, log_x=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+        with pytest.raises(ValueError):
+            ascii_scatter({"a": []})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"a": [(0, 0)]}, width=5, height=3)
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter({"a": [(1.0, 1.0)]})
+        assert "o" in text
+
+
+class TestFigurePlots:
+    def test_plot_csr_series(self, paper_model):
+        from repro.studies import video_decoders
+
+        series = video_decoders.study().performance_series(paper_model)
+        text = plot_csr_series(series, "video decoders")
+        assert "gain" in text and "CSR" in text
+
+    def test_plot_frontier(self):
+        points = [(1.0, 1.0), (2.0, 3.0), (4.0, 2.0)]
+        frontier = [(1.0, 1.0), (2.0, 3.0)]
+        text = plot_frontier(points, frontier, "toy frontier")
+        assert "frontier" in text
+
+    def test_plot_runtime_power(self):
+        from repro.accel.sweep import default_design_grid, sweep
+        from repro.workloads import trd
+
+        result = sweep(
+            trd.build(n=8),
+            default_design_grid(
+                nodes=(45.0, 5.0), partitions=(1, 8), simplifications=(1,)
+            ),
+        )
+        text = plot_runtime_power(result.reports)
+        assert "45nm" in text and "5nm" in text
+
+
+class TestPlotCli:
+    @pytest.mark.parametrize("figure", ["fig1", "fig4", "fig9"])
+    def test_plot_command(self, capsys, figure):
+        from repro.cli import main
+
+        assert main(["plot", figure]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

@@ -1,0 +1,46 @@
+"""Tests for JSON artifact export."""
+
+import json
+
+import pytest
+
+from repro.reporting.export import artifact_builders, export_all, export_artifact
+
+
+class TestExport:
+    def test_builder_registry_covers_all_artifacts(self):
+        names = set(artifact_builders())
+        assert {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig1", "fig3a", "fig3b", "fig3c", "fig3d", "fig4", "fig5",
+            "fig6_7", "fig8", "fig9", "fig13", "fig14", "fig15_16",
+        } == names
+
+    def test_export_single_artifact(self, tmp_path, paper_model):
+        path = export_artifact("table5", tmp_path, paper_model)
+        payload = json.loads(path.read_text())
+        assert len(payload) == 4
+
+    def test_export_unknown_artifact(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_artifact("fig99", tmp_path)
+
+    def test_export_subset(self, tmp_path, paper_model):
+        paths = export_all(
+            tmp_path, paper_model, names=["fig1", "fig3a", "table4"]
+        )
+        assert set(paths) == {"fig1", "fig3a", "table4"}
+        for path in paths.values():
+            assert path.exists()
+            json.loads(path.read_text())  # valid JSON
+
+    def test_fig3d_tuple_keys_serialised(self, tmp_path, paper_model):
+        path = export_artifact("fig3d", tmp_path, paper_model)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, dict)
+        assert all(isinstance(k, str) for k in payload)
+
+    def test_directory_created(self, tmp_path, paper_model):
+        nested = tmp_path / "a" / "b"
+        path = export_artifact("table1", nested, paper_model)
+        assert path.parent == nested

@@ -1,0 +1,66 @@
+"""Tests for table regeneration and rendering."""
+
+import pytest
+
+from repro.dfg.analysis import analyze
+from repro.reporting.tables import (
+    render_rows,
+    table1_specialization_concepts,
+    table2_concept_limits,
+    table3_sweep_parameters,
+    table4_applications,
+    table5_wall_parameters,
+)
+from repro.workloads import trd
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_rows([]) == "(empty)"
+
+    def test_alignment_and_header(self):
+        text = render_rows([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_column_subset(self):
+        text = render_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_float_formatting(self):
+        text = render_rows([{"x": 3.14159265}])
+        assert "3.142" in text
+
+
+class TestTables:
+    def test_table1_has_nine_concept_cells(self):
+        rows = table1_specialization_concepts()
+        assert len(rows) == 9
+        components = {r["component"] for r in rows}
+        assert components == {"Memory", "Communication", "Computation"}
+
+    def test_table2_on_real_kernel(self):
+        stats = analyze(trd.build(n=8).dfg)
+        rows = table2_concept_limits(stats)
+        assert len(rows) == 9
+        for row in rows:
+            assert row["time"] > 0
+
+    def test_table3_parameters(self):
+        rows = table3_sweep_parameters()
+        assert len(rows) == 3
+        assert "524288" in rows[0]["values"]
+        assert rows[2]["values"].startswith("45")
+
+    def test_table4_sixteen_rows(self):
+        rows = table4_applications()
+        assert len(rows) == 16
+        assert {"application", "abbrev", "domain"} <= set(rows[0])
+
+    def test_table5_four_domains(self):
+        rows = table5_wall_parameters()
+        assert len(rows) == 4
+        video = next(r for r in rows if r["domain"] == "video_decoding")
+        assert video["tdp_w"] == 7.0
+        assert video["min_die_mm2"] == 1.68

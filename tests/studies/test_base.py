@@ -1,0 +1,81 @@
+"""Unit tests for the shared case-study framework."""
+
+import pytest
+
+from repro.datasheets.schema import Category, ChipSpec
+from repro.errors import DatasetError
+from repro.studies.base import CaseStudy, StudyChip
+
+
+def chip(name, node, gain, power):
+    spec = ChipSpec(
+        name=name, category=Category.ASIC, node_nm=node, area_mm2=10,
+        frequency_mhz=300, tdp_w=power,
+    )
+    return StudyChip(
+        spec=spec,
+        measured={"perf": gain, "power_w": power, "eff": gain / power},
+    )
+
+
+@pytest.fixture
+def study():
+    return CaseStudy(
+        name="toy",
+        chips=[chip("a", 65, 10.0, 1.0), chip("b", 28, 40.0, 1.0)],
+        performance_metric="perf",
+        efficiency_metric="eff",
+    )
+
+
+class TestStudyChip:
+    def test_metric_lookup(self):
+        c = chip("a", 65, 10.0, 1.0)
+        assert c.metric("perf") == 10.0
+
+    def test_missing_metric_raises(self):
+        c = chip("a", 65, 10.0, 1.0)
+        with pytest.raises(DatasetError, match="no measured metric"):
+            c.metric("latency")
+
+
+class TestCaseStudy:
+    def test_empty_study_rejected(self):
+        with pytest.raises(DatasetError):
+            CaseStudy("empty", [], "perf", "eff")
+
+    def test_len_and_names(self, study):
+        assert len(study) == 2
+        assert study.names() == ["a", "b"]
+
+    def test_performance_series_normalised(self, study, paper_model):
+        series = study.performance_series(paper_model)
+        assert series.points[0].gain == pytest.approx(1.0)
+        assert series.points[1].gain == pytest.approx(4.0)
+
+    def test_efficiency_series_uses_efficiency_metric(self, study, paper_model):
+        series = study.efficiency_series(paper_model)
+        assert series.points[1].gain == pytest.approx(4.0)
+        assert series.metric == "energy_efficiency"
+
+    def test_custom_baseline(self, study, paper_model):
+        series = study.performance_series(paper_model, baseline="b")
+        by_name = {p.name: p for p in series}
+        assert by_name["b"].gain == pytest.approx(1.0)
+
+    def test_summary_keys(self, study, paper_model):
+        summary = study.summary(paper_model)
+        assert {
+            "chips", "max_performance_gain", "max_efficiency_gain",
+            "max_physical_gain", "best_performer_csr", "best_efficiency_csr",
+            "max_performance_csr", "max_efficiency_csr",
+        } <= set(summary)
+        assert summary["chips"] == 2.0
+
+    def test_capped_flag_changes_physical(self, paper_model):
+        chips = [chip("a", 65, 10.0, 0.5), chip("b", 16, 40.0, 0.5)]
+        capped = CaseStudy("c", chips, "perf", "eff", capped=True)
+        uncapped = CaseStudy("u", chips, "perf", "eff", capped=False)
+        phys_capped = capped.performance_series(paper_model).points[1].physical
+        phys_uncapped = uncapped.performance_series(paper_model).points[1].physical
+        assert phys_capped != pytest.approx(phys_uncapped)

@@ -1,0 +1,46 @@
+"""Invariants of the GPU study's benchmark-window structure."""
+
+import pytest
+
+from repro.studies import gpu_graphics as g
+
+
+class TestWindows:
+    def test_every_app_has_a_window(self):
+        assert {name for name, _ in g.ALL_APPS} == set(g.APP_WINDOWS)
+
+    def test_windows_are_ordered_and_in_range(self):
+        for app, (start, end) in g.APP_WINDOWS.items():
+            assert 2005 <= start <= end <= 2018, app
+
+    def test_every_gpu_sees_at_least_five_apps(self):
+        # Eq 3 needs >= 5 shared apps; each GPU must at least carry five.
+        rates = g.frame_rates()
+        for gpu, apps in rates.items():
+            assert len(apps) >= 5, gpu
+
+    def test_fig5_apps_cover_2011_to_2017(self):
+        for app, _base in g.APPS:
+            start, end = g.APP_WINDOWS[app]
+            assert start <= 2011 and end >= 2017, app
+
+    def test_adjacent_eras_share_enough_apps(self):
+        # The closure chain requires every architecture to have a direct
+        # (>= 5 shared apps) relation with at least one other architecture.
+        measurements = g.architecture_measurements()
+        for arch, apps in measurements.items():
+            best_overlap = max(
+                len(set(apps) & set(other_apps))
+                for other, other_apps in measurements.items()
+                if other != arch
+            )
+            assert best_overlap >= 5, arch
+
+    def test_dataset_respects_windows(self):
+        chips = g.dataset("Doom 2016 FHD", min_year=2006)
+        years = [chip.spec.year for chip in chips]
+        start, end = g.APP_WINDOWS["Doom 2016 FHD"]
+        assert all(start <= year <= end for year in years)
+
+    def test_twenty_four_apps(self):
+        assert len(g.ALL_APPS) == 24

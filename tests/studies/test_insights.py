@@ -1,0 +1,56 @@
+"""Tests for the Section IV-E insight checks."""
+
+import pytest
+
+from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+from repro.studies.insights import (
+    accelerators_still_ride_transistors,
+    confined_domain_stagnation,
+    default_insights,
+    platform_transition_boost,
+    specialization_plateaus_with_maturity,
+)
+
+
+class TestIndividualInsights:
+    def test_maturity_insight_holds(self, paper_model):
+        insight = specialization_plateaus_with_maturity(
+            gpu_graphics.study(), fpga_cnn.study("alexnet"), paper_model
+        )
+        assert insight.holds
+        assert insight.evidence["mature_end_slope"] < insight.evidence[
+            "emerging_end_slope"
+        ]
+
+    def test_platform_boost_insight_holds(self, paper_model):
+        insight = platform_transition_boost(bitcoin.study(), paper_model)
+        assert insight.holds
+        assert insight.evidence["largest_boundary_jump"] > 1.0
+
+    def test_confined_domain_insight_holds(self, paper_model):
+        insight = confined_domain_stagnation(bitcoin.asic_study(), paper_model)
+        assert insight.holds
+        # CSR spread across ASICs is a small fraction of the total gain.
+        assert (
+            insight.evidence["csr_spread"]
+            < insight.evidence["total_gain"] / 10
+        )
+
+    def test_transistor_dependence_insight_holds(self, paper_model):
+        insight = accelerators_still_ride_transistors(
+            [video_decoders.study(), bitcoin.asic_study()], paper_model
+        )
+        assert insight.holds
+
+    def test_describe_format(self, paper_model):
+        insight = confined_domain_stagnation(bitcoin.asic_study(), paper_model)
+        text = insight.describe()
+        assert "holds" in text and "csr_spread" in text
+
+
+class TestDefaultSuite:
+    def test_all_default_insights_hold(self, paper_model):
+        insights = default_insights(paper_model)
+        assert len(insights) == 4
+        for insight in insights:
+            assert insight.holds, insight.describe()

@@ -1,0 +1,195 @@
+"""Golden shape tests: the Section IV headline observations.
+
+These assert the *shape* of the paper's empirical results — who wins, by
+roughly what factor, where CSR sits — not exact values (our substrate is a
+reconstruction; see DESIGN.md section 4 for the expected bands and
+EXPERIMENTS.md for measured-vs-paper numbers).
+"""
+
+import pytest
+
+from repro.datasheets.schema import Category
+from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
+
+
+@pytest.fixture(scope="module")
+def model(paper_model):
+    return paper_model
+
+
+class TestVideoDecoders:
+    """Paper Fig 4: mature domain; physical layer outpaces specialization."""
+
+    @pytest.fixture(scope="class")
+    def summary(self, paper_model):
+        return video_decoders.study().summary(paper_model)
+
+    def test_twelve_decoders(self, summary):
+        assert summary["chips"] == 12
+
+    def test_throughput_improved_about_64x(self, summary):
+        assert 45 <= summary["max_performance_gain"] <= 90
+
+    def test_efficiency_improved_about_34x(self, summary):
+        assert 22 <= summary["max_efficiency_gain"] <= 50
+
+    def test_best_performer_csr_below_one(self, summary):
+        # "for the best performing ASICs, chip specialization did not
+        # improve ... CSR was less than one".
+        assert summary["best_performer_csr"] < 1.0
+
+    def test_best_efficiency_csr_near_or_below_one(self, summary):
+        assert summary["best_efficiency_csr"] < 1.6
+
+    def test_transistor_budget_grew_about_36x(self):
+        chips = video_decoders.dataset()
+        counts = [c.spec.transistors for c in chips]
+        assert 25 <= max(counts) / min(counts) <= 50
+
+    def test_physical_gain_exceeds_measured_gain(self, summary):
+        # The physical layer had higher impact than the specialization stack.
+        assert summary["max_physical_gain"] > summary["max_performance_gain"]
+
+
+class TestGpuGraphics:
+    """Paper Figs 5-7: mature domain; CSR flat in a ~[0.95, 1.45] band."""
+
+    def test_all_five_apps_have_4_to_6x_gains(self, paper_model):
+        for app, _base in gpu_graphics.APPS:
+            summary = gpu_graphics.study(app).summary(paper_model)
+            assert 3.5 <= summary["max_performance_gain"] <= 7.0, app
+
+    def test_efficiency_gains(self, paper_model):
+        for app, _base in gpu_graphics.APPS:
+            summary = gpu_graphics.study(app).summary(paper_model)
+            assert 2.5 <= summary["max_efficiency_gain"] <= 8.0, app
+
+    def test_csr_band(self, paper_model):
+        for app, _base in gpu_graphics.APPS:
+            series = gpu_graphics.study(app).performance_series(paper_model)
+            for point in series:
+                assert 0.7 <= point.csr <= 1.7, (app, point.name)
+
+    def test_architecture_csr_matches_calibration(self, paper_model):
+        csr = gpu_graphics.architecture_csr(paper_model)
+        for arch, factor in gpu_graphics.ARCH_FACTOR.items():
+            assert csr[arch] == pytest.approx(factor, rel=0.06), arch
+
+    def test_first_architecture_on_new_node_dips(self, paper_model):
+        # Fermi (first on 40nm) sits below its predecessor Tesla 2.
+        csr = gpu_graphics.architecture_csr(paper_model)
+        assert csr["Fermi"] < csr["Tesla 2"]
+
+    def test_pascal_csr_roughly_tesla_csr(self, paper_model):
+        # "the CSR for the 16nm Pascal is roughly the same as that of the
+        # 65nm Tesla".
+        csr = gpu_graphics.architecture_csr(paper_model)
+        assert csr["Pascal"] == pytest.approx(csr["Tesla"], rel=0.25)
+
+    def test_absolute_gains_grow_with_new_architectures(self, paper_model):
+        relations = gpu_graphics.architecture_relations(paper_model)
+        assert relations.gain("Pascal", "Tesla") > 5.0
+        # Maxwell 2 includes a low-end part (GTX 750 Ti), so its geomean
+        # only modestly beats Fermi's flagship-heavy group.
+        assert relations.gain("Maxwell 2", "Fermi") > 1.0
+
+    def test_relation_matrix_connects_all_architectures(self, paper_model):
+        relations = gpu_graphics.architecture_relations(paper_model)
+        for arch in relations.architectures:
+            assert relations.has(arch, "Tesla")
+
+    def test_eq4_transitive_closure_is_exercised(self, paper_model):
+        # The 2006 Tesla and the 2016/17 Pascals share no benchmarked game
+        # (the suites' testing windows never overlap), so their relation
+        # can only come from the Eq 4 closure through intermediaries —
+        # exactly the situation the paper built Eq 4 for.
+        measurements = gpu_graphics.architecture_measurements(paper_model)
+        assert not set(measurements["Tesla"]) & set(measurements["Pascal"])
+        relations = gpu_graphics.architecture_relations(paper_model)
+        assert not relations.is_direct("Tesla", "Pascal")
+        assert relations.gain("Pascal", "Tesla") > 5.0
+
+
+class TestFpgaCnn:
+    """Paper Fig 8: emerging domain; CSR actually improves (up to ~6x)."""
+
+    def test_alexnet_performance_about_24x(self, paper_model):
+        summary = fpga_cnn.study("alexnet").summary(paper_model)
+        assert 18 <= summary["max_performance_gain"] <= 30
+
+    def test_alexnet_efficiency_about_14x(self, paper_model):
+        summary = fpga_cnn.study("alexnet").summary(paper_model)
+        assert 9 <= summary["max_efficiency_gain"] <= 18
+
+    def test_vgg_gains_lower_than_alexnet(self, paper_model):
+        alexnet = fpga_cnn.study("alexnet").summary(paper_model)
+        vgg = fpga_cnn.study("vgg16").summary(paper_model)
+        assert vgg["max_performance_gain"] < alexnet["max_performance_gain"]
+        assert 6 <= vgg["max_performance_gain"] <= 12
+
+    def test_csr_improves_multifold_unlike_mature_domains(self, paper_model):
+        # Emerging domain: CSR grows well past 1 (paper: up to ~6x).
+        summary = fpga_cnn.study("alexnet").summary(paper_model)
+        assert 2.0 <= summary["max_performance_csr"] <= 8.0
+
+    def test_utilization_table_shape(self):
+        rows = fpga_cnn.utilization_table("alexnet")
+        assert len(rows) == 11
+        for row in rows:
+            assert 0 < row["lut_pct"] <= 100
+            assert 0 < row["dsp_pct"] <= 100
+            assert 0 < row["bram_pct"] <= 100
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fpga_cnn.dataset("resnet")
+
+
+class TestBitcoin:
+    """Paper Figs 1, 9: platform jumps give CSR; ASICs ride CMOS."""
+
+    def test_population_spans_all_platforms(self):
+        chips = bitcoin.dataset()
+        categories = {c.spec.category for c in chips}
+        assert categories == {
+            Category.CPU, Category.GPU, Category.FPGA, Category.ASIC,
+        }
+
+    def test_asic_beats_cpu_by_about_600000x(self, paper_model):
+        summary = bitcoin.study().summary(paper_model)
+        assert 3e5 <= summary["max_performance_gain"] <= 1.2e6
+
+    def test_platform_transition_dominates_csr(self, paper_model):
+        # CSR at the CPU->ASIC jump is orders of magnitude, but orders
+        # *below* the raw gain (the rest is physical).
+        summary = bitcoin.study().summary(paper_model)
+        assert 1e3 <= summary["max_performance_csr"] <= 1e5
+        assert summary["max_performance_csr"] < summary["max_performance_gain"] / 5
+
+    def test_asic_series_gain_about_500x(self, paper_model):
+        summary = bitcoin.asic_study().summary(paper_model)
+        assert 300 <= summary["max_performance_gain"] <= 800
+
+    def test_asic_csr_small_compared_to_gain(self, paper_model):
+        # Fig 1: 510x performance vs 307x transistor performance -> CSR
+        # far below the raw gain (ours lands at a few x).
+        summary = bitcoin.asic_study().summary(paper_model)
+        assert summary["max_performance_csr"] <= 10
+        assert summary["max_performance_gain"] / summary["max_performance_csr"] > 50
+
+    def test_two_efficiency_csr_regions(self, paper_model):
+        # Region 1: early ASICs improve CSR; sharp drop at the fast node
+        # transition; region 2: modern 28/16nm ASICs improve again.
+        series = bitcoin.asic_study().efficiency_series(paper_model)
+        points = list(series)
+        by_name = {p.name: p for p in points}
+        early_peak = by_name["Bitfury 55nm"].csr
+        transition = by_name["BM1382"].csr
+        modern_peak = by_name["BM1387"].csr
+        assert early_peak > 1.5 * transition  # the drop
+        assert modern_peak > 1.5 * transition  # the recovery
+
+    def test_category_filter(self):
+        asics = bitcoin.dataset(Category.ASIC)
+        assert all(c.spec.category is Category.ASIC for c in asics)
+        assert len(asics) == 12

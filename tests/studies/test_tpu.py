@@ -1,0 +1,92 @@
+"""Tests for the CPU baseline model and the TPU worked example (Table I)."""
+
+import pytest
+
+from repro.accel.cpu import evaluate_on_cpu
+from repro.studies.tpu import (
+    CONCEPT_MAPPING,
+    TPU_NODE_NM,
+    build_inference_kernel,
+    tpu_case_study,
+)
+from repro.workloads import trd
+
+
+class TestCpuBaseline:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return trd.build(n=32)
+
+    def test_serial_issue(self, kernel):
+        narrow = evaluate_on_cpu(kernel, issue_width=1)
+        wide = evaluate_on_cpu(kernel, issue_width=4)
+        assert narrow.cycles == pytest.approx(4 * wide.cycles, abs=4)
+
+    def test_overhead_dominates_energy(self, kernel):
+        # Hameed et al.: the arithmetic is a small slice of CPU energy.
+        report = evaluate_on_cpu(kernel)
+        assert report.overhead_share > 0.7
+
+    def test_energy_identity(self, kernel):
+        report = evaluate_on_cpu(kernel)
+        assert report.energy_nj == pytest.approx(
+            report.dynamic_energy_nj
+            + report.leakage_power_w * report.runtime_s * 1e9
+        )
+
+    def test_newer_node_helps_cpu_too(self, kernel):
+        old = evaluate_on_cpu(kernel, node_nm=45)
+        new = evaluate_on_cpu(kernel, node_nm=7)
+        assert new.energy_efficiency > old.energy_efficiency
+        assert new.runtime_s < old.runtime_s
+
+    def test_bad_issue_width(self, kernel):
+        with pytest.raises(ValueError):
+            evaluate_on_cpu(kernel, issue_width=0)
+
+    def test_accelerator_beats_cpu_on_efficiency(self, kernel):
+        from repro.accel.design import DesignPoint
+        from repro.accel.power import evaluate_design
+
+        cpu = evaluate_on_cpu(kernel, node_nm=45)
+        accel = evaluate_design(kernel, DesignPoint(node_nm=45, partition=8))
+        assert accel.energy_efficiency > 5 * cpu.energy_efficiency
+
+
+class TestTpuCaseStudy:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return tpu_case_study()
+
+    def test_inference_kernel_computes_relu_matvec(self):
+        import numpy as np
+        from repro.workloads._data import floats
+
+        kernel = build_inference_kernel(n_inputs=4, n_outputs=2, seed=9)
+        w = np.asarray(floats(9, 8)).reshape(2, 4)
+        x = np.asarray(floats(10, 4))
+        expected = np.maximum(w @ x, 0.0)
+        assert np.allclose(kernel.output_values, expected)
+
+    def test_same_node_everywhere(self, case):
+        assert case.cpu.node_nm == TPU_NODE_NM
+        assert case.generic.design.node_nm == TPU_NODE_NM
+        assert case.specialized.design.node_nm == TPU_NODE_NM
+
+    def test_headline_efficiency_vs_cpu(self, case):
+        # Paper: TPUs improved DNN energy efficiency ~80x over CPUs on the
+        # same-generation CMOS; our model lands in the same regime.
+        assert 15 <= case.efficiency_gain_vs_cpu <= 120
+
+    def test_specialization_gain_is_cmos_independent(self, case):
+        # Node fixed: the whole gain is CSR by construction.
+        assert case.efficiency_gain > 1.0
+        assert case.throughput_gain > 10.0
+
+    def test_streaming_improves_further(self, case):
+        assert case.streaming_efficiency_gain >= case.efficiency_gain
+
+    def test_concept_mapping_covers_table1(self):
+        assert len(CONCEPT_MAPPING) == 9
+        components = {key.split()[0] for key in CONCEPT_MAPPING}
+        assert components == {"memory", "communication", "computation"}

@@ -1,0 +1,76 @@
+"""Tests for the small support modules: quantities, errors, package API."""
+
+import pytest
+
+import repro
+from repro import quantities as q
+from repro.errors import (
+    DatasetError,
+    FitError,
+    GraphStructureError,
+    InvalidChipSpecError,
+    InvalidDesignPointError,
+    ProjectionError,
+    ReproError,
+    UnknownNodeError,
+)
+
+
+class TestQuantities:
+    def test_frequency_conversions(self):
+        assert q.ghz(1.5) == 1500.0
+        assert q.mhz(300) == 300.0
+        assert q.khz(500) == 0.5
+        assert q.mhz_to_hz(1.0) == 1e6
+
+    def test_power_conversions(self):
+        assert q.milliwatts(250) == 0.25
+        assert q.watts(7) == 7.0
+
+    def test_energy_conversions(self):
+        assert q.picojoules(1000) == 1.0
+        assert q.nanojoules(2.5) == 2.5
+        assert q.joules_from_nj(1e9) == pytest.approx(1.0)
+
+    def test_scales(self):
+        assert q.giga(2) == 2e9
+        assert q.mega(3) == 3e6
+        assert q.mm2(100.0) == 100.0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            UnknownNodeError(3, (180.0, 5.0)),
+            InvalidChipSpecError("bad"),
+            InvalidDesignPointError("bad"),
+            GraphStructureError("bad"),
+            FitError("bad"),
+            ProjectionError("bad"),
+            DatasetError("bad"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_unknown_node_is_value_error(self):
+        assert isinstance(UnknownNodeError(3, (180.0, 5.0)), ValueError)
+
+    def test_fit_error_is_runtime_error(self):
+        assert isinstance(FitError("x"), RuntimeError)
+
+
+class TestPackageApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        model = repro.CmosPotentialModel.paper()
+        old = model.evaluate(45, 1000, area_mm2=100, tdp_w=100)
+        new = model.evaluate(5, 1000, area_mm2=100, tdp_w=100)
+        assert repro.csr(250.0, new.throughput / old.throughput) > 0

@@ -1,0 +1,116 @@
+"""Unit + property tests for Pareto frontiers and projection fits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProjectionError
+from repro.wall.pareto import upper_frontier
+from repro.wall.projection import (
+    FrontierFit,
+    ProjectionKind,
+    fit_frontier,
+    fit_projections,
+)
+
+
+class TestUpperFrontier:
+    def test_empty(self):
+        assert upper_frontier([]) == []
+
+    def test_single_point(self):
+        assert upper_frontier([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_dominated_point_dropped(self):
+        # (2, 1) has more capability but less gain than (1, 5): dominated.
+        frontier = upper_frontier([(1.0, 5.0), (2.0, 1.0)])
+        assert frontier == [(1.0, 5.0)]
+
+    def test_monotone_staircase_kept(self):
+        points = [(1.0, 1.0), (2.0, 3.0), (3.0, 9.0)]
+        assert upper_frontier(points) == points
+
+    def test_duplicate_x_keeps_best_gain(self):
+        frontier = upper_frontier([(1.0, 1.0), (1.0, 4.0)])
+        assert frontier == [(1.0, 4.0)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100),
+                st.floats(min_value=0.1, max_value=100),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_properties(self, points):
+        frontier = upper_frontier(points)
+        # Subset of input.
+        assert all(p in points for p in frontier)
+        # Strictly increasing in both coordinates.
+        xs = [p[0] for p in frontier]
+        ys = [p[1] for p in frontier]
+        assert xs == sorted(xs)
+        assert ys == sorted(set(ys))
+        # Non-domination: no input point strictly dominates a frontier point.
+        for fx, fy in frontier:
+            assert not any(x <= fx and y > fy for x, y in points)
+
+
+class TestFrontierFit:
+    def test_linear_recovers_exact_line(self):
+        points = [(x, 3.0 * x + 2.0) for x in (1.0, 2.0, 4.0, 8.0)]
+        fit = fit_frontier(points, ProjectionKind.LINEAR)
+        assert fit.alpha == pytest.approx(3.0)
+        assert fit.beta == pytest.approx(2.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_log_recovers_exact_curve(self):
+        import math
+
+        points = [(x, 5.0 * math.log(x) + 1.0) for x in (1.0, 2.0, 4.0, 8.0)]
+        fit = fit_frontier(points, ProjectionKind.LOGARITHMIC)
+        assert fit.alpha == pytest.approx(5.0)
+        assert fit.beta == pytest.approx(1.0)
+
+    def test_predict_linear(self):
+        fit = FrontierFit(ProjectionKind.LINEAR, 2.0, 1.0, 3, 0.0)
+        assert fit.predict(10.0) == pytest.approx(21.0)
+
+    def test_predict_log(self):
+        import math
+
+        fit = FrontierFit(ProjectionKind.LOGARITHMIC, 2.0, 1.0, 3, 0.0)
+        assert fit.predict(math.e) == pytest.approx(3.0)
+
+    def test_predict_rejects_non_positive(self):
+        fit = FrontierFit(ProjectionKind.LINEAR, 1.0, 0.0, 2, 0.0)
+        with pytest.raises(ProjectionError):
+            fit.predict(0.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ProjectionError):
+            fit_frontier([(1.0, 1.0)], ProjectionKind.LINEAR)
+
+    def test_fit_uses_frontier_not_raw_points(self):
+        # A cloud of dominated points must not drag the fit down.
+        frontier = [(1.0, 10.0), (2.0, 20.0), (4.0, 40.0)]
+        noise = [(2.0, 0.5), (3.0, 1.0), (4.0, 2.0)]
+        fit = fit_frontier(frontier + noise, ProjectionKind.LINEAR)
+        assert fit.alpha == pytest.approx(10.0)
+        assert fit.n_points == 3
+
+    def test_fit_projections_returns_both(self):
+        points = [(1.0, 1.0), (2.0, 3.0), (4.0, 5.0)]
+        linear, log = fit_projections(points)
+        assert linear.kind is ProjectionKind.LINEAR
+        assert log.kind is ProjectionKind.LOGARITHMIC
+
+    def test_describe(self):
+        fit = FrontierFit(ProjectionKind.LOGARITHMIC, 2.0, 1.0, 3, 0.1)
+        assert "log(x)" in fit.describe()
+
+    def test_linear_grows_faster_than_log_beyond_data(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (4.0, 4.0), (8.0, 8.0)]
+        linear, log = fit_projections(points)
+        assert linear.predict(1000.0) > log.predict(1000.0)

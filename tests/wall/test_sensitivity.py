@@ -1,0 +1,70 @@
+"""Tests for the wall sensitivity analysis."""
+
+import pytest
+
+from repro.wall.sensitivity import headroom_spread, wall_sensitivity
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_model):
+    return wall_sensitivity(
+        "convolutional_nn",
+        paper_model,
+        metric="performance",
+        die_scales=(0.5, 1.0, 2.0),
+        tdp_scales=(0.5, 1.0, 2.0),
+    )
+
+
+class TestSensitivity:
+    def test_grid_size(self, sweep):
+        assert len(sweep) == 9
+
+    def test_unperturbed_point_matches_wall_report(self, sweep, paper_model):
+        from repro.wall import accelerator_wall
+
+        nominal = next(
+            p for p in sweep if p.die_scale == 1.0 and p.tdp_scale == 1.0
+        )
+        report = accelerator_wall("convolutional_nn", paper_model)
+        low, high = report.headroom
+        assert nominal.headroom_low == pytest.approx(low)
+        assert nominal.headroom_high == pytest.approx(high)
+
+    def test_bigger_die_never_reduces_physical_limit(self, sweep):
+        by_scale = {}
+        for p in sweep:
+            if p.tdp_scale == 2.0:  # generous power: die is the binding limit
+                by_scale[p.die_scale] = p.physical_limit
+        assert by_scale[0.5] <= by_scale[1.0] <= by_scale[2.0]
+
+    def test_more_power_never_reduces_physical_limit(self, sweep):
+        by_scale = {}
+        for p in sweep:
+            if p.die_scale == 2.0:
+                by_scale[p.tdp_scale] = p.physical_limit
+        assert by_scale[0.5] <= by_scale[1.0] <= by_scale[2.0]
+
+    def test_headroom_spread(self, sweep):
+        low, high = headroom_spread(sweep)
+        assert 1.0 <= low <= high
+
+    def test_headroom_spread_empty_rejected(self):
+        with pytest.raises(ValueError):
+            headroom_spread([])
+
+    def test_efficiency_metric_supported(self, paper_model):
+        points = wall_sensitivity(
+            "video_decoding", paper_model, metric="efficiency",
+            die_scales=(1.0,), tdp_scales=(1.0,),
+        )
+        assert len(points) == 1
+        assert points[0].headroom_low >= 1.0
+
+    def test_frequency_scale_dimension(self, paper_model):
+        points = wall_sensitivity(
+            "gaming_graphics", paper_model,
+            die_scales=(1.0,), tdp_scales=(1.0,),
+            frequency_scales=(0.8, 1.0, 1.2),
+        )
+        assert len(points) == 3

@@ -1,0 +1,48 @@
+"""Tests for the MCM wall-surmounting extension."""
+
+import pytest
+
+from repro.errors import ProjectionError
+from repro.wall.surmount import mcm_wall, mcm_walls_all_domains
+
+
+class TestMcmWall:
+    @pytest.fixture(scope="class")
+    def gpu_mcm(self, paper_model):
+        return mcm_wall("gaming_graphics", n_chiplets=4, model=paper_model)
+
+    def test_single_chiplet_is_identity(self, paper_model):
+        single = mcm_wall("gaming_graphics", n_chiplets=1, model=paper_model)
+        assert single.mcm_physical_limit == pytest.approx(
+            single.monolithic.physical_limit
+        )
+        assert single.efficiency_factor == pytest.approx(1.0)
+
+    def test_chiplets_extend_physical_limit_sublinearly(self, gpu_mcm):
+        ratio = gpu_mcm.mcm_physical_limit / gpu_mcm.monolithic.physical_limit
+        assert 3.0 < ratio < 4.0  # 4 chiplets minus communication losses
+
+    def test_performance_wall_moves(self, gpu_mcm):
+        assert gpu_mcm.extra_headroom > 1.5
+
+    def test_efficiency_wall_does_not_move(self, gpu_mcm):
+        # The paper's efficiency limits survive MCM integration.
+        assert not gpu_mcm.moves_efficiency_wall
+        assert gpu_mcm.efficiency_factor < 1.0
+
+    def test_more_chiplets_more_headroom_less_efficiency(self, paper_model):
+        two = mcm_wall("bitcoin_mining", 2, paper_model)
+        eight = mcm_wall("bitcoin_mining", 8, paper_model)
+        assert eight.mcm_projected_linear > two.mcm_projected_linear
+        assert eight.efficiency_factor < two.efficiency_factor
+
+    def test_all_domains(self, paper_model):
+        walls = mcm_walls_all_domains(4, paper_model)
+        assert len(walls) == 4
+        for wall in walls:
+            assert wall.extra_headroom >= 1.0
+            assert "chiplets" in wall.describe()
+
+    def test_bad_chiplet_count(self, paper_model):
+        with pytest.raises(ProjectionError):
+            mcm_wall("gaming_graphics", 0, paper_model)

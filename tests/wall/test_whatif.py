@@ -1,0 +1,49 @@
+"""Tests for the time-to-wall estimation."""
+
+import pytest
+
+from repro.errors import ProjectionError
+from repro.wall.whatif import time_to_wall, time_to_wall_all_domains
+
+
+class TestTimeToWall:
+    @pytest.fixture(scope="class")
+    def estimates(self, paper_model):
+        return {t.domain: t for t in time_to_wall_all_domains(paper_model)}
+
+    def test_all_domains_estimated(self, estimates):
+        assert set(estimates) == {
+            "video_decoding", "gaming_graphics", "convolutional_nn",
+            "bitcoin_mining",
+        }
+
+    def test_rates_positive_and_plausible(self, estimates):
+        for estimate in estimates.values():
+            assert 1.0 < estimate.annual_gain_rate < 10.0
+
+    def test_bitcoin_pace_fastest(self, estimates):
+        # The mining arms race outpaced every other domain.
+        bitcoin_rate = estimates["bitcoin_mining"].annual_gain_rate
+        for domain, estimate in estimates.items():
+            if domain != "bitcoin_mining":
+                assert bitcoin_rate > estimate.annual_gain_rate
+
+    def test_years_ordered(self, estimates):
+        for estimate in estimates.values():
+            assert 0 <= estimate.years_to_wall_low <= estimate.years_to_wall_high
+
+    def test_wall_years_near_horizon(self, estimates):
+        # Every domain's wall lands within ~15 years of its last data point
+        # at historical pace — the paper's urgency, quantified.
+        for estimate in estimates.values():
+            low_year, high_year = estimate.wall_year_range
+            assert low_year >= estimate.last_observation_year
+            assert high_year <= estimate.last_observation_year + 15
+
+    def test_describe(self, estimates):
+        text = estimates["video_decoding"].describe()
+        assert "x/yr" in text and "wall" in text
+
+    def test_unknown_domain_rejected(self, paper_model):
+        with pytest.raises(ProjectionError):
+            time_to_wall("quantum", paper_model)

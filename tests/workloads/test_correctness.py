@@ -1,0 +1,141 @@
+"""Every traced kernel's concrete output must match its reference.
+
+This is the substrate-fidelity check: the dynamic DFGs the scheduler
+consumes are traces of *correct* executions of the Table IV kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    aes, bfs, fft, gmm, knn, mdy, nwn, rbm, red, sad, smv, srt, ssp, s2d,
+    s3d, trd,
+)
+
+
+def assert_close(got, want, tol=1e-6):
+    assert np.allclose(
+        np.asarray(got, dtype=float), np.asarray(want, dtype=float), atol=tol
+    )
+
+
+class TestTracedResults:
+    def test_aes_matches_fips_vector(self, all_kernels):
+        got = bytes(int(v) for v in all_kernels["aes"].output_values)
+        assert got == aes.FIPS_CIPHERTEXT
+
+    def test_aes_reference_matches_fips_vector(self):
+        assert aes.reference() == aes.FIPS_CIPHERTEXT
+
+    def test_fft_matches_numpy(self, all_kernels):
+        got = list(all_kernels["fft"].output_values)
+        want_re, want_im = fft.reference(*fft.build_inputs())
+        assert_close(got[0::2], want_re)
+        assert_close(got[1::2], want_im)
+
+    def test_gmm_matches_numpy(self, all_kernels):
+        assert_close(
+            all_kernels["gmm"].output_values, gmm.reference(*gmm.build_inputs())
+        )
+
+    def test_trd_matches_reference(self, all_kernels):
+        b, c = trd.build_inputs()
+        assert_close(
+            all_kernels["trd"].output_values,
+            trd.reference(b, c, trd.DEFAULT_SCALAR),
+        )
+
+    def test_red_matches_sum(self, all_kernels):
+        (data,) = red.build_inputs()
+        assert_close(all_kernels["red"].output_values, [red.reference(data)])
+
+    def test_sad_matches_reference(self, all_kernels):
+        assert list(all_kernels["sad"].output_values) == sad.reference(
+            *sad.build_inputs()
+        )
+
+    def test_s2d_matches_numpy(self, all_kernels):
+        assert_close(
+            all_kernels["s2d"].output_values, s2d.reference(*s2d.build_inputs())
+        )
+
+    def test_s3d_matches_numpy(self, all_kernels):
+        assert_close(
+            all_kernels["s3d"].output_values, s3d.reference(*s3d.build_inputs())
+        )
+
+    def test_smv_matches_dense_expansion(self, all_kernels):
+        assert_close(
+            all_kernels["smv"].output_values, smv.reference(*smv.build_inputs())
+        )
+
+    def test_ssp_matches_bellman_ford(self, all_kernels):
+        assert_close(
+            all_kernels["ssp"].output_values, ssp.reference(*ssp.build_inputs())
+        )
+
+    def test_bfs_matches_reference_levels(self, all_kernels):
+        got = [int(v) for v in all_kernels["bfs"].output_values]
+        assert got == bfs.reference(*bfs.build_inputs())
+
+    def test_nwn_matches_dp_score(self, all_kernels):
+        assert int(all_kernels["nwn"].output_values[0]) == nwn.reference(
+            *nwn.build_inputs()
+        )
+
+    def test_srt_output_is_sorted(self, all_kernels):
+        got = list(all_kernels["srt"].output_values)
+        assert got == sorted(got)
+
+    def test_srt_matches_reference(self, all_kernels):
+        assert_close(
+            all_kernels["srt"].output_values, srt.reference(*srt.build_inputs())
+        )
+
+    def test_knn_matches_reference(self, all_kernels):
+        assert_close(
+            all_kernels["knn"].output_values, knn.reference(*knn.build_inputs())
+        )
+
+    def test_mdy_matches_reference(self, all_kernels):
+        flat = [x for force in mdy.reference(*mdy.build_inputs()) for x in force]
+        assert_close(all_kernels["mdy"].output_values, flat)
+
+    def test_rbm_matches_reference(self, all_kernels):
+        assert_close(
+            all_kernels["rbm"].output_values, rbm.reference(*rbm.build_inputs())
+        )
+
+
+class TestParameterisation:
+    def test_fft_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft.build(n=12)
+
+    def test_aes_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            aes.build(plaintext=b"short", key=b"0" * 16)
+
+    def test_gmm_smaller_size(self):
+        kernel = gmm.build(n=4)
+        assert_close(kernel.output_values, gmm.reference(*gmm.build_inputs(n=4)))
+
+    def test_trd_custom_scalar(self):
+        kernel = trd.build(n=8, scalar=2.5)
+        b, c = trd.build_inputs(n=8)
+        assert_close(kernel.output_values, trd.reference(b, c, 2.5))
+
+    def test_red_non_power_of_two_length(self):
+        kernel = red.build(n=7)
+        (data,) = red.build_inputs(n=7)
+        assert_close(kernel.output_values, [red.reference(data)])
+
+    def test_srt_different_seed_still_sorted(self):
+        kernel = srt.build(n=16, seed=99)
+        got = list(kernel.output_values)
+        assert got == sorted(got)
+
+    def test_ssp_deterministic_graph(self):
+        edges_a, _ = ssp.build_inputs()
+        edges_b, _ = ssp.build_inputs()
+        assert edges_a == edges_b

@@ -1,0 +1,122 @@
+"""Tests for the extension workloads: SHA-256 and direct/Winograd conv."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.dfg.graph import NodeKind
+from repro.workloads import conv, sha256
+
+
+def _outputs_by_label(kernel):
+    labels = [
+        node.label for node in kernel.dfg.nodes()
+        if node.kind is NodeKind.OUTPUT
+    ]
+    return dict(zip(labels, kernel.output_values))
+
+
+class TestSha256:
+    def test_reference_matches_hashlib(self):
+        digest = sha256.reference()
+        expected = hashlib.sha256(b"abc").hexdigest()
+        assert "".join(f"{w:08x}" for w in digest) == expected
+
+    def test_reference_matches_fips_vector(self):
+        assert sha256.reference() == sha256.ABC_DIGEST
+
+    def test_traced_matches_reference(self):
+        kernel = sha256.build()
+        assert [int(v) for v in kernel.output_values] == sha256.ABC_DIGEST
+
+    def test_arbitrary_block(self):
+        block = [0xDEADBEEF + i for i in range(16)]
+        kernel = sha256.build(block)
+        assert [int(v) for v in kernel.output_values] == sha256.reference(block)
+
+    def test_reduced_rounds_traced_matches_reference(self):
+        kernel = sha256.build(rounds=24)
+        assert [int(v) for v in kernel.output_values] == sha256.reference(
+            rounds=24
+        )
+
+    def test_round_bounds_validated(self):
+        with pytest.raises(ValueError):
+            sha256.build(rounds=8)
+        with pytest.raises(ValueError):
+            sha256.build(rounds=65)
+
+    def test_block_length_validated(self):
+        with pytest.raises(ValueError):
+            sha256.build([1, 2, 3])
+
+    def test_double_sha_differs_per_nonce(self):
+        a = sha256.double_sha_header(nonce=0, rounds=20)
+        b = sha256.double_sha_header(nonce=1, rounds=20)
+        assert a.output_values != b.output_values
+
+    def test_kernel_is_schedulable(self):
+        from repro.accel.design import DesignPoint
+        from repro.accel.power import evaluate_design
+
+        kernel = sha256.build(rounds=20)
+        report = evaluate_design(kernel, DesignPoint(node_nm=16, partition=16))
+        assert report.cycles > 0
+
+    def test_mostly_alu_work(self):
+        # SHA-256 is pure 32-bit logic/arithmetic: no multiplies at all.
+        kernel = sha256.build(rounds=20)
+        ops = {node.op for node in kernel.dfg.nodes() if node.op}
+        assert "mul" not in ops
+        assert "div" not in ops
+
+
+class TestConvolution:
+    @pytest.fixture(scope="class")
+    def reference_map(self):
+        image, n = conv.build_inputs()
+        flat = conv.reference(image, n)
+        return {
+            f"y[{i},{j}]": flat[i * (n - 2) + j]
+            for i in range(n - 2)
+            for j in range(n - 2)
+        }
+
+    def test_direct_matches_reference(self, reference_map):
+        outputs = _outputs_by_label(conv.build_direct())
+        for label, expected in reference_map.items():
+            assert outputs[label] == pytest.approx(expected, abs=1e-9)
+
+    def test_winograd_matches_reference(self, reference_map):
+        outputs = _outputs_by_label(conv.build_winograd())
+        for label, expected in reference_map.items():
+            assert outputs[label] == pytest.approx(expected, abs=1e-9)
+
+    def test_winograd_needs_even_output(self):
+        with pytest.raises(ValueError):
+            conv.build_winograd(n=7)
+
+    def test_multiply_reduction_is_exactly_2_25x(self):
+        direct = conv.multiply_count(conv.build_direct())
+        winograd = conv.multiply_count(conv.build_winograd())
+        assert direct / winograd == pytest.approx(36 / 16)
+
+    def test_algorithmic_csr_at_fixed_budget(self):
+        # Same design point, same node: Winograd wins on energy per result —
+        # a pure algorithm-layer CSR improvement.
+        from repro.accel.design import DesignPoint
+        from repro.accel.power import evaluate_design
+
+        design = DesignPoint(node_nm=28, partition=16)
+        direct = evaluate_design(conv.build_direct(), design)
+        winograd = evaluate_design(conv.build_winograd(), design)
+        assert winograd.dynamic_energy_nj < direct.dynamic_energy_nj
+        assert winograd.runtime_s <= direct.runtime_s * 1.35
+
+    def test_larger_images(self):
+        image, n = conv.build_inputs(n=12, seed=5)
+        flat = conv.reference(image, n)
+        outputs = _outputs_by_label(conv.build_winograd(n=12, seed=5))
+        assert outputs["y[0,0]"] == pytest.approx(flat[0], abs=1e-9)
+        assert len(outputs) == (n - 2) ** 2

@@ -1,0 +1,71 @@
+"""Tests for the Table IV workload registry and kernel structure."""
+
+import pytest
+
+from repro.dfg.analysis import analyze
+from repro.errors import DatasetError
+from repro.workloads import WORKLOADS, build_kernel, get_workload
+
+
+class TestRegistry:
+    def test_sixteen_workloads(self):
+        assert len(WORKLOADS) == 16
+
+    def test_abbreviations_unique(self):
+        abbrevs = [w.abbrev for w in WORKLOADS]
+        assert len(set(abbrevs)) == 16
+
+    def test_table4_rows(self):
+        by_abbrev = {w.abbrev: w for w in WORKLOADS}
+        assert by_abbrev["AES"].domain == "Cryptography"
+        assert by_abbrev["BFS"].domain == "Graph Processing"
+        assert by_abbrev["S3D"].domain == "Image Processing"
+        assert by_abbrev["RBM"].domain == "Machine Learning"
+        assert by_abbrev["SMV"].name == "Sparse Matrix-Vector Multiply"
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("fft").abbrev == "FFT"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(DatasetError):
+            get_workload("ZZZ")
+
+    def test_build_kernel_by_abbrev(self):
+        kernel = build_kernel("TRD", n=8)
+        assert kernel.name == "trd"
+        assert len(kernel.dfg) > 0
+
+
+class TestKernelStructure:
+    def test_all_kernels_validate(self, all_kernels):
+        assert len(all_kernels) == 16
+        for kernel in all_kernels.values():
+            kernel.dfg.validate()
+
+    def test_all_kernels_have_outputs(self, all_kernels):
+        for kernel in all_kernels.values():
+            assert len(kernel.dfg.outputs()) >= 1
+            assert len(kernel.output_values) == len(kernel.dfg.outputs())
+
+    def test_all_kernels_count_memory_traffic(self, all_kernels):
+        for kernel in all_kernels.values():
+            assert kernel.memory_reads > 0
+            assert kernel.total_accesses >= kernel.memory_reads
+
+    def test_kernels_are_parallel(self, all_kernels):
+        # Accelerated workloads possess high parallelism (paper Section III);
+        # every kernel's DFG must expose more than trivial concurrency.
+        for name, kernel in all_kernels.items():
+            stats = analyze(kernel.dfg)
+            assert stats.max_working_set >= 4, name
+
+    def test_kernel_sizes_reasonable(self, all_kernels):
+        for name, kernel in all_kernels.items():
+            assert 50 <= len(kernel.dfg) <= 20_000, name
+
+    def test_builds_are_deterministic(self):
+        a = build_kernel("S3D")
+        b = build_kernel("S3D")
+        assert len(a.dfg) == len(b.dfg)
+        assert a.output_values == b.output_values
+        assert a.memory_reads == b.memory_reads

@@ -1,0 +1,99 @@
+"""Size-matrix correctness: kernels stay correct as their sizes scale."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import bfs, fft, gmm, nwn, red, s2d, s3d, smv, srt, ssp, trd
+
+
+def close(got, want):
+    return np.allclose(np.asarray(got, float), np.asarray(want, float), atol=1e-6)
+
+
+class TestFftSizes:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_sizes(self, n):
+        kernel = fft.build(n=n)
+        want_re, want_im = fft.reference(*fft.build_inputs(n=n))
+        got = list(kernel.output_values)
+        assert close(got[0::2], want_re)
+        assert close(got[1::2], want_im)
+
+
+class TestGmmSizes:
+    @pytest.mark.parametrize("n", [2, 3, 5, 12])
+    def test_sizes(self, n):
+        kernel = gmm.build(n=n)
+        assert close(kernel.output_values, gmm.reference(*gmm.build_inputs(n=n)))
+
+
+class TestGraphKernels:
+    @pytest.mark.parametrize("seed", [901, 17, 99])
+    def test_bfs_seeds(self, seed):
+        kernel = bfs.build(seed=seed)
+        assert [int(v) for v in kernel.output_values] == bfs.reference(
+            *bfs.build_inputs(seed=seed)
+        )
+
+    @pytest.mark.parametrize("n_vertices,n_edges", [(6, 10), (16, 40), (20, 80)])
+    def test_bfs_shapes(self, n_vertices, n_edges):
+        kernel = bfs.build(n_vertices=n_vertices, n_edges=n_edges)
+        assert [int(v) for v in kernel.output_values] == bfs.reference(
+            *bfs.build_inputs(n_vertices=n_vertices, n_edges=n_edges)
+        )
+
+    @pytest.mark.parametrize("n_vertices,n_edges", [(5, 8), (10, 30)])
+    def test_ssp_shapes(self, n_vertices, n_edges):
+        kernel = ssp.build(n_vertices=n_vertices, n_edges=n_edges)
+        assert close(
+            kernel.output_values,
+            ssp.reference(*ssp.build_inputs(n_vertices=n_vertices, n_edges=n_edges)),
+        )
+
+
+class TestStencilSizes:
+    @pytest.mark.parametrize("n", [3, 4, 7, 12])
+    def test_s2d(self, n):
+        kernel = s2d.build(n=n)
+        assert close(kernel.output_values, s2d.reference(*s2d.build_inputs(n=n)))
+
+    @pytest.mark.parametrize("n", [3, 4, 8])
+    def test_s3d(self, n):
+        kernel = s3d.build(n=n)
+        assert close(kernel.output_values, s3d.reference(*s3d.build_inputs(n=n)))
+
+
+class TestSortingAndAlignment:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 48])
+    def test_srt_sizes(self, n):
+        kernel = srt.build(n=n)
+        assert close(kernel.output_values, srt.reference(*srt.build_inputs(n=n)))
+
+    @pytest.mark.parametrize("length", [2, 5, 20])
+    def test_nwn_lengths(self, length):
+        kernel = nwn.build(length=length)
+        assert int(kernel.output_values[0]) == nwn.reference(
+            *nwn.build_inputs(length=length)
+        )
+
+
+class TestVectorKernels:
+    @pytest.mark.parametrize("n", [1, 2, 5, 100])
+    def test_red_sizes(self, n):
+        kernel = red.build(n=n)
+        (data,) = red.build_inputs(n=n)
+        assert close(kernel.output_values, [red.reference(data)])
+
+    @pytest.mark.parametrize("n", [1, 16, 128])
+    def test_trd_sizes(self, n):
+        kernel = trd.build(n=n)
+        b, c = trd.build_inputs(n=n)
+        assert close(kernel.output_values, trd.reference(b, c, trd.DEFAULT_SCALAR))
+
+    @pytest.mark.parametrize("n,density", [(4, 0.5), (24, 0.1), (16, 0.9)])
+    def test_smv_shapes(self, n, density):
+        kernel = smv.build(n=n, density=density)
+        assert close(
+            kernel.output_values,
+            smv.reference(*smv.build_inputs(n=n, density=density)),
+        )
