@@ -6,6 +6,10 @@ maps that graph onto a design point (partitioning factor, simplification
 degree, CMOS node, fusion on/off); a power model converts the schedule into
 runtime, power, and energy.  Sweeping design points reproduces Fig 13, and
 ablating one specialization concept at a time attributes gains (Fig 14).
+
+:class:`SweepEngine` executes those sweeps sharded across worker processes
+with a persistent content-addressed schedule/trace cache
+(:mod:`repro.accel.cache`); ``jobs=1`` matches the serial path exactly.
 """
 
 from repro.accel.trace import TracedArray, Tracer, Value
@@ -13,8 +17,29 @@ from repro.accel.resources import OpClass, OpCosts, ResourceLibrary, op_class
 from repro.accel.design import DesignPoint
 from repro.accel.scheduler import Schedule, schedule
 from repro.accel.power import PowerReport, evaluate_design
-from repro.accel.sweep import SweepResult, pareto_points, sweep
-from repro.accel.attribution import GainAttribution, attribute_gains
+from repro.accel.sweep import (
+    ParetoAccumulator,
+    ScheduleCache,
+    SweepResult,
+    SweepStats,
+    pareto_points,
+    sweep,
+)
+from repro.accel.cache import (
+    DiskCache,
+    KernelTraceStore,
+    ScheduleStore,
+    default_cache_dir,
+    dfg_fingerprint,
+    kernel_fingerprint,
+    library_fingerprint,
+)
+from repro.accel.engine import SweepEngine
+from repro.accel.attribution import (
+    GainAttribution,
+    attribute_all,
+    attribute_gains,
+)
 from repro.accel.streaming import StreamingReport, evaluate_streaming
 
 __all__ = [
@@ -30,10 +55,22 @@ __all__ = [
     "schedule",
     "PowerReport",
     "evaluate_design",
+    "ParetoAccumulator",
+    "ScheduleCache",
     "SweepResult",
+    "SweepStats",
     "pareto_points",
     "sweep",
+    "DiskCache",
+    "KernelTraceStore",
+    "ScheduleStore",
+    "default_cache_dir",
+    "dfg_fingerprint",
+    "kernel_fingerprint",
+    "library_fingerprint",
+    "SweepEngine",
     "GainAttribution",
+    "attribute_all",
     "attribute_gains",
     "StreamingReport",
     "evaluate_streaming",

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.accel.design import DesignPoint, baseline_design
 from repro.accel.power import PowerReport, evaluate_design
 from repro.accel.resources import ResourceLibrary
-from repro.accel.sweep import _ScheduleCache, default_design_grid
+from repro.accel.sweep import ScheduleCache, default_design_grid
 from repro.accel.trace import TracedKernel
 
 #: The concepts Fig 14 stacks, in the figure's legend order.
@@ -84,8 +84,13 @@ def find_best_design(
     library: Optional[ResourceLibrary] = None,
     partitions: Optional[Sequence[int]] = None,
     simplifications: Optional[Sequence[int]] = None,
+    cache: Optional[ScheduleCache] = None,
 ) -> Tuple[DesignPoint, PowerReport]:
-    """Grid-search the best design for *metric* at *node_nm*."""
+    """Grid-search the best design for *metric* at *node_nm*.
+
+    *cache* lets callers share one (possibly persistent-backed)
+    :class:`ScheduleCache` across the search and later ablations.
+    """
     lib = library if library is not None else ResourceLibrary()
     grid = default_design_grid(
         nodes=[node_nm],
@@ -93,7 +98,8 @@ def find_best_design(
         simplifications=simplifications,
         heterogeneity=True,
     )
-    cache = _ScheduleCache(kernel, lib)
+    if cache is None:
+        cache = ScheduleCache(kernel, lib)
     best_design = None
     best_report = None
     best_value = -math.inf
@@ -116,23 +122,26 @@ def attribute_gains(
     library: Optional[ResourceLibrary] = None,
     partitions: Optional[Sequence[int]] = None,
     simplifications: Optional[Sequence[int]] = None,
+    cache: Optional[ScheduleCache] = None,
 ) -> GainAttribution:
     """Compute the Fig 14 attribution for one kernel.
 
     *partitions*/*simplifications* default to the full Table III ranges;
-    tests pass reduced ranges for speed.
+    tests pass reduced ranges for speed.  *cache* (optionally backed by the
+    persistent store) is shared between the best-design search and the
+    ablation evaluations; by default a fresh in-memory one is used.
     """
     lib = library if library is not None else ResourceLibrary()
+    if cache is None:
+        cache = ScheduleCache(kernel, lib)
     base_design = baseline_design(baseline_node_nm)
     base_report = evaluate_design(kernel, base_design, lib)
     base_value = _metric(base_report, metric)
 
     best_design, best_report = find_best_design(
-        kernel, metric, node_nm, lib, partitions, simplifications
+        kernel, metric, node_nm, lib, partitions, simplifications, cache=cache
     )
     best_value = _metric(best_report, metric)
-
-    cache = _ScheduleCache(kernel, lib)
 
     def ablated_value(design: DesignPoint) -> float:
         report = evaluate_design(kernel, design, lib, precomputed=cache.get(design))
@@ -158,10 +167,38 @@ def attribute_gains(
     )
 
 
+def attribute_all(
+    kernels: Sequence[TracedKernel],
+    metric: str = "throughput",
+    jobs: int = 1,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
+    **kwargs,
+) -> List[GainAttribution]:
+    """Fig 14 over a kernel suite, in the given order.
+
+    With the default arguments this is the plain serial loop.  ``jobs != 1``
+    or any cache option routes through
+    :class:`repro.accel.engine.SweepEngine`, fanning kernels out across
+    worker processes and persisting schedules on disk; attribution values
+    are identical to the serial loop for any ``jobs``.
+    """
+    if jobs != 1 or cache_dir is not None or use_cache:
+        from repro.accel.engine import SweepEngine
+
+        engine = SweepEngine(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=True if use_cache is None else use_cache,
+        )
+        return engine.attribute_all(kernels, metric=metric, **kwargs)
+    return [attribute_gains(kernel, metric=metric, **kwargs) for kernel in kernels]
+
+
 def attribution_table(
     kernels: Sequence[TracedKernel],
     metric: str = "throughput",
     **kwargs,
 ) -> List[GainAttribution]:
-    """Fig 14 over a kernel suite, in the given order."""
-    return [attribute_gains(kernel, metric=metric, **kwargs) for kernel in kernels]
+    """Fig 14 over a kernel suite, in the given order (serial alias)."""
+    return attribute_all(kernels, metric=metric, **kwargs)

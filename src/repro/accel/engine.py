@@ -1,0 +1,389 @@
+"""Parallel, persistently-cached design-space exploration engine.
+
+The Fig 13/14 pipeline evaluates thousands of design points per kernel and
+sixteen kernels per figure; done naively that is strictly sequential work
+in one process, re-scheduling every structural configuration from scratch
+each run.  :class:`SweepEngine` removes both bottlenecks:
+
+* **Sharding** — a design grid is split into chunks and fanned out across
+  ``jobs`` worker processes (:class:`concurrent.futures.ProcessPoolExecutor`);
+  multi-kernel operations (:meth:`SweepEngine.sweep_many`,
+  :meth:`SweepEngine.attribute_all`) fan out across kernels instead.
+  ``jobs=1`` is the exact serial evaluation order, so results are
+  bit-identical regardless of parallelism (the model is deterministic
+  float arithmetic and chunk results are merged in submission order).
+* **Persistence** — schedules (and traced kernels) are stored in the
+  content-addressed on-disk cache (:mod:`repro.accel.cache`), shared by
+  all workers and surviving across runs; a warm rerun skips the scheduler
+  entirely.
+* **Streaming Pareto** — the (runtime, power) frontier is maintained
+  incrementally as chunk results arrive (:class:`ParetoAccumulator`), so
+  ``SweepResult.pareto_frontier()`` is ready the moment the sweep ends.
+
+Every operation records per-stage wall time and cache hit/miss counters in
+a :class:`repro.accel.sweep.SweepStats`, exposed on ``SweepResult.stats``
+and accumulated on ``engine.stats`` across the engine's lifetime.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.accel.cache import KernelTraceStore, ScheduleStore, resolve_cache_dir
+from repro.accel.design import DesignPoint
+from repro.accel.power import PowerReport, evaluate_design
+from repro.accel.resources import ResourceLibrary
+from repro.accel.sweep import (
+    ParetoAccumulator,
+    ScheduleCache,
+    SweepResult,
+    SweepStats,
+    default_design_grid,
+)
+from repro.accel.trace import TracedKernel
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a jobs request: ``None``/``0``/negative means all cores."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- worker-process entry points ----------------------------------------------
+#
+# Module-level functions with a per-process global, so the kernel, library
+# and schedule cache are shipped once per worker (executor initializer)
+# instead of once per chunk.
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_sweep_worker(
+    kernel: TracedKernel,
+    library: ResourceLibrary,
+    cache_dir,
+    use_cache: bool,
+) -> None:
+    store = ScheduleStore(cache_dir) if use_cache else None
+    _WORKER["kernel"] = kernel
+    _WORKER["library"] = library
+    _WORKER["cache"] = ScheduleCache(kernel, library, store=store)
+
+
+def _sweep_chunk(
+    designs: Sequence[DesignPoint],
+) -> Tuple[Tuple[PowerReport, ...], Dict[str, float]]:
+    kernel: TracedKernel = _WORKER["kernel"]  # type: ignore[assignment]
+    library: ResourceLibrary = _WORKER["library"]  # type: ignore[assignment]
+    cache: ScheduleCache = _WORKER["cache"]  # type: ignore[assignment]
+    before = cache.counters()
+    start = perf_counter()
+    reports = tuple(
+        evaluate_design(kernel, design, library, precomputed=cache.get(design))
+        for design in designs
+    )
+    elapsed = perf_counter() - start
+    delta = {key: value - before[key] for key, value in cache.counters().items()}
+    delta["evaluate_s"] = elapsed - delta["schedule_s"]
+    return reports, delta
+
+
+def _sweep_kernel_task(
+    kernel: TracedKernel,
+    designs: Sequence[DesignPoint],
+    library: Optional[ResourceLibrary],
+    cache_dir,
+    use_cache: bool,
+) -> SweepResult:
+    engine = SweepEngine(jobs=1, cache_dir=cache_dir, use_cache=use_cache)
+    return engine.sweep(kernel, designs, library)
+
+
+def _attribute_kernel_task(
+    kernel: TracedKernel,
+    metric: str,
+    node_nm: float,
+    baseline_node_nm: float,
+    library: Optional[ResourceLibrary],
+    partitions: Optional[Sequence[int]],
+    simplifications: Optional[Sequence[int]],
+    cache_dir,
+    use_cache: bool,
+):
+    from repro.accel.attribution import attribute_gains
+
+    lib = library if library is not None else ResourceLibrary()
+    store = ScheduleStore(cache_dir) if use_cache else None
+    cache = ScheduleCache(kernel, lib, store=store)
+    start = perf_counter()
+    attribution = attribute_gains(
+        kernel,
+        metric=metric,
+        node_nm=node_nm,
+        baseline_node_nm=baseline_node_nm,
+        library=lib,
+        partitions=partitions,
+        simplifications=simplifications,
+        cache=cache,
+    )
+    elapsed = perf_counter() - start
+    counters = cache.counters()
+    counters["evaluate_s"] = elapsed - counters["schedule_s"]
+    # Evaluations routed through the cache, plus the uncached 45nm baseline.
+    counters["design_points"] = cache.memo_hits + cache.memo_misses + 1
+    return attribution, counters
+
+
+class SweepEngine:
+    """Sharded, cached executor for sweeps and gain attribution.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (default) runs in-process with the exact
+        serial evaluation order; ``None``/``0``/negative uses all cores.
+    cache_dir:
+        Persistent cache directory (default: ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/accelerator-wall``). Only consulted when *use_cache*.
+    use_cache:
+        Enable the persistent on-disk schedule/trace cache. In-memory
+        structural memoisation is always on regardless.
+    chunk_size:
+        Design points per work unit when sharding a grid; defaults to an
+        even split of roughly four chunks per worker.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        use_cache: bool = True,
+        chunk_size: Optional[int] = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.use_cache = bool(use_cache)
+        self.cache_dir = resolve_cache_dir(cache_dir) if self.use_cache else None
+        self.chunk_size = chunk_size
+        #: Cumulative stats across every operation this engine ran.
+        self.stats = SweepStats(jobs=self.jobs, chunks=0)
+        #: Stats of the most recent operation (also on ``SweepResult.stats``).
+        self.last_stats: Optional[SweepStats] = None
+
+    # -- cache plumbing -------------------------------------------------------
+
+    def schedule_store(self) -> Optional[ScheduleStore]:
+        """A persistent schedule store, or ``None`` when caching is off."""
+        return ScheduleStore(self.cache_dir) if self.use_cache else None
+
+    def schedule_cache(
+        self, kernel: TracedKernel, library: Optional[ResourceLibrary] = None
+    ) -> ScheduleCache:
+        """A :class:`ScheduleCache` wired to this engine's persistence."""
+        lib = library if library is not None else ResourceLibrary()
+        return ScheduleCache(kernel, lib, store=self.schedule_store())
+
+    def trace(self, workload, **build_kwargs) -> TracedKernel:
+        """Trace a workload through the persistent kernel-trace cache.
+
+        *workload* is a :class:`repro.workloads.Workload` (anything with
+        ``abbrev`` and ``build(**kwargs)``). Cache off → plain build.
+        """
+        if not self.use_cache:
+            return workload.build(**build_kwargs)
+        store = KernelTraceStore(self.cache_dir)
+        kernel = store.get(workload.abbrev, **build_kwargs)
+        if kernel is None:
+            kernel = workload.build(**build_kwargs)
+            store.put(workload.abbrev, kernel, **build_kwargs)
+        return kernel
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def _chunk(self, designs: List[DesignPoint]) -> List[List[DesignPoint]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(designs) / (self.jobs * 4)))
+        return [designs[i : i + size] for i in range(0, len(designs), size)]
+
+    def sweep(
+        self,
+        kernel: TracedKernel,
+        designs: Optional[Iterable[DesignPoint]] = None,
+        library: Optional[ResourceLibrary] = None,
+    ) -> SweepResult:
+        """Evaluate *kernel* over *designs* (default: full Table III grid)."""
+        lib = library if library is not None else ResourceLibrary()
+        design_list = (
+            list(designs) if designs is not None else default_design_grid()
+        )
+        start = perf_counter()
+        accumulator = ParetoAccumulator()
+        stats = SweepStats(
+            design_points=len(design_list), jobs=self.jobs, chunks=1
+        )
+        if self.jobs == 1 or len(design_list) <= 1:
+            cache = ScheduleCache(kernel, lib, store=self.schedule_store())
+            collected: List[PowerReport] = []
+            for design in design_list:
+                report = evaluate_design(
+                    kernel, design, lib, precomputed=cache.get(design)
+                )
+                collected.append(report)
+                accumulator.add_report(report)
+            stats.merge_counters(cache.counters())
+            stats.elapsed_s = perf_counter() - start
+            stats.evaluate_s = stats.elapsed_s - stats.schedule_s
+            reports = tuple(collected)
+        else:
+            chunks = self._chunk(design_list)
+            stats.chunks = len(chunks)
+            workers = min(self.jobs, len(chunks))
+            collected = []
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_sweep_worker,
+                initargs=(kernel, lib, self.cache_dir, self.use_cache),
+            ) as pool:
+                futures = [pool.submit(_sweep_chunk, chunk) for chunk in chunks]
+                # Submission order == grid order, so the merged report tuple
+                # is identical to the serial result.
+                for future in futures:
+                    chunk_reports, delta = future.result()
+                    collected.extend(chunk_reports)
+                    for report in chunk_reports:
+                        accumulator.add_report(report)
+                    stats.evaluate_s += delta.pop("evaluate_s")
+                    stats.merge_counters(delta)
+            stats.elapsed_s = perf_counter() - start
+            reports = tuple(collected)
+        result = SweepResult(kernel=kernel.name, reports=reports, stats=stats)
+        result._seed_frontier(accumulator.payloads())
+        self._record(stats)
+        return result
+
+    def sweep_many(
+        self,
+        kernels: Sequence[TracedKernel],
+        designs: Optional[Iterable[DesignPoint]] = None,
+        library: Optional[ResourceLibrary] = None,
+    ) -> List[SweepResult]:
+        """Sweep several kernels, fanning out across kernels when parallel."""
+        design_list = (
+            list(designs) if designs is not None else default_design_grid()
+        )
+        if self.jobs == 1 or len(kernels) <= 1:
+            results = [self.sweep(k, design_list, library) for k in kernels]
+            self.last_stats = self._merged([r.stats for r in results])
+            return results
+        start = perf_counter()
+        workers = min(self.jobs, len(kernels))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_kernel_task,
+                    kernel,
+                    design_list,
+                    library,
+                    self.cache_dir,
+                    self.use_cache,
+                )
+                for kernel in kernels
+            ]
+            results = [future.result() for future in futures]
+        stats = self._merged([r.stats for r in results])
+        stats.jobs = self.jobs
+        stats.elapsed_s = perf_counter() - start
+        self._record(stats)
+        return results
+
+    # -- attribution (Fig 14) -------------------------------------------------
+
+    def attribute(
+        self,
+        kernel: TracedKernel,
+        metric: str = "throughput",
+        node_nm: float = 5.0,
+        baseline_node_nm: float = 45.0,
+        library: Optional[ResourceLibrary] = None,
+        partitions: Optional[Sequence[int]] = None,
+        simplifications: Optional[Sequence[int]] = None,
+    ):
+        """Fig 14 attribution of one kernel through the engine's cache."""
+        return self.attribute_all(
+            [kernel],
+            metric=metric,
+            node_nm=node_nm,
+            baseline_node_nm=baseline_node_nm,
+            library=library,
+            partitions=partitions,
+            simplifications=simplifications,
+        )[0]
+
+    def attribute_all(
+        self,
+        kernels: Sequence[TracedKernel],
+        metric: str = "throughput",
+        node_nm: float = 5.0,
+        baseline_node_nm: float = 45.0,
+        library: Optional[ResourceLibrary] = None,
+        partitions: Optional[Sequence[int]] = None,
+        simplifications: Optional[Sequence[int]] = None,
+    ):
+        """Fig 14 attribution over a kernel suite, fanned out across kernels.
+
+        Returns :class:`repro.accel.attribution.GainAttribution` rows in
+        the given kernel order; values are identical to the serial
+        :func:`repro.accel.attribution.attribute_gains` loop for any
+        ``jobs``.
+        """
+        start = perf_counter()
+        stats = SweepStats(jobs=self.jobs, chunks=len(kernels))
+        args = [
+            (
+                kernel,
+                metric,
+                node_nm,
+                baseline_node_nm,
+                library,
+                partitions,
+                simplifications,
+                self.cache_dir,
+                self.use_cache,
+            )
+            for kernel in kernels
+        ]
+        if self.jobs == 1 or len(kernels) <= 1:
+            outcomes = [_attribute_kernel_task(*a) for a in args]
+        else:
+            workers = min(self.jobs, len(kernels))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_attribute_kernel_task, *a) for a in args]
+                outcomes = [future.result() for future in futures]
+        attributions = []
+        for attribution, counters in outcomes:
+            attributions.append(attribution)
+            stats.design_points += int(counters.pop("design_points", 0))
+            stats.evaluate_s += counters.pop("evaluate_s", 0.0)
+            stats.merge_counters(counters)
+        stats.elapsed_s = perf_counter() - start
+        self._record(stats)
+        return attributions
+
+    # -- stats plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _merged(parts: Sequence[Optional[SweepStats]]) -> SweepStats:
+        merged = SweepStats(chunks=0)
+        for part in parts:
+            if part is not None:
+                merged.merge(part)
+        return merged
+
+    def _record(self, stats: SweepStats) -> None:
+        self.last_stats = stats
+        self.stats.merge(stats)

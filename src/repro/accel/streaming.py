@@ -25,6 +25,7 @@ from repro.accel.design import DesignPoint
 from repro.accel.power import evaluate_design
 from repro.accel.resources import OpClass, ResourceLibrary, op_class
 from repro.accel.scheduler import Schedule, schedule as run_schedule
+from repro.accel.sweep import ScheduleCache
 from repro.accel.trace import TracedKernel
 
 
@@ -94,17 +95,27 @@ def evaluate_streaming(
     kernel: TracedKernel,
     design: DesignPoint,
     library: Optional[ResourceLibrary] = None,
+    cache: Optional[ScheduleCache] = None,
 ) -> StreamingReport:
-    """Evaluate *kernel* as a pipelined streaming accelerator."""
+    """Evaluate *kernel* as a pipelined streaming accelerator.
+
+    *cache* is an optional :class:`repro.accel.sweep.ScheduleCache`
+    (possibly backed by the persistent on-disk store) supplying the
+    schedule; partition factors beyond the graph size yield the same
+    schedule either way, so cached and direct evaluation agree exactly.
+    """
     lib = library if library is not None else ResourceLibrary()
     latency_extra = lib.latency_extra(design.simplification)
-    sched = run_schedule(
-        kernel.dfg,
-        partition=design.partition,
-        library=lib,
-        fusion_window=lib.fusion_window(design.node_nm, design.heterogeneity),
-        latency_extra=latency_extra,
-    )
+    if cache is not None:
+        sched = cache.get(design)
+    else:
+        sched = run_schedule(
+            kernel.dfg,
+            partition=design.partition,
+            library=lib,
+            fusion_window=lib.fusion_window(design.node_nm, design.heterogeneity),
+            latency_extra=latency_extra,
+        )
     ii, bottleneck = initiation_interval(sched, lib, latency_extra)
     single_shot = evaluate_design(kernel, design, lib, precomputed=sched)
     return StreamingReport(

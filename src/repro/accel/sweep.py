@@ -6,12 +6,29 @@ traced kernel, reusing schedules across design points that share structural
 parameters (the schedule depends only on partition factor, fusion window and
 pipeline latency; node and simplification energy effects are applied by the
 power model afterwards).
+
+``sweep()`` runs the classic single-process path.  Pass ``jobs``/
+``cache_dir`` (or use :class:`repro.accel.engine.SweepEngine` directly) to
+shard the grid across worker processes and persist schedules on disk across
+runs; ``jobs=1`` with no cache options is exactly the original serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from functools import cached_property
+from time import perf_counter
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.accel.design import (
     MAX_PARTITION_FACTOR,
@@ -63,13 +80,30 @@ def default_design_grid(
     ]
 
 
-class _ScheduleCache:
-    """Schedules keyed by the structural parameters that affect them."""
+class ScheduleCache:
+    """Schedules keyed by the structural parameters that affect them.
 
-    def __init__(self, kernel: TracedKernel, library: ResourceLibrary):
+    In-memory memoisation is always on; pass a
+    :class:`repro.accel.cache.ScheduleStore` to additionally read/write a
+    persistent on-disk cache shared across processes and runs.  Counters
+    (``memo_hits``/``memo_misses``/``schedule_s``, plus the store's own
+    hit/miss counts) feed :class:`SweepStats`.
+    """
+
+    def __init__(
+        self,
+        kernel: TracedKernel,
+        library: ResourceLibrary,
+        store: Optional["ScheduleStoreLike"] = None,
+    ):
         self._kernel = kernel
         self._library = library
         self._cache: Dict[Tuple[int, int, int], Schedule] = {}
+        self.store = store
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.schedule_s = 0.0
+        self._fingerprints: Optional[Tuple[str, str]] = None
         # Partition factors beyond the graph size cannot change the schedule.
         n = len(kernel.dfg)
         cap = 1
@@ -77,28 +111,228 @@ class _ScheduleCache:
             cap *= 2
         self._partition_cap = cap
 
+    @property
+    def kernel(self) -> TracedKernel:
+        return self._kernel
+
+    @property
+    def library(self) -> ResourceLibrary:
+        return self._library
+
+    def _store_fingerprints(self) -> Tuple[str, str]:
+        if self._fingerprints is None:
+            from repro.accel.cache import kernel_fingerprint, library_fingerprint
+
+            self._fingerprints = (
+                kernel_fingerprint(self._kernel),
+                library_fingerprint(self._library),
+            )
+        return self._fingerprints
+
     def get(self, design: DesignPoint) -> Schedule:
         window = self._library.fusion_window(design.node_nm, design.heterogeneity)
         extra = self._library.latency_extra(design.simplification)
         partition = min(design.partition, self._partition_cap)
         key = (partition, window, extra)
-        if key not in self._cache:
-            self._cache[key] = run_schedule(
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        sched = None
+        if self.store is not None:
+            kernel_fp, library_fp = self._store_fingerprints()
+            sched = self.store.get(kernel_fp, library_fp, partition, window, extra)
+        if sched is None:
+            start = perf_counter()
+            sched = run_schedule(
                 self._kernel.dfg,
                 partition=partition,
                 library=self._library,
                 fusion_window=window,
                 latency_extra=extra,
             )
-        return self._cache[key]
+            self.schedule_s += perf_counter() - start
+            if self.store is not None:
+                kernel_fp, library_fp = self._store_fingerprints()
+                self.store.put(
+                    kernel_fp, library_fp, partition, window, extra, sched
+                )
+        self._cache[key] = sched
+        return sched
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all counters (memo + persistent store + timing)."""
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "cache_hits": self.store.hits if self.store is not None else 0,
+            "cache_misses": self.store.misses if self.store is not None else 0,
+            "schedule_s": self.schedule_s,
+        }
+
+
+class ScheduleStoreLike:
+    """Protocol of the persistent backend :class:`ScheduleCache` accepts."""
+
+    hits: int
+    misses: int
+
+    def get(self, kernel_fp, library_fp, partition, fusion_window, latency_extra):
+        raise NotImplementedError
+
+    def put(
+        self, kernel_fp, library_fp, partition, fusion_window, latency_extra, schedule
+    ):
+        raise NotImplementedError
+
+
+class _ScheduleCache(ScheduleCache):
+    """Deprecated alias of :class:`ScheduleCache`; import the public name."""
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "_ScheduleCache is deprecated; use repro.accel.sweep.ScheduleCache",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
+@dataclass
+class SweepStats:
+    """Timing and cache instrumentation of one engine/sweep invocation.
+
+    ``memo_*`` count the in-memory structural memoisation; ``cache_*``
+    count the persistent on-disk store (zero when caching is off).
+    ``schedule_s``/``evaluate_s`` are cumulative stage times — summed
+    across worker processes, so they can exceed ``elapsed_s`` wall time
+    when ``jobs > 1``.
+    """
+
+    design_points: int = 0
+    jobs: int = 1
+    chunks: int = 1
+    elapsed_s: float = 0.0
+    schedule_s: float = 0.0
+    evaluate_s: float = 0.0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Persistent-cache hit rate in [0, 1] (0 when the cache is off)."""
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        looked = self.memo_hits + self.memo_misses
+        return self.memo_hits / looked if looked else 0.0
+
+    def merge(self, other: "SweepStats") -> "SweepStats":
+        """Accumulate *other* into self (worker shards, multi-kernel runs)."""
+        self.design_points += other.design_points
+        self.chunks += other.chunks
+        self.elapsed_s += other.elapsed_s
+        self.schedule_s += other.schedule_s
+        self.evaluate_s += other.evaluate_s
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        return self
+
+    def merge_counters(self, counters: Dict[str, float]) -> "SweepStats":
+        """Accumulate a :meth:`ScheduleCache.counters` snapshot."""
+        self.memo_hits += int(counters.get("memo_hits", 0))
+        self.memo_misses += int(counters.get("memo_misses", 0))
+        self.cache_hits += int(counters.get("cache_hits", 0))
+        self.cache_misses += int(counters.get("cache_misses", 0))
+        self.schedule_s += counters.get("schedule_s", 0.0)
+        return self
+
+    def describe(self) -> str:
+        return (
+            f"{self.design_points} design points in {self.elapsed_s:.3f}s "
+            f"(jobs={self.jobs}, chunks={self.chunks}; "
+            f"schedule {self.schedule_s:.3f}s, evaluate {self.evaluate_s:.3f}s; "
+            f"disk cache {self.cache_hits} hits / {self.cache_misses} misses "
+            f"[{100.0 * self.hit_rate:.0f}%], "
+            f"memo {self.memo_hits} hits / {self.memo_misses} misses)"
+        )
+
+
+class ParetoAccumulator:
+    """Incrementally maintained Pareto frontier, minimising (x, y).
+
+    Equivalent to re-running :func:`pareto_points` over everything added so
+    far (same weak-dominance and first-wins tie rules), but each insertion
+    is O(log n) search plus amortised O(1) removals instead of a full
+    O(n log n) re-sort — the streaming form the sweep engine uses as chunk
+    results arrive.
+    """
+
+    def __init__(self) -> None:
+        self._xs: List[float] = []
+        self._ys: List[float] = []
+        self._payloads: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def add(self, x: float, y: float, payload: object = None) -> bool:
+        """Insert one point; returns True if it joined the frontier."""
+        i = bisect_left(self._xs, x)
+        # Weakly dominated by the closest point on the left (px < x, py <= y)
+        # or by an equal-x point (which keeps first-wins tie semantics)?
+        if i > 0 and self._ys[i - 1] <= y:
+            return False
+        if i < len(self._xs) and self._xs[i] == x and self._ys[i] <= y:
+            return False
+        # Evict points the new one weakly dominates (px >= x, py >= y).
+        j = i
+        while j < len(self._xs) and self._ys[j] >= y:
+            j += 1
+        if j > i:
+            del self._xs[i:j], self._ys[i:j], self._payloads[i:j]
+        self._xs.insert(i, x)
+        self._ys.insert(i, y)
+        self._payloads.insert(i, payload)
+        return True
+
+    def add_report(self, report: PowerReport) -> bool:
+        """Insert a power report into the (runtime, power) frontier."""
+        return self.add(report.runtime_s, report.power_w, report)
+
+    def extend(self, points: Iterable[Tuple[float, float, object]]) -> None:
+        for x, y, payload in points:
+            self.add(x, y, payload)
+
+    def frontier(self) -> List[Tuple[float, float, object]]:
+        """Current frontier, sorted by x ascending."""
+        return list(zip(self._xs, self._ys, self._payloads))
+
+    def payloads(self) -> List[object]:
+        """Frontier payloads, sorted by x ascending."""
+        return list(self._payloads)
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All evaluated design points of one kernel sweep."""
+    """All evaluated design points of one kernel sweep.
+
+    ``stats`` carries the engine's timing/cache instrumentation when the
+    sweep ran through :class:`repro.accel.engine.SweepEngine` (``None`` on
+    the plain serial path); it is excluded from equality so results compare
+    by their physics, not by how long they took.
+    """
 
     kernel: str
     reports: Tuple[PowerReport, ...]
+    stats: Optional[SweepStats] = field(default=None, compare=False, repr=False)
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -110,26 +344,52 @@ class SweepResult:
         """Report maximising *metric*."""
         return max(self.reports, key=metric)
 
-    def best_energy_efficiency(self) -> PowerReport:
+    @cached_property
+    def _best_energy_efficiency(self) -> PowerReport:
         return self.best(lambda r: r.energy_efficiency)
 
-    def best_throughput(self) -> PowerReport:
+    @cached_property
+    def _best_throughput(self) -> PowerReport:
         return self.best(lambda r: r.throughput_ops)
+
+    def best_energy_efficiency(self) -> PowerReport:
+        return self._best_energy_efficiency
+
+    def best_throughput(self) -> PowerReport:
+        return self._best_throughput
 
     def runtime_power_points(self) -> List[Tuple[float, float, PowerReport]]:
         """(runtime, power) scatter behind Fig 13."""
         return [(r.runtime_s, r.power_w, r) for r in self.reports]
 
+    @cached_property
+    def _pareto(self) -> Tuple[PowerReport, ...]:
+        accumulator = ParetoAccumulator()
+        for report in self.reports:
+            accumulator.add_report(report)
+        return tuple(accumulator.payloads())
+
     def pareto_frontier(self) -> List[PowerReport]:
-        """Non-dominated reports in (runtime, power) minimisation space."""
-        points = [(r.runtime_s, r.power_w, r) for r in self.reports]
-        return [r for _, _, r in pareto_points(points)]
+        """Non-dominated reports in (runtime, power) minimisation space.
+
+        Computed once (incrementally) and cached; repeated queries are O(1).
+        :func:`pareto_points` remains the batch reference implementation.
+        """
+        return list(self._pareto)
+
+    def _seed_frontier(self, frontier: Sequence[PowerReport]) -> None:
+        """Install a frontier computed while streaming (engine internal)."""
+        self.__dict__["_pareto"] = tuple(frontier)
 
 
 def pareto_points(
     points: Sequence[Tuple[float, float, object]],
 ) -> List[Tuple[float, float, object]]:
-    """Non-dominated subset of (x, y, payload), minimising both x and y."""
+    """Non-dominated subset of (x, y, payload), minimising both x and y.
+
+    Reference batch implementation; :class:`ParetoAccumulator` is the
+    incremental equivalent (property-tested against this).
+    """
     ordered = sorted(points, key=lambda p: (p[0], p[1]))
     frontier: List[Tuple[float, float, object]] = []
     best_y = float("inf")
@@ -144,15 +404,54 @@ def sweep(
     kernel: TracedKernel,
     designs: Optional[Iterable[DesignPoint]] = None,
     library: Optional[ResourceLibrary] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ScheduleCache] = None,
+    cache_dir=None,
+    use_cache: Optional[bool] = None,
 ) -> SweepResult:
-    """Evaluate *kernel* over *designs* (default: the Table III grid)."""
+    """Evaluate *kernel* over *designs* (default: the Table III grid).
+
+    With the default arguments this is the exact serial path.  ``jobs != 1``
+    or any cache option routes through
+    :class:`repro.accel.engine.SweepEngine`: ``jobs`` worker processes,
+    optionally backed by the persistent schedule cache in *cache_dir*
+    (``use_cache=False`` disables persistence even when a directory is
+    configured).  *cache* injects a pre-built :class:`ScheduleCache` into
+    the serial path, sharing schedules with other evaluations of the same
+    kernel.
+    """
+    if jobs != 1 or cache_dir is not None or use_cache:
+        from repro.accel.engine import SweepEngine
+
+        engine = SweepEngine(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=True if use_cache is None else use_cache,
+        )
+        return engine.sweep(kernel, designs, library)
+
     lib = library if library is not None else ResourceLibrary()
     design_list = (
         list(designs) if designs is not None else default_design_grid()
     )
-    cache = _ScheduleCache(kernel, lib)
+    start = perf_counter()
+    schedule_cache = cache if cache is not None else ScheduleCache(kernel, lib)
+    before = schedule_cache.counters()
     reports = tuple(
-        evaluate_design(kernel, design, lib, precomputed=cache.get(design))
+        evaluate_design(kernel, design, lib, precomputed=schedule_cache.get(design))
         for design in design_list
     )
-    return SweepResult(kernel=kernel.name, reports=reports)
+    elapsed = perf_counter() - start
+    delta = {
+        key: value - before[key]
+        for key, value in schedule_cache.counters().items()
+    }
+    stats = SweepStats(
+        design_points=len(design_list),
+        jobs=1,
+        chunks=1,
+        elapsed_s=elapsed,
+        evaluate_s=elapsed - delta["schedule_s"],
+    ).merge_counters(delta)
+    return SweepResult(kernel=kernel.name, reports=reports, stats=stats)

@@ -12,6 +12,7 @@ Usage (installed as ``accelerator-wall``, or ``python -m repro``):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -31,6 +32,40 @@ def _model(args) -> CmosPotentialModel:
     if getattr(args, "refit", False):
         return CmosPotentialModel.reference()
     return CmosPotentialModel.paper()
+
+
+def _dse_engine(args):
+    """Build the sweep engine the DSE-backed commands share.
+
+    Persistent caching is opt-in: it activates when ``--cache-dir`` is
+    passed or ``$REPRO_CACHE_DIR`` is set, and ``--no-cache`` always wins.
+    ``--jobs 0`` means all cores.
+    """
+    from repro.accel.cache import ENV_CACHE_DIR
+    from repro.accel.engine import SweepEngine
+
+    cache_dir = getattr(args, "cache_dir", None)
+    use_cache = not getattr(args, "no_cache", False) and (
+        cache_dir is not None or os.environ.get(ENV_CACHE_DIR) is not None
+    )
+    return SweepEngine(
+        jobs=getattr(args, "jobs", 1), cache_dir=cache_dir, use_cache=use_cache
+    )
+
+
+def _add_dse_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep-backed figures (0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent DSE cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent DSE cache even if a directory is set",
+    )
 
 
 def _cmd_tables(args) -> int:
@@ -143,18 +178,22 @@ def _cmd_plot(args) -> int:
         series = bitcoin.study().performance_series(model)
         print(plot_csr_series(series, "Fig 9a: mining gains across platforms"))
     elif name == "fig13":
-        from repro.accel.sweep import default_design_grid, sweep
-        from repro.workloads import s3d
+        from repro.accel.sweep import default_design_grid
+        from repro.workloads import get_workload
 
-        result = sweep(
-            s3d.build(),
-            default_design_grid(
+        engine = _dse_engine(args)
+        kernel = engine.trace(get_workload("S3D"))
+        if getattr(args, "full_grid", False):
+            grid = default_design_grid()  # full Table III cross product
+        else:
+            grid = default_design_grid(
                 nodes=(45.0, 22.0, 10.0, 5.0),
                 partitions=(1, 4, 16, 64, 256, 1024),
                 simplifications=(1, 5, 9, 13),
-            ),
-        )
+            )
+        result = engine.sweep(kernel, grid)
         print(plot_runtime_power(result.reports))
+        print(f"[dse] {result.stats.describe()}")
     elif name == "fig15":
         from repro.wall import accelerator_wall, upper_frontier
         from repro.wall.limits import _limits
@@ -188,9 +227,12 @@ def _cmd_insights(args) -> int:
 def _cmd_export(args) -> int:
     from repro.reporting.export import export_all
 
-    paths = export_all(args.out, _model(args), fast=not args.full)
+    engine = _dse_engine(args)
+    paths = export_all(args.out, _model(args), fast=not args.full, engine=engine)
     for name, path in paths.items():
         print(f"wrote {path}")
+    if engine.stats.design_points:
+        print(f"[dse] {engine.stats.describe()}")
     return 0
 
 
@@ -229,14 +271,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     plot = sub.add_parser("plot", help="render a figure as an ASCII plot")
     plot.add_argument("figure", choices=PLOTS)
+    plot.add_argument(
+        "--full-grid", action="store_true",
+        help="fig13: sweep the full Table III grid through the engine (slow)",
+    )
+    _add_dse_options(plot)
     plot.set_defaults(func=_cmd_plot)
 
     export = sub.add_parser("export", help="write every artifact as JSON")
     export.add_argument("--out", default="artifacts", help="output directory")
     export.add_argument(
-        "--full", action="store_true",
+        "--full", "--full-grid", dest="full", action="store_true",
         help="use the full Table III sweep grid for Figs 13-14 (slow)",
     )
+    _add_dse_options(export)
     export.set_defaults(func=_cmd_export)
     return parser
 

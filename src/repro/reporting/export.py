@@ -46,11 +46,14 @@ def _table2_payload():
 def artifact_builders(
     model: Optional[CmosPotentialModel] = None,
     fast: bool = True,
+    engine=None,
 ) -> Dict[str, Callable[[], object]]:
     """Name -> builder for every exportable artifact.
 
     With ``fast=True`` the DSE artifacts (Figs 13-14) use a representative
     Table III sub-grid; ``fast=False`` runs the full sweep ranges.
+    *engine* (a :class:`repro.accel.engine.SweepEngine`) runs those two
+    artifacts sharded across worker processes with the persistent cache.
     """
     cmos = model if model is not None else CmosPotentialModel.paper()
     if fast:
@@ -76,10 +79,10 @@ def artifact_builders(
         "fig8": lambda: figures.fig8_fpga_cnn(cmos),
         "fig9": lambda: figures.fig9_bitcoin_platforms(cmos),
         "fig13": lambda: figures.fig13_stencil_sweep(
-            partitions=partitions, simplifications=simplifications
+            partitions=partitions, simplifications=simplifications, engine=engine
         ),
         "fig14": lambda: figures.fig14_gain_attribution(
-            partitions=partitions, simplifications=simplifications
+            partitions=partitions, simplifications=simplifications, engine=engine
         ),
         "fig15_16": lambda: figures.fig15_16_projections(cmos),
     }
@@ -90,9 +93,10 @@ def export_artifact(
     directory: PathLike,
     model: Optional[CmosPotentialModel] = None,
     fast: bool = True,
+    engine=None,
 ) -> Path:
     """Regenerate one artifact and write ``<directory>/<name>.json``."""
-    builders = artifact_builders(model, fast)
+    builders = artifact_builders(model, fast, engine=engine)
     try:
         builder = builders[name]
     except KeyError:
@@ -112,10 +116,12 @@ def export_all(
     model: Optional[CmosPotentialModel] = None,
     fast: bool = True,
     names: Optional[Sequence[str]] = None,
+    engine=None,
 ) -> Dict[str, Path]:
     """Regenerate and write every (or the named) artifacts."""
-    builders = artifact_builders(model, fast)
+    builders = artifact_builders(model, fast, engine=engine)
     selected = list(names) if names is not None else sorted(builders)
     return {
-        name: export_artifact(name, directory, model, fast) for name in selected
+        name: export_artifact(name, directory, model, fast, engine=engine)
+        for name in selected
     }

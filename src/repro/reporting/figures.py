@@ -205,18 +205,25 @@ def fig13_stencil_sweep(
     partitions: Optional[Sequence[int]] = None,
     simplifications: Optional[Sequence[int]] = None,
     nodes: Optional[Sequence[float]] = None,
+    engine=None,
 ) -> List[Dict[str, float]]:
-    """Fig 13: 3D-stencil design points in the runtime-power space."""
-    from repro.accel.sweep import default_design_grid, sweep
-    from repro.workloads import s3d
+    """Fig 13: 3D-stencil design points in the runtime-power space.
 
-    kernel = s3d.build()
+    *engine* is an optional :class:`repro.accel.engine.SweepEngine`; when
+    given, the sweep runs sharded/cached through it (same values as the
+    serial path) and the engine's ``last_stats`` reflect this figure.
+    """
+    from repro.accel.sweep import default_design_grid, sweep
+    from repro.workloads import get_workload
+
+    workload = get_workload("S3D")
+    kernel = engine.trace(workload) if engine is not None else workload.build()
     grid = default_design_grid(
         nodes=nodes if nodes is not None else (45.0, 32.0, 22.0, 14.0, 10.0, 7.0, 5.0),
         partitions=partitions,
         simplifications=simplifications,
     )
-    result = sweep(kernel, grid)
+    result = engine.sweep(kernel, grid) if engine is not None else sweep(kernel, grid)
     return [
         {
             "node_nm": r.design.node_nm,
@@ -235,9 +242,15 @@ def fig14_gain_attribution(
     workload_abbrevs: Optional[Sequence[str]] = None,
     partitions: Optional[Sequence[int]] = None,
     simplifications: Optional[Sequence[int]] = None,
+    engine=None,
 ) -> List[Dict[str, object]]:
-    """Fig 14: per-kernel gain attribution across specialization concepts."""
-    from repro.accel.attribution import attribute_gains
+    """Fig 14: per-kernel gain attribution across specialization concepts.
+
+    *engine* is an optional :class:`repro.accel.engine.SweepEngine`; when
+    given, kernels are traced through its persistent cache and attribution
+    fans out across worker processes (identical values to the serial loop).
+    """
+    from repro.accel.attribution import attribute_all
     from repro.workloads import WORKLOADS, get_workload
 
     workloads = (
@@ -245,23 +258,30 @@ def fig14_gain_attribution(
         if workload_abbrevs is not None
         else list(WORKLOADS)
     )
-    rows = []
-    for workload in workloads:
-        attribution = attribute_gains(
-            workload.build(),
+    if engine is not None:
+        kernels = [engine.trace(workload) for workload in workloads]
+        attributions = engine.attribute_all(
+            kernels,
             metric=metric,
             partitions=partitions,
             simplifications=simplifications,
         )
-        rows.append(
-            {
-                "workload": workload.abbrev,
-                "total_gain": attribution.total_gain,
-                "csr": attribution.csr,
-                "shares": attribution.shares,
-            }
+    else:
+        attributions = attribute_all(
+            [workload.build() for workload in workloads],
+            metric=metric,
+            partitions=partitions,
+            simplifications=simplifications,
         )
-    return rows
+    return [
+        {
+            "workload": workload.abbrev,
+            "total_gain": attribution.total_gain,
+            "csr": attribution.csr,
+            "shares": attribution.shares,
+        }
+        for workload, attribution in zip(workloads, attributions)
+    ]
 
 
 # -- Section VII: the accelerator wall ----------------------------------------------

@@ -52,6 +52,27 @@ class TestCommands:
         assert main(["plot", "fig13"]) == 0
         assert "45nm" in capsys.readouterr().out
 
+    def test_plot_fig13_parallel_cached(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "dse-cache")
+        args = ["plot", "fig13", "--jobs", "2", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "[dse]" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        # Warm rerun is served entirely from the persistent cache. (The
+        # cold run may show a few hits too: workers share the store.)
+        assert "[100%]" not in cold
+        assert "[100%]" in warm
+
+    def test_plot_fig13_no_cache_wins(self, tmp_path, capsys):
+        cache_dir = tmp_path / "dse-cache"
+        assert main([
+            "plot", "fig13", "--cache-dir", str(cache_dir), "--no-cache",
+        ]) == 0
+        assert "[dse]" in capsys.readouterr().out
+        assert not cache_dir.exists()
+
     def test_plot_fig15(self, capsys):
         assert main(["plot", "fig15"]) == 0
         assert "frontier" in capsys.readouterr().out
