@@ -15,6 +15,7 @@ runs; ``jobs=1`` with no cache options is exactly the original serial path.
 
 from __future__ import annotations
 
+import math
 import warnings
 from bisect import bisect_left
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ from repro.accel.power import PowerReport, evaluate_design
 from repro.accel.resources import ResourceLibrary
 from repro.accel.scheduler import Schedule, schedule as run_schedule
 from repro.accel.trace import TracedKernel
+from repro.errors import ValidationError
 
 
 def table3_partitions(limit: int = MAX_PARTITION_FACTOR) -> Tuple[int, ...]:
@@ -284,7 +286,16 @@ class ParetoAccumulator:
         return len(self._xs)
 
     def add(self, x: float, y: float, payload: object = None) -> bool:
-        """Insert one point; returns True if it joined the frontier."""
+        """Insert one point; returns True if it joined the frontier.
+
+        Non-finite coordinates are rejected: a ``nan`` comparing false
+        against everything would silently corrupt the sorted frontier
+        invariant instead of surfacing the broken upstream model.
+        """
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValidationError(
+                f"Pareto point coordinates must be finite, got ({x!r}, {y!r})"
+            )
         i = bisect_left(self._xs, x)
         # Weakly dominated by the closest point on the left (px < x, py <= y)
         # or by an equal-x point (which keeps first-wins tie semantics)?

@@ -6,7 +6,13 @@ Usage (installed as ``accelerator-wall``, or ``python -m repro``):
     accelerator-wall study bitcoin          # one case-study CSR series
     accelerator-wall wall                   # Figs 15-16 projections
     accelerator-wall maturity               # Section IV-E maturity classes
+    accelerator-wall check                  # numerical self-diagnostics
     accelerator-wall export --out out/      # JSON of every artifact
+
+Exit codes: 0 on success; 1 when a command completes but reports failures
+(``insights``, ``check``); :data:`EXIT_ERROR` (2) when a
+:class:`repro.errors.ReproError` aborts the command — printed as a
+one-line ``error:`` message on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.cmos.model import CmosPotentialModel
+from repro.errors import ReproError
 from repro.reporting.tables import (
     render_rows,
     table1_specialization_concepts,
@@ -26,6 +33,10 @@ from repro.reporting.tables import (
 )
 
 STUDIES = ("video", "gpu", "cnn", "bitcoin")
+
+#: Exit code when a :class:`repro.errors.ReproError` aborts a command (the
+#: codes 0/1 mean success / command-reported failures).
+EXIT_ERROR = 2
 
 
 def _model(args) -> CmosPotentialModel:
@@ -224,6 +235,14 @@ def _cmd_insights(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import run_checks, render_results
+
+    results = run_checks(args.subsystem or None)
+    print(render_results(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
 def _cmd_export(args) -> int:
     from repro.reporting.export import export_all
 
@@ -269,6 +288,20 @@ def build_parser() -> argparse.ArgumentParser:
         "insights", help="check the Section IV-E observations"
     ).set_defaults(func=_cmd_insights)
 
+    check = sub.add_parser(
+        "check",
+        help="run the numerical self-diagnostics (refits, invariants, "
+        "engine equivalence); nonzero exit on any failure",
+    )
+    check.add_argument(
+        "subsystem",
+        nargs="*",
+        metavar="SUBSYSTEM",
+        help="restrict to these subsystems: cmos, csr, wall, accel "
+        "(default: all)",
+    )
+    check.set_defaults(func=_cmd_check)
+
     plot = sub.add_parser("plot", help="render a figure as an ASCII plot")
     plot.add_argument("figure", choices=PLOTS)
     plot.add_argument(
@@ -290,8 +323,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.
+
+    Any :class:`~repro.errors.ReproError` a command raises is reported as a
+    one-line ``error:`` message on stderr with exit code :data:`EXIT_ERROR`
+    — library failures are expected operational outcomes (bad dataset,
+    degenerate fit), not tracebacks.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()

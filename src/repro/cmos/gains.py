@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.cmos.scaling import REFERENCE_NODE, ScalingTable, default_scaling_table
 from repro.cmos.transistors import PAPER_DENSITY_FIT, TransistorCountFit
+from repro.validate import require_finite, require_fraction, require_positive
 
 
 @dataclass(frozen=True)
@@ -49,10 +50,11 @@ class GainsConfig:
     min_active_fraction: float = 1e-4
 
     def __post_init__(self) -> None:
-        if self.ref_dynamic_density_w_mm2 <= 0 or self.ref_leakage_density_w_mm2 <= 0:
-            raise ValueError("reference power densities must be positive")
-        if not (0 < self.min_active_fraction <= 1):
-            raise ValueError("min_active_fraction must lie in (0, 1]")
+        require_positive(self.ref_dynamic_density_w_mm2, "ref_dynamic_density_w_mm2")
+        require_positive(self.ref_leakage_density_w_mm2, "ref_leakage_density_w_mm2")
+        require_positive(self.ref_area_mm2, "ref_area_mm2")
+        require_positive(self.ref_frequency_mhz, "ref_frequency_mhz")
+        require_fraction(self.min_active_fraction, "min_active_fraction")
 
 
 @dataclass(frozen=True)
@@ -165,14 +167,14 @@ class GainsModel:
         from repro.cmos.nodes import parse_node
 
         node = parse_node(node_nm)
-        if frequency_mhz <= 0:
-            raise ValueError(f"frequency must be positive, got {frequency_mhz!r}")
+        require_positive(frequency_mhz, "frequency")
         if area_mm2 is None and transistors is None:
             raise ValueError("one of area_mm2 / transistors is required")
         if transistors is None:
+            require_positive(area_mm2, "die area")
             potential = self._density_fit.transistors_for_chip(area_mm2, node)
         else:
-            potential = float(transistors)
+            potential = require_positive(transistors, "transistor count")
             if area_mm2 is None:
                 area_mm2 = self._density_fit.area_for(potential, node)
         rel = self._scaling.relative(node)
@@ -183,8 +185,7 @@ class GainsModel:
         active_fraction = 1.0
         tdp_limited = False
         if tdp_w is not None:
-            if tdp_w <= 0:
-                raise ValueError(f"TDP must be positive, got {tdp_w!r}")
+            require_positive(tdp_w, "TDP")
             headroom = tdp_w - leak_w
             budget = max(headroom, self._config.min_active_fraction * dyn_full_w)
             if dyn_full_w > budget:
@@ -192,6 +193,8 @@ class GainsModel:
                 tdp_limited = True
         active = potential * active_fraction
         power = leak_w + dyn_full_w * active_fraction
+        require_positive(power, "modelled chip power")
+        require_finite(active, "active transistor count")
         return ChipGains(
             node_nm=node,
             area_mm2=float(area_mm2),

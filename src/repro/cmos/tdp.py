@@ -14,12 +14,14 @@ limits bite harder).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
 from repro.cmos.nodes import NODE_ERAS_TDP, NodeEra, era_for_node
 from repro.cmos.transistors import fit_power_law
 from repro.errors import FitError
+from repro.validate import require_positive
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datasheets.database import ChipDatabase
@@ -35,23 +37,33 @@ class TdpFit:
     r2: float = float("nan")
     n_points: int = 0
 
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.coefficient) and self.coefficient > 0):
+            raise FitError(
+                f"era {self.era.name}: non-positive TDP-law coefficient "
+                f"{self.coefficient!r}"
+            )
+        if not math.isfinite(self.exponent):
+            raise FitError(
+                f"era {self.era.name}: non-finite TDP-law exponent "
+                f"{self.exponent!r}"
+            )
+
     def budget_product(self, tdp_w: float) -> float:
         """``TC[1e9] * f[GHz]`` supported by a *tdp_w* envelope."""
-        if tdp_w <= 0:
-            raise ValueError(f"TDP must be positive, got {tdp_w!r}")
+        require_positive(tdp_w, "TDP")
         return self.coefficient * tdp_w**self.exponent
 
     def active_transistors(self, tdp_w: float, frequency_mhz: float) -> float:
         """Active transistor count at *frequency* under a *tdp_w* envelope."""
-        if frequency_mhz <= 0:
-            raise ValueError(f"frequency must be positive, got {frequency_mhz!r}")
+        require_positive(frequency_mhz, "frequency")
         freq_ghz = frequency_mhz / 1e3
         return self.budget_product(tdp_w) / freq_ghz * 1e9
 
     def tdp_for(self, transistors: float, frequency_mhz: float) -> float:
         """Inverse: TDP needed to keep *transistors* active at *frequency*."""
-        if transistors <= 0:
-            raise ValueError("transistor count must be positive")
+        require_positive(transistors, "transistor count")
+        require_positive(frequency_mhz, "frequency")
         product = (transistors / 1e9) * (frequency_mhz / 1e3)
         return (product / self.coefficient) ** (1.0 / self.exponent)
 

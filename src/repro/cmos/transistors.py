@@ -16,6 +16,12 @@ import numpy as np
 
 from repro.cmos.nodes import density_factor
 from repro.errors import FitError
+from repro.validate import (
+    guarded_numpy,
+    require_all_finite,
+    require_positive,
+    require_well_conditioned,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.datasheets.database import ChipDatabase
@@ -36,13 +42,14 @@ class TransistorCountFit:
     n_points: int = 0
 
     def __post_init__(self) -> None:
-        if self.coefficient <= 0:
+        if not (math.isfinite(self.coefficient) and self.coefficient > 0):
             raise FitError(f"non-positive fit coefficient {self.coefficient!r}")
+        if not math.isfinite(self.exponent):
+            raise FitError(f"non-finite fit exponent {self.exponent!r}")
 
     def transistors(self, density: float) -> float:
         """Predicted transistor count for density factor *D* (mm^2/nm^2)."""
-        if density <= 0:
-            raise ValueError(f"density factor must be positive, got {density!r}")
+        require_positive(density, "density factor")
         return self.coefficient * density**self.exponent
 
     def transistors_for_chip(self, area_mm2: float, node_nm: float) -> float:
@@ -51,8 +58,7 @@ class TransistorCountFit:
 
     def density_for(self, transistors: float) -> float:
         """Inverse: density factor needed to hold *transistors* devices."""
-        if transistors <= 0:
-            raise ValueError("transistor count must be positive")
+        require_positive(transistors, "transistor count")
         return (transistors / self.coefficient) ** (1.0 / self.exponent)
 
     def area_for(self, transistors: float, node_nm: float) -> float:
@@ -89,11 +95,22 @@ def fit_power_law(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
         )
     lx = np.log(x[mask])
     ly = np.log(y[mask])
-    exponent, intercept = np.polyfit(lx, ly, deg=1)
-    predicted = exponent * lx + intercept
-    ss_res = float(np.sum((ly - predicted) ** 2))
-    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    require_well_conditioned(lx, "power-law log design", FitError)
+    with guarded_numpy(FitError, "power-law fit"):
+        exponent, intercept = np.polyfit(lx, ly, deg=1)
+        predicted = exponent * lx + intercept
+        ss_res = float(np.sum((ly - predicted) ** 2))
+        ss_tot = float(np.sum((ly - ly.mean()) ** 2))
     r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    require_all_finite(
+        (intercept, exponent, r2), "power-law fit coefficients", FitError
+    )
+    # Beyond +-700 math.exp overflows or underflows a double, which would
+    # leak an inf or a coefficient of exactly 0.0 out of a "successful" fit.
+    if abs(intercept) > 700.0:
+        raise FitError(
+            f"power-law coefficient out of float range: exp({intercept:g})"
+        )
     return math.exp(intercept), float(exponent), r2
 
 

@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+from repro.validate import require_finite, require_positive
+
+#: Reported gains within this relative distance of 1.0 are treated as "no
+#: gain" by the share decomposition: the share denominator ``log(reported)``
+#: vanishes there, so shares computed inside the band would be numerically
+#: meaningless (a 1e-12 measurement wobble flips them between huge positive
+#: and huge negative values).
+SHARE_TOLERANCE: float = 1e-9
 
 
 def csr(reported_gain: float, physical_gain: float) -> float:
@@ -17,11 +27,11 @@ def csr(reported_gain: float, physical_gain: float) -> float:
     A CSR of 1.0 means the chip merely kept pace with its silicon; below 1.0
     the design extracts *less* from its budget than its predecessor did.
     """
-    if reported_gain <= 0:
-        raise ValueError(f"reported gain must be positive, got {reported_gain!r}")
-    if physical_gain <= 0:
-        raise ValueError(f"physical gain must be positive, got {physical_gain!r}")
-    return reported_gain / physical_gain
+    require_positive(reported_gain, "reported gain")
+    require_positive(physical_gain, "physical gain")
+    return require_finite(
+        reported_gain / physical_gain, "CSR (reported / physical)"
+    )
 
 
 @dataclass(frozen=True)
@@ -38,10 +48,16 @@ class GainDecomposition:
 
     @property
     def specialization_share(self) -> float:
-        """Fraction of the (log) gain attributable to specialization."""
-        import math
+        """Fraction of the (log) gain attributable to specialization.
 
-        if self.reported == 1.0:
+        Reported gains within :data:`SHARE_TOLERANCE` of 1.0 are treated as
+        "no gain" (share 0): the ``log(reported)`` denominator vanishes
+        there, and dividing by it would blow a rounding-sized wobble up
+        into an arbitrarily large share.
+        """
+        require_positive(self.reported, "reported gain")
+        require_positive(self.specialization, "specialization factor")
+        if math.isclose(self.reported, 1.0, rel_tol=SHARE_TOLERANCE):
             return 0.0
         return math.log(self.specialization) / math.log(self.reported)
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import DatasetError
+from repro.validate import require_positive
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -20,8 +21,7 @@ def geometric_mean(values: Iterable[float]) -> float:
     log_sum = 0.0
     count = 0
     for value in values:
-        if value <= 0:
-            raise ValueError(f"geometric mean requires positive values, got {value!r}")
+        require_positive(value, "geometric mean operand")
         log_sum += math.log(value)
         count += 1
     if count == 0:
@@ -103,10 +103,10 @@ def build_relation_matrix(
         if not apps:
             raise DatasetError(f"architecture {arch!r} has no measurements")
         for app, gain in apps.items():
-            if gain <= 0:
+            if not (isinstance(gain, (int, float)) and math.isfinite(gain)) or gain <= 0:
                 raise DatasetError(
                     f"architecture {arch!r}, app {app!r}: gain must be "
-                    f"positive, got {gain!r}"
+                    f"finite and positive, got {gain!r}"
                 )
 
     archs: List[str] = sorted(measurements)

@@ -46,3 +46,17 @@ class ProjectionError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, ValueError):
     """An embedded case-study dataset is malformed or empty after filtering."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A numerical guard rejected an input or an intermediate result.
+
+    Raised by the :mod:`repro.validate` guards when a quantity that must be
+    finite, positive, monotone, or well-conditioned is not — instead of
+    letting ``nan``/``inf`` or a raw numpy warning propagate silently into
+    downstream fits and projections.
+    """
+
+
+class SelfCheckError(ReproError, RuntimeError):
+    """A ``repro check`` self-diagnostic found a violated invariant."""

@@ -1,0 +1,199 @@
+"""Reusable numerical guards for the model pipeline.
+
+The paper's headline numbers come out of a chain of least-squares fits,
+log-space decompositions, and frontier extrapolations.  Each stage is
+individually simple, but a ``nan`` or ``inf`` produced in one stage (a
+degenerate fit, a near-zero denominator, an overflowing power law) flows
+silently through the rest and surfaces — if at all — as a subtly wrong
+table entry rather than an error.
+
+This module centralises the guards every fit, metric, and projection path
+uses so that bad numerics fail *loudly* at the stage that produced them:
+
+* :func:`require_finite` / :func:`require_positive` — scalar input guards;
+* :func:`require_all_finite` — array input guard for fit pipelines;
+* :func:`require_monotone` — sequence ordering contracts (e.g. the
+  strictly-increasing shape :func:`repro.wall.pareto.upper_frontier`
+  promises);
+* :func:`condition_number` / :func:`require_well_conditioned` — degenerate
+  and near-collinear design-matrix detection for least-squares fits;
+* :func:`guarded_numpy` — a context manager that converts floating-point
+  overflow/invalid/divide signals and numpy's ``RankWarning`` into the
+  caller's :class:`repro.errors.ReproError` subclass instead of leaking
+  warnings to stderr.
+
+Every guard takes an ``error`` class so call sites raise their layer's
+existing exception (:class:`~repro.errors.FitError`,
+:class:`~repro.errors.ProjectionError`, ...); the default is
+:class:`~repro.errors.ValidationError`, which is also a ``ValueError`` so
+pre-existing ``except ValueError`` callers keep working.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Sequence, Type
+
+import numpy as np
+
+from repro.errors import ReproError, ValidationError
+
+#: Design matrices whose 2-norm condition number exceeds this are treated
+#: as numerically degenerate (near-collinear predictors): a least-squares
+#: solve loses roughly ``log10(cond)`` digits, so past 1e12 a double holds
+#: fewer than four trustworthy digits.
+MAX_CONDITION_NUMBER: float = 1e12
+
+# ``np.RankWarning`` moved to ``np.exceptions`` in numpy 2.0.
+_RANK_WARNING = getattr(
+    getattr(np, "exceptions", np), "RankWarning", RuntimeWarning
+)
+
+
+def require_finite(
+    value: float,
+    name: str = "value",
+    error: Type[ReproError] = ValidationError,
+) -> float:
+    """Return ``float(value)`` or raise *error* if it is ``nan``/``inf``."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise error(f"{name} must be a real number, got {value!r}") from None
+    if not math.isfinite(result):
+        raise error(f"{name} must be finite, got {value!r}")
+    return result
+
+
+def require_positive(
+    value: float,
+    name: str = "value",
+    error: Type[ReproError] = ValidationError,
+) -> float:
+    """Return ``float(value)`` or raise *error* unless it is finite and > 0."""
+    result = require_finite(value, name, error)
+    if result <= 0:
+        raise error(f"{name} must be positive, got {value!r}")
+    return result
+
+
+def require_fraction(
+    value: float,
+    name: str = "value",
+    error: Type[ReproError] = ValidationError,
+) -> float:
+    """Return ``float(value)`` or raise *error* unless it lies in (0, 1]."""
+    result = require_positive(value, name, error)
+    if result > 1.0:
+        raise error(f"{name} must lie in (0, 1], got {value!r}")
+    return result
+
+
+def require_all_finite(
+    values: "Sequence[float] | np.ndarray",
+    name: str = "values",
+    error: Type[ReproError] = ValidationError,
+) -> np.ndarray:
+    """Return *values* as a float array or raise *error* on any non-finite."""
+    array = np.asarray(values, dtype=float)
+    if array.size and not np.all(np.isfinite(array)):
+        bad = array[~np.isfinite(array)]
+        raise error(
+            f"{name} must be finite, got {bad.size} non-finite "
+            f"value(s) (first: {bad.flat[0]!r})"
+        )
+    return array
+
+
+def require_monotone(
+    values: Sequence[float],
+    name: str = "sequence",
+    *,
+    strict: bool = True,
+    error: Type[ReproError] = ValidationError,
+) -> Sequence[float]:
+    """Raise *error* unless *values* is increasing (strictly by default)."""
+    for i in range(1, len(values)):
+        previous, current = values[i - 1], values[i]
+        if current < previous or (strict and current == previous):
+            kind = "strictly increasing" if strict else "non-decreasing"
+            raise error(
+                f"{name} must be {kind}: element {i} is {current!r} "
+                f"after {previous!r}"
+            )
+    return values
+
+
+def condition_number(design: "Sequence[float] | np.ndarray") -> float:
+    """2-norm condition number of a degree-1 least-squares design.
+
+    *design* is either the 1-D predictor column (an intercept column is
+    appended, matching ``np.polyfit(design, y, deg=1)``) or a full 2-D
+    design matrix.  Degenerate designs (zero predictor spread) return
+    ``inf`` rather than raising.
+    """
+    array = np.asarray(design, dtype=float)
+    if array.ndim == 1:
+        array = np.column_stack([array, np.ones_like(array)])
+    if not np.all(np.isfinite(array)):
+        return float("inf")
+    try:
+        return float(np.linalg.cond(array))
+    except np.linalg.LinAlgError:  # pragma: no cover - cond rarely raises
+        return float("inf")
+
+
+def require_well_conditioned(
+    design: "Sequence[float] | np.ndarray",
+    name: str = "design matrix",
+    error: Type[ReproError] = ValidationError,
+    max_condition: float = MAX_CONDITION_NUMBER,
+) -> float:
+    """Raise *error* when a least-squares design is degenerate.
+
+    Rejects designs with fewer than two rows, zero predictor spread (all
+    x identical — the fit line is vertical), or a condition number above
+    *max_condition* (near-collinear predictors whose fitted slope is
+    numerically meaningless).  Returns the condition number otherwise.
+    """
+    array = np.asarray(design, dtype=float)
+    column = array if array.ndim == 1 else array[:, 0]
+    if column.size < 2:
+        raise error(f"{name}: need >= 2 points for a fit, got {column.size}")
+    if column.size and np.ptp(column) == 0.0:
+        raise error(
+            f"{name} is degenerate: all {column.size} predictor values "
+            f"equal {column.flat[0]!r}"
+        )
+    cond = condition_number(array)
+    if cond > max_condition:
+        raise error(
+            f"{name} is ill-conditioned: condition number {cond:.3g} "
+            f"exceeds {max_condition:.3g}"
+        )
+    return cond
+
+
+@contextmanager
+def guarded_numpy(
+    error: Type[ReproError] = ValidationError,
+    what: str = "numerical kernel",
+) -> Iterator[None]:
+    """Convert numpy floating-point signals and rank warnings into *error*.
+
+    Inside the block, overflow / invalid-operation / divide-by-zero raise
+    (underflow stays silent — flushing tiny values to zero is benign), and
+    ``RankWarning`` from a rank-deficient ``polyfit`` becomes an error
+    instead of a stderr warning.
+    """
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", _RANK_WARNING)
+            with np.errstate(over="raise", invalid="raise", divide="raise"):
+                yield
+    except FloatingPointError as exc:
+        raise error(f"{what}: floating-point error: {exc}") from exc
+    except _RANK_WARNING as exc:
+        raise error(f"{what}: rank-deficient fit: {exc}") from exc

@@ -20,6 +20,13 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.errors import ProjectionError
+from repro.validate import (
+    guarded_numpy,
+    require_all_finite,
+    require_finite,
+    require_positive,
+    require_well_conditioned,
+)
 from repro.wall.pareto import upper_frontier
 
 
@@ -39,6 +46,10 @@ class FrontierFit:
     beta: float
     n_points: int
     residual: float  # RMS residual over the frontier points
+    #: Largest gain among the fitted frontier points; :meth:`predict` never
+    #: returns less.  ``-inf`` (the default, for fits constructed by hand)
+    #: disables the clamp.
+    max_fitted_gain: float = float("-inf")
 
     def predict(self, physical: float) -> float:
         """Projected gain at *physical* capability.
@@ -47,11 +58,16 @@ class FrontierFit:
         regresses under the already-achieved frontier (projections are about
         *future* capability, which is always to the right of the data).
         """
-        if physical <= 0:
-            raise ProjectionError(f"physical capability must be positive: {physical}")
+        require_positive(physical, "physical capability", ProjectionError)
         if self.kind is ProjectionKind.LINEAR:
-            return self.alpha * physical + self.beta
-        return self.alpha * math.log(physical) + self.beta
+            model = self.alpha * physical + self.beta
+        else:
+            model = self.alpha * math.log(physical) + self.beta
+        return require_finite(
+            max(model, self.max_fitted_gain),
+            f"{self.kind.value} projection at {physical!r}",
+            ProjectionError,
+        )
 
     def describe(self) -> str:
         operand = "x" if self.kind is ProjectionKind.LINEAR else "log(x)"
@@ -65,6 +81,9 @@ def fit_frontier(
     points: Sequence[Tuple[float, float]], kind: ProjectionKind
 ) -> FrontierFit:
     """Least-squares fit of one Eq 5/6 model on the upper Pareto frontier."""
+    for x, y in points:
+        require_finite(x, "frontier point physical", ProjectionError)
+        require_finite(y, "frontier point gain", ProjectionError)
     frontier = upper_frontier(points)
     if len(frontier) < 2:
         raise ProjectionError(
@@ -78,14 +97,22 @@ def fit_frontier(
         design = np.log(xs)
     else:
         design = xs
-    alpha, beta = np.polyfit(design, ys, deg=1)
-    residual = float(np.sqrt(np.mean((alpha * design + beta - ys) ** 2)))
+    require_well_conditioned(
+        design, f"{kind.value} frontier design", ProjectionError
+    )
+    with guarded_numpy(ProjectionError, f"{kind.value} frontier fit"):
+        alpha, beta = np.polyfit(design, ys, deg=1)
+        residual = float(np.sqrt(np.mean((alpha * design + beta - ys) ** 2)))
+    require_all_finite(
+        (alpha, beta, residual), "frontier fit coefficients", ProjectionError
+    )
     return FrontierFit(
         kind=kind,
         alpha=float(alpha),
         beta=float(beta),
         n_points=len(frontier),
         residual=residual,
+        max_fitted_gain=float(ys.max()),
     )
 
 

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cmos.model import CmosPotentialModel
-from repro.cmos.nodes import FINAL_NODE
 from repro.errors import ProjectionError
 from repro.wall.limits import WallReport, _limits, accelerator_wall
 

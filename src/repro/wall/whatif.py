@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.cmos.model import CmosPotentialModel
 from repro.errors import ProjectionError
+from repro.validate import require_finite, require_positive
 from repro.wall.limits import WallReport, _limits, accelerator_wall
 
 
@@ -62,6 +63,9 @@ def _annual_gain_rate(study, model: CmosPotentialModel) -> "tuple[float, float]"
             f"study {study.name!r} lacks dated chips for a gain cadence"
         )
     dated.sort()
+    for year, gain in dated:
+        require_finite(year, "observation year", ProjectionError)
+        require_positive(gain, "observed gain", ProjectionError)
     (first_year, first_gain), (last_year, last_gain) = dated[0], dated[-1]
     span = last_year - first_year
     if span <= 0 or last_gain <= first_gain:
@@ -69,6 +73,7 @@ def _annual_gain_rate(study, model: CmosPotentialModel) -> "tuple[float, float]"
             f"study {study.name!r} has no positive dated gain trend"
         )
     rate = (last_gain / first_gain) ** (1.0 / span)
+    require_finite(rate, "annual gain rate", ProjectionError)
     return rate, float(last_year)
 
 
@@ -89,9 +94,18 @@ def time_to_wall(
     study = _limits()[domain].study_factory()
     rate, last_year = _annual_gain_rate(study, cmos)
     low, high = report.headroom
+    require_positive(low, "headroom (low)", ProjectionError)
+    require_positive(high, "headroom (high)", ProjectionError)
     log_rate = math.log(rate)
+    if log_rate <= 0.0:
+        raise ProjectionError(
+            f"study {study.name!r}: annual gain rate {rate!r} is not > 1; "
+            "a flat trend never reaches the wall"
+        )
     years_low = math.log(low) / log_rate if low > 1 else 0.0
     years_high = math.log(high) / log_rate if high > 1 else 0.0
+    require_finite(years_low, "years to wall (low)", ProjectionError)
+    require_finite(years_high, "years to wall (high)", ProjectionError)
     return TimeToWall(
         domain=domain,
         metric=metric,

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
 
 from repro.accel.trace import TracedKernel, Tracer, Value
 from repro.workloads._data import rng

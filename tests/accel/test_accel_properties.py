@@ -6,13 +6,11 @@ import operator
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.accel.design import DesignPoint
-from repro.accel.power import evaluate_design
 from repro.accel.resources import ResourceLibrary
 from repro.accel.scheduler import schedule
 from repro.accel.trace import Tracer
 from repro.cmos.gains import GainsModel
-from repro.dfg.analysis import critical_path, stage_levels
+from repro.dfg.analysis import stage_levels
 
 LIB = ResourceLibrary()
 GAINS = GainsModel()

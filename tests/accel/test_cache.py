@@ -12,7 +12,6 @@ import warnings
 import pytest
 
 from repro.accel.cache import (
-    CACHE_VERSION,
     ENV_CACHE_DIR,
     DiskCache,
     KernelTraceStore,
@@ -97,6 +96,51 @@ class TestDiskCache:
         with open(path, "wb") as handle:
             pickle.dump(["no", "version", "tuple"], handle)
         assert cache.get(key) is None
+
+    def test_put_into_unwritable_directory_is_silent_noop(self, tmp_path):
+        # The "cache dir" is actually a file: every mkdir/mkstemp under it
+        # fails with OSError, the same failure family as a read-only dir
+        # (which root processes would bypass in CI containers).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = DiskCache(blocker / "cache")
+        key = "ab" + "0" * 62
+        cache.put(key, "value")  # must not raise: caching is best-effort
+        assert cache.writes == 0
+        assert cache.get(key) is None  # degrades to a miss, not an error
+        assert blocker.read_text() == "not a directory"
+
+    def test_readonly_directory_put_is_silent_noop(self, tmp_path):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root bypasses file permissions")
+        ro_dir = tmp_path / "ro"
+        ro_dir.mkdir()
+        os.chmod(ro_dir, 0o500)
+        try:
+            cache = DiskCache(ro_dir)
+            key = "ab" + "0" * 62
+            cache.put(key, "value")
+            assert cache.writes == 0
+            assert cache.get(key) is None
+        finally:
+            os.chmod(ro_dir, 0o700)
+
+    def test_failed_pickle_dump_cleans_up_tmp_file(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        unpicklable = lambda: None  # noqa: E731 - locals cannot be pickled
+        with pytest.raises(Exception):
+            cache.put(key, unpicklable)
+        # The atomic-write temp file must not leak, and no partial entry
+        # may be visible under the key.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert cache.get(key) is None
+        assert cache.writes == 0
+        # The slot still works for a well-behaved value afterwards.
+        cache.put(key, "recovered")
+        assert cache.get(key) == "recovered"
 
 
 class TestFingerprints:

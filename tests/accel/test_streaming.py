@@ -4,7 +4,7 @@ import pytest
 
 from repro.accel.design import DesignPoint
 from repro.accel.power import evaluate_design
-from repro.accel.resources import OpClass, ResourceLibrary
+from repro.accel.resources import OpClass
 from repro.accel.streaming import evaluate_streaming, initiation_interval
 from repro.workloads import gmm, trd
 

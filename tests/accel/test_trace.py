@@ -1,6 +1,5 @@
 """Unit tests for the concolic tracer."""
 
-import math
 
 import pytest
 

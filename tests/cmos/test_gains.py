@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cmos.gains import ChipGains, GainsConfig, GainsModel
+from repro.cmos.gains import GainsConfig, GainsModel
 
 
 @pytest.fixture(scope="module")

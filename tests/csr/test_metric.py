@@ -62,6 +62,35 @@ class TestDecomposition:
         assert d.specialization_share == 0.0
         assert d.cmos_share == 1.0
 
+    @pytest.mark.parametrize("wobble", [1e-12, -1e-12, 1e-10, -1e-10])
+    def test_share_stable_when_reported_is_nearly_one(self, wobble):
+        # Regression: with reported a rounding error away from 1.0 the
+        # log(reported) denominator vanishes and the share exploded to
+        # ~1e12 before the tolerance guard (e.g. log(2)/log(1 + 1e-12)).
+        reported = 1.0 + wobble
+        d = GainDecomposition(
+            reported=reported, specialization=2.0, cmos=reported / 2.0
+        )
+        assert d.specialization_share == 0.0
+        assert d.cmos_share == 1.0
+
+    def test_share_just_outside_tolerance_uses_log_ratio(self):
+        reported = 1.0 + 1e-6  # genuine (tiny) gain: shares are meaningful
+        d = decompose_gain(reported, math.sqrt(reported))
+        assert d.specialization_share == pytest.approx(0.5, rel=1e-3)
+
+    def test_share_rejects_non_positive_reported(self):
+        d = GainDecomposition(reported=-2.0, specialization=1.0, cmos=-2.0)
+        with pytest.raises(ValueError):
+            d.specialization_share
+
+    def test_share_rejects_non_finite_specialization(self):
+        d = GainDecomposition(
+            reported=2.0, specialization=float("nan"), cmos=1.0
+        )
+        with pytest.raises(ValueError):
+            d.specialization_share
+
     def test_bitcoin_headline_numbers(self):
         # Paper Fig 1: 510x performance, 307x transistor performance
         # -> CSR ~1.66.

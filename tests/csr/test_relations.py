@@ -1,6 +1,5 @@
 """Unit + property tests for the Eq 3/4 relation matrix."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

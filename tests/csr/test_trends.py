@@ -1,6 +1,5 @@
 """Tests for CSR trend fitting and maturity classification."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.datasheets.curated import curated_database
 from repro.datasheets.schema import Category
 from repro.datasheets.synthetic import (
     SyntheticPopulationConfig,

@@ -1,6 +1,5 @@
 """Tests for population validation."""
 
-import pytest
 
 from repro.datasheets.database import ChipDatabase
 from repro.datasheets.schema import Category, ChipSpec

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dfg.analysis import analyze, depth, stage_working_sets
+from repro.dfg.analysis import depth
 from repro.dfg.graph import Dfg, NodeKind
 from repro.dfg.transforms import (
     dead_code_eliminate,

@@ -1,0 +1,156 @@
+"""Property-based fuzzing of the regression-fit paths.
+
+The contract under fuzz: for *any* input — duplicates, ties, near-collinear
+designs, extreme magnitudes, sub-minimal point sets — a fit either returns
+entirely finite coefficients or raises a :class:`repro.errors.ReproError`
+subclass.  It never returns ``nan``/``inf`` and never leaks a raw numpy
+warning.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FitError, ProjectionError, ReproError
+from repro.cmos.transistors import TransistorCountFit, fit_power_law
+from repro.wall.pareto import upper_frontier
+from repro.wall.projection import ProjectionKind, fit_frontier
+
+# Wide-but-representable magnitudes; the guards must handle the extremes.
+wide_floats = st.floats(
+    min_value=1e-12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+# A pool-based coordinate strategy: drawing from few distinct values makes
+# exact duplicates and ties overwhelmingly likely.
+tied_floats = st.sampled_from(
+    [0.5, 1.0, 1.0, 2.0, 2.0 + 1e-13, 3.0, 1e-9, 1e9]
+)
+coords = st.one_of(wide_floats, tied_floats)
+
+frontier_points = st.lists(st.tuples(coords, coords), min_size=0, max_size=25)
+
+
+def _assert_finite_or_repro_error(fn):
+    """Run *fn*; demand finite results or a ReproError, with no warnings."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any leaked numpy warning fails
+        try:
+            values = fn()
+        except ReproError:
+            return None
+        for value in np.atleast_1d(np.asarray(values, dtype=float)).ravel():
+            assert math.isfinite(value), f"non-finite fit output {value!r}"
+        return values
+
+
+class TestFitFrontierFuzz:
+    @given(frontier_points, st.sampled_from(list(ProjectionKind)))
+    @settings(max_examples=150)
+    def test_finite_or_repro_error(self, points, kind):
+        _assert_finite_or_repro_error(
+            lambda: (
+                lambda fit: (fit.alpha, fit.beta, fit.residual, fit.max_fitted_gain)
+            )(fit_frontier(points, kind))
+        )
+
+    @given(frontier_points, st.sampled_from(list(ProjectionKind)), wide_floats)
+    @settings(max_examples=150)
+    def test_predict_honours_the_clamp(self, points, kind, physical):
+        try:
+            fit = fit_frontier(points, kind)
+        except ReproError:
+            return
+        try:
+            predicted = fit.predict(physical)
+        except ReproError:
+            return  # overflow at extreme physicals is a guarded outcome
+        assert math.isfinite(predicted)
+        assert predicted >= fit.max_fitted_gain
+        assert fit.max_fitted_gain == max(y for _, y in upper_frontier(points))
+
+    @given(st.lists(st.tuples(coords, coords), min_size=0, max_size=1))
+    def test_sub_minimal_point_sets_always_rejected(self, points):
+        with pytest.raises(ProjectionError):
+            fit_frontier(points, ProjectionKind.LINEAR)
+
+    @given(coords, st.integers(min_value=2, max_value=10))
+    def test_degenerate_equal_x_always_rejected(self, x, n):
+        points = [(x, float(i)) for i in range(n)]
+        with pytest.raises(ProjectionError):
+            fit_frontier(points, ProjectionKind.LINEAR)
+
+    @given(wide_floats, st.floats(min_value=1e-18, max_value=1e-14), coords)
+    def test_near_collinear_design_is_guarded(self, x, epsilon, y):
+        # Two x values a hair apart: either the condition-number guard
+        # trips or the fit still comes out finite.
+        points = [(x, y), (x + x * epsilon, y + 1.0)]
+        _assert_finite_or_repro_error(
+            lambda: (lambda f: (f.alpha, f.beta))(
+                fit_frontier(points, ProjectionKind.LINEAR)
+            )
+        )
+
+
+class TestPowerLawFuzz:
+    # Include non-positive and non-finite values: fit_power_law masks them.
+    messy_floats = st.one_of(
+        st.floats(allow_nan=True, allow_infinity=True, width=32),
+        tied_floats,
+    )
+
+    @given(
+        st.lists(messy_floats, min_size=0, max_size=25),
+        st.lists(messy_floats, min_size=0, max_size=25),
+    )
+    @settings(max_examples=150)
+    def test_finite_or_fit_error(self, xs, ys):
+        n = min(len(xs), len(ys))
+        result = _assert_finite_or_repro_error(
+            lambda: fit_power_law(np.asarray(xs[:n]), np.asarray(ys[:n]))
+        )
+        if result is not None:
+            coefficient, exponent, r2 = result
+            assert coefficient > 0
+
+    @given(st.floats(min_value=1e-3, max_value=1e3), wide_floats)
+    def test_fit_on_duplicated_point_is_rejected(self, x, y):
+        # All-identical positive points: zero predictor spread.
+        with pytest.raises(FitError):
+            fit_power_law(np.full(5, x), np.full(5, y))
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_round_trip_recovers_parameters(self, coefficient, exponent, spread):
+        xs = np.array([1.0, 2.0, 4.0, 8.0]) * spread
+        ys = coefficient * xs**exponent
+        if not np.all(np.isfinite(ys) & (ys > 0)):
+            return
+        try:
+            fitted_c, fitted_e, r2 = fit_power_law(xs, ys)
+        except FitError:
+            return  # extreme magnitudes may overflow the guarded kernel
+        assert fitted_c == pytest.approx(coefficient, rel=1e-6)
+        assert fitted_e == pytest.approx(exponent, abs=1e-9)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_transistor_fit_rejects_bad_density(self, density):
+        fit = TransistorCountFit(coefficient=4.99e9, exponent=0.877)
+        if math.isfinite(density) and density > 0:
+            assert math.isfinite(fit.transistors(density)) or density < 1e-250
+        else:
+            with pytest.raises(ValueError):
+                fit.transistors(density)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_constructor_rejects_non_finite_coefficients(self, coefficient):
+        if math.isfinite(coefficient) and coefficient > 0:
+            TransistorCountFit(coefficient=coefficient, exponent=1.0)
+        else:
+            with pytest.raises(FitError):
+                TransistorCountFit(coefficient=coefficient, exponent=1.0)

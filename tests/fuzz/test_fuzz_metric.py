@@ -1,0 +1,114 @@
+"""Property-based fuzzing of the CSR metric, Eq 2 shares, and Eq 3/4 algebra.
+
+Contract: every public entry point either returns finite values satisfying
+its documented invariant or raises a :class:`repro.errors.ReproError` /
+``ValueError`` — never ``nan``, ``inf``, or a silently wrong share.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csr.metric import SHARE_TOLERANCE, csr, decompose_gain
+from repro.csr.relations import build_relation_matrix, geometric_mean
+from repro.errors import DatasetError
+
+positive = st.floats(min_value=1e-150, max_value=1e150)
+# Near-unity gains concentrate fuzzing on the share-denominator boundary.
+near_unity = st.floats(min_value=-1e-6, max_value=1e-6).map(lambda d: 1.0 + d)
+messy = st.floats(allow_nan=True, allow_infinity=True)
+
+
+class TestCsrFuzz:
+    @given(st.one_of(positive, near_unity), st.one_of(positive, near_unity))
+    @settings(max_examples=200)
+    def test_csr_finite_or_value_error(self, reported, physical):
+        try:
+            value = csr(reported, physical)
+        except ValueError:
+            return
+        assert math.isfinite(value) and value > 0
+
+    @given(messy, messy)
+    def test_csr_never_returns_non_finite(self, reported, physical):
+        try:
+            value = csr(reported, physical)
+        except ValueError:
+            return
+        assert math.isfinite(value)
+
+    @given(st.one_of(positive, near_unity), st.one_of(positive, near_unity))
+    @settings(max_examples=200)
+    def test_shares_finite_and_complementary(self, reported, physical):
+        try:
+            d = decompose_gain(reported, physical)
+            spec_share = d.specialization_share
+            cmos_share = d.cmos_share
+        except ValueError:
+            return
+        assert math.isfinite(spec_share)
+        assert math.isfinite(cmos_share)
+        assert spec_share + cmos_share == pytest.approx(1.0)
+
+    # Stay off the exact band edge: rounding of 1.0 + fraction*tol can push
+    # the representable value a ulp past the tolerance either way.
+    @given(st.floats(min_value=-0.9, max_value=0.9))
+    def test_share_is_zero_across_the_tolerance_band(self, fraction):
+        reported = 1.0 + fraction * SHARE_TOLERANCE
+        d = decompose_gain(reported, math.sqrt(reported))
+        assert d.specialization_share == 0.0
+
+
+class TestRelationAlgebraFuzz:
+    @given(st.lists(positive, min_size=1, max_size=10))
+    def test_geometric_mean_finite_and_bounded(self, values):
+        try:
+            mean = geometric_mean(values)
+        except ValueError:
+            return  # overflow-guarded extreme products
+        assert math.isfinite(mean)
+        assert min(values) * (1 - 1e-9) <= mean <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(messy, min_size=1, max_size=10))
+    def test_geometric_mean_rejects_bad_operands(self, values):
+        if all(math.isfinite(v) and v > 0 for v in values):
+            return
+        with pytest.raises(ValueError):
+            geometric_mean(values)
+
+    # Small random measurement tables: a few architectures sharing a pool
+    # of app names, so direct pairs, transitive bridges, and disconnected
+    # pairs all occur.
+    measurements = st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.dictionaries(
+            st.sampled_from(["app1", "app2", "app3", "app4", "app5", "app6"]),
+            st.floats(min_value=1e-3, max_value=1e3),
+            min_size=1,
+            max_size=6,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+
+    @given(measurements, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_matrix_antisymmetric_in_log_space(self, table, min_shared):
+        matrix = build_relation_matrix(table, min_shared_apps=min_shared)
+        for x in matrix.architectures:
+            assert matrix.gain(x, x) == 1.0
+            for y in matrix.architectures:
+                if x == y or not matrix.has(x, y):
+                    continue
+                product = matrix.gain(x, y) * matrix.gain(y, x)
+                assert product == pytest.approx(1.0, rel=1e-9)
+                assert math.isfinite(matrix.gain(x, y))
+
+    @given(measurements)
+    def test_matrix_rejects_non_finite_gains(self, table):
+        arch = next(iter(table))
+        app = next(iter(table[arch]))
+        table[arch][app] = float("inf")
+        with pytest.raises(DatasetError):
+            build_relation_matrix(table)

@@ -1,0 +1,128 @@
+"""Property-based fuzzing of the CMOS gains model, TDP laws, and the
+streaming Pareto accumulator.
+
+Contract: physical evaluations stay finite and positive over any plausible
+chip description (and reject the implausible with ``ValueError``), TDP-law
+round trips invert exactly, and the incremental Pareto frontier matches
+the batch reference under heavy ties while rejecting non-finite points.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.sweep import ParetoAccumulator, pareto_points
+from repro.cmos.gains import GainsModel
+from repro.cmos.nodes import NODE_ERAS_TDP
+from repro.cmos.tdp import TdpFit
+from repro.errors import FitError, ValidationError
+
+nodes = st.sampled_from([45.0, 32.0, 22.0, 14.0, 10.0, 7.0, 5.0])
+areas = st.floats(min_value=1e-2, max_value=1e4)
+frequencies = st.floats(min_value=1.0, max_value=1e5)
+tdps = st.one_of(st.none(), st.floats(min_value=1e-3, max_value=1e4))
+messy = st.floats(allow_nan=True, allow_infinity=True)
+
+
+class TestGainsModelFuzz:
+    model = GainsModel()
+
+    @given(nodes, areas, frequencies, tdps)
+    @settings(max_examples=200)
+    def test_metrics_finite_and_positive(self, node, area, frequency, tdp):
+        gains = self.model.evaluate(
+            node, frequency, area_mm2=area, tdp_w=tdp
+        )
+        for metric in ("throughput", "energy_efficiency", "throughput_per_area"):
+            value = gains.metric(metric)
+            assert math.isfinite(value) and value > 0, f"{metric}: {value!r}"
+        assert 0.0 < gains.active_fraction <= 1.0
+        if tdp is not None and gains.tdp_limited:
+            # A TDP-capped chip draws at most its cap, unless starvation
+            # pushed it onto the minimum-activity floor (whose leakage and
+            # floor power can legitimately exceed a tiny envelope).
+            floor = self.model.config.min_active_fraction
+            assert (
+                gains.power_w <= tdp * (1 + 1e-9)
+                or gains.active_fraction <= floor * (1 + 1e-9)
+            )
+
+    @given(nodes, messy, st.one_of(messy, st.none()))
+    def test_bad_inputs_raise_value_error_not_nan(self, node, frequency, tdp):
+        good_frequency = (
+            math.isfinite(frequency) and frequency > 0
+        )
+        good_tdp = tdp is None or (math.isfinite(tdp) and tdp > 0)
+        if good_frequency and good_tdp:
+            try:
+                gains = self.model.evaluate(
+                    node, frequency, area_mm2=100.0, tdp_w=tdp
+                )
+            except ValueError:
+                return  # extreme magnitudes may trip the overflow guards
+            assert math.isfinite(gains.throughput)
+        else:
+            with pytest.raises(ValueError):
+                self.model.evaluate(node, frequency, area_mm2=100.0, tdp_w=tdp)
+
+
+class TestTdpLawFuzz:
+    era = NODE_ERAS_TDP[0]
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=0.1, max_value=0.95),
+        st.floats(min_value=1e-2, max_value=1e4),
+        st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=150)
+    def test_budget_round_trip(self, coefficient, exponent, tdp, frequency):
+        fit = TdpFit(era=self.era, coefficient=coefficient, exponent=exponent)
+        transistors = fit.active_transistors(tdp, frequency)
+        assert math.isfinite(transistors) and transistors > 0
+        recovered = fit.tdp_for(transistors, frequency)
+        assert recovered == pytest.approx(tdp, rel=1e-9)
+
+    @given(messy)
+    def test_constructor_rejects_bad_coefficients(self, coefficient):
+        if math.isfinite(coefficient) and coefficient > 0:
+            TdpFit(era=self.era, coefficient=coefficient, exponent=0.5)
+        else:
+            with pytest.raises(FitError):
+                TdpFit(era=self.era, coefficient=coefficient, exponent=0.5)
+
+
+class TestParetoAccumulatorFuzz:
+    # Heavy-tie coordinates: a tiny pool of values plus arbitrary floats.
+    coord = st.one_of(
+        st.sampled_from([0.0, 1.0, 1.0, 2.0, -1.0]),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+
+    @given(st.lists(st.tuples(coord, coord), max_size=40))
+    @settings(max_examples=200)
+    def test_matches_batch_reference_under_ties(self, points):
+        accumulator = ParetoAccumulator()
+        for index, (x, y) in enumerate(points):
+            accumulator.add(x, y, index)
+        streaming = [(x, y) for x, y, _ in accumulator.frontier()]
+        batch = [
+            (x, y)
+            for x, y, _ in pareto_points(
+                [(x, y, i) for i, (x, y) in enumerate(points)]
+            )
+        ]
+        assert streaming == batch
+
+    @given(
+        st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+        st.floats(allow_nan=False, allow_infinity=False),
+    )
+    def test_rejects_non_finite_coordinates(self, bad, good):
+        accumulator = ParetoAccumulator()
+        with pytest.raises(ValidationError):
+            accumulator.add(bad, good)
+        with pytest.raises(ValidationError):
+            accumulator.add(good, bad)
+        assert len(accumulator) == 0  # the frontier stays uncorrupted

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro import CmosPotentialModel, csr, decompose_gain, reference_database
+from repro import CmosPotentialModel, csr, decompose_gain
 from repro.accel.attribution import attribute_gains
 from repro.accel.design import DesignPoint
 from repro.accel.power import evaluate_design
 from repro.accel.sweep import default_design_grid, sweep
 from repro.csr.series import compute_csr_series
-from repro.datasheets.schema import Category, ChipSpec
+from repro.datasheets.schema import Category
 from repro.dfg.analysis import analyze
 from repro.dfg.complexity import Component, Concept, concept_limit
 from repro.workloads import WORKLOADS, build_kernel

@@ -1,6 +1,5 @@
 """Tests for table regeneration and rendering."""
 
-import pytest
 
 from repro.dfg.analysis import analyze
 from repro.reporting.tables import (

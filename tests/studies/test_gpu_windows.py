@@ -1,6 +1,5 @@
 """Invariants of the GPU study's benchmark-window structure."""
 
-import pytest
 
 from repro.studies import gpu_graphics as g
 

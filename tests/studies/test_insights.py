@@ -1,6 +1,5 @@
 """Tests for the Section IV-E insight checks."""
 
-import pytest
 
 from repro.studies import bitcoin, fpga_cnn, gpu_graphics, video_decoders
 from repro.studies.insights import (

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_ERROR, build_parser, main
+from repro.errors import ProjectionError
 
 
 class TestParser:
@@ -84,3 +85,62 @@ class TestCommands:
         assert "table5.json" in out
         payload = json.loads((tmp_path / "table5.json").read_text())
         assert len(payload) == 4
+
+
+class TestErrorHandling:
+    """Regression: ReproError used to escape main() as a raw traceback."""
+
+    def test_reproerror_prints_one_line_and_exits_nonzero(
+        self, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        def boom(args):
+            raise ProjectionError("degenerate frontier in test")
+
+        monkeypatch.setattr(cli, "_cmd_wall", boom)
+        assert main(["wall"]) == EXIT_ERROR
+        captured = capsys.readouterr()
+        assert captured.err.strip() == "error: degenerate frontier in test"
+        assert "Traceback" not in captured.err
+
+    def test_non_repro_errors_still_propagate(self, monkeypatch):
+        from repro import cli
+
+        def boom(args):
+            raise RuntimeError("a genuine bug")
+
+        monkeypatch.setattr(cli, "_cmd_wall", boom)
+        with pytest.raises(RuntimeError):
+            main(["wall"])
+
+    def test_unknown_check_subsystem_reports_error(self, capsys):
+        assert main(["check", "nosuch"]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nosuch" in err
+
+
+class TestCheckCommand:
+    def test_check_subset_passes(self, capsys):
+        assert main(["check", "csr", "wall"]) == 0
+        out = capsys.readouterr().out
+        assert "csr/eq2-invariant" in out
+        assert "wall/predict-clamp" in out
+        assert "FAIL" not in out
+        assert "cmos/" not in out  # subset filtering works
+
+    def test_check_failure_exits_nonzero(self, monkeypatch, capsys):
+        from repro import check as check_module
+
+        def failing():
+            raise AssertionError("invariant broken in test")
+
+        monkeypatch.setattr(
+            check_module, "CHECKS", (("csr", "doomed", failing),)
+        )
+        assert main(["check"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "invariant broken in test" in out
+        assert "0/1 checks passed" in out

@@ -1,0 +1,151 @@
+"""Unit tests for the reusable numerical guards in :mod:`repro.validate`."""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError, ProjectionError, ReproError, ValidationError
+from repro.validate import (
+    MAX_CONDITION_NUMBER,
+    condition_number,
+    guarded_numpy,
+    require_all_finite,
+    require_finite,
+    require_fraction,
+    require_monotone,
+    require_positive,
+    require_well_conditioned,
+)
+
+
+class TestScalarGuards:
+    def test_finite_passes_through(self):
+        assert require_finite(3.5) == 3.5
+        assert require_finite(-1) == -1.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_finite_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            require_finite(bad)
+
+    def test_finite_rejects_non_numbers(self):
+        with pytest.raises(ValidationError):
+            require_finite("not a number")
+
+    def test_error_class_is_customisable(self):
+        with pytest.raises(ProjectionError):
+            require_finite(float("nan"), "x", ProjectionError)
+        with pytest.raises(FitError):
+            require_positive(-1.0, "x", FitError)
+
+    def test_validation_error_is_both_repro_and_value_error(self):
+        with pytest.raises(ReproError):
+            require_positive(0.0)
+        with pytest.raises(ValueError):
+            require_positive(0.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -2.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            require_positive(bad)
+
+    def test_positive_names_the_quantity(self):
+        with pytest.raises(ValidationError, match="die area"):
+            require_positive(-1.0, "die area")
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, float("nan")])
+    def test_fraction_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            require_fraction(bad)
+
+    def test_fraction_accepts_boundary(self):
+        assert require_fraction(1.0) == 1.0
+        assert require_fraction(1e-9) == 1e-9
+
+
+class TestArrayGuards:
+    def test_all_finite_passes(self):
+        out = require_all_finite([1.0, 2.0, 3.0])
+        assert isinstance(out, np.ndarray)
+
+    def test_all_finite_rejects_and_reports_first(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            require_all_finite([1.0, float("nan"), float("inf")])
+
+    def test_empty_is_fine(self):
+        assert require_all_finite([]).size == 0
+
+    def test_monotone_strict(self):
+        assert require_monotone([1.0, 2.0, 3.0]) == [1.0, 2.0, 3.0]
+        with pytest.raises(ValidationError):
+            require_monotone([1.0, 2.0, 2.0])
+        with pytest.raises(ValidationError):
+            require_monotone([1.0, 0.5])
+
+    def test_monotone_non_strict_allows_plateaus(self):
+        require_monotone([1.0, 2.0, 2.0], strict=False)
+        with pytest.raises(ValidationError):
+            require_monotone([2.0, 1.0], strict=False)
+
+    def test_monotone_trivial_sequences(self):
+        require_monotone([])
+        require_monotone([42.0])
+
+
+class TestConditioning:
+    def test_well_spread_design_is_well_conditioned(self):
+        cond = require_well_conditioned([1.0, 2.0, 4.0, 8.0])
+        assert cond < 100.0
+
+    def test_degenerate_design_rejected(self):
+        with pytest.raises(ValidationError, match="degenerate"):
+            require_well_conditioned([3.0, 3.0, 3.0])
+
+    def test_sub_minimal_design_rejected(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            require_well_conditioned([1.0])
+
+    def test_near_collinear_design_rejected(self):
+        design = [1e9, 1e9 + 1e-5]
+        assert condition_number(design) > MAX_CONDITION_NUMBER
+        with pytest.raises(ValidationError, match="ill-conditioned"):
+            require_well_conditioned(design)
+
+    def test_non_finite_design_is_infinitely_conditioned(self):
+        assert condition_number([1.0, float("nan")]) == float("inf")
+
+    def test_2d_design_matrix_accepted(self):
+        design = np.column_stack([[1.0, 2.0, 3.0], [1.0, 1.0, 1.0]])
+        assert math.isfinite(require_well_conditioned(design))
+
+
+class TestGuardedNumpy:
+    def test_overflow_becomes_the_callers_error(self):
+        with pytest.raises(FitError, match="floating-point"):
+            with guarded_numpy(FitError, "overflow test"):
+                np.exp(np.array([1e9]))
+
+    def test_divide_becomes_the_callers_error(self):
+        with pytest.raises(ValidationError):
+            with guarded_numpy():
+                np.array([1.0]) / np.array([0.0])
+
+    def test_rank_warning_becomes_error_not_stderr_noise(self):
+        with pytest.raises(FitError, match="rank-deficient"):
+            with guarded_numpy(FitError, "rank test"):
+                # Duplicate x values: rank-deficient Vandermonde matrix.
+                np.polyfit([1.0, 1.0], [1.0, 2.0], deg=1)
+
+    def test_benign_code_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with guarded_numpy():
+                result = np.polyfit([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], deg=1)
+        assert np.all(np.isfinite(result))
+
+    def test_underflow_stays_silent(self):
+        with guarded_numpy():
+            tiny = np.array([1e-300]) * np.array([1e-300])
+        assert tiny[0] == 0.0

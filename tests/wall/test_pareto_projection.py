@@ -33,6 +33,25 @@ class TestUpperFrontier:
         frontier = upper_frontier([(1.0, 1.0), (1.0, 4.0)])
         assert frontier == [(1.0, 4.0)]
 
+    def test_exact_duplicate_points_collapse(self):
+        frontier = upper_frontier([(1.0, 2.0), (1.0, 2.0), (1.0, 2.0)])
+        assert frontier == [(1.0, 2.0)]
+
+    def test_equal_y_keeps_cheapest_x(self):
+        # The same gain at more capability is not an improvement: the
+        # frontier must stay strictly increasing in y.
+        frontier = upper_frontier([(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)])
+        assert frontier == [(1.0, 2.0)]
+
+    def test_mixed_ties_and_dominated_points(self):
+        points = [
+            (1.0, 1.0), (1.0, 3.0),   # equal-x tie: keep (1, 3)
+            (2.0, 3.0),               # equal-y plateau: dropped
+            (2.0, 5.0), (2.0, 5.0),   # duplicate improvement: kept once
+            (3.0, 4.0),               # dominated: dropped
+        ]
+        assert upper_frontier(points) == [(1.0, 3.0), (2.0, 5.0)]
+
     @given(
         st.lists(
             st.tuples(
@@ -114,3 +133,56 @@ class TestFrontierFit:
         points = [(1.0, 1.0), (2.0, 2.0), (4.0, 4.0), (8.0, 8.0)]
         linear, log = fit_projections(points)
         assert linear.predict(1000.0) > log.predict(1000.0)
+
+    def test_rejects_non_finite_points(self):
+        with pytest.raises(ProjectionError):
+            fit_frontier(
+                [(1.0, 1.0), (2.0, float("nan"))], ProjectionKind.LINEAR
+            )
+
+    def test_rejects_degenerate_single_x(self):
+        # Every point at the same capability collapses the frontier to one
+        # point; the fit line would be vertical.
+        with pytest.raises(ProjectionError):
+            fit_frontier(
+                [(1.0, 1.0), (1.0, 2.0), (1.0, 3.0)], ProjectionKind.LINEAR
+            )
+
+
+class TestPredictClamp:
+    """The documented (and historically unimplemented) frontier clamp."""
+
+    # The confirmed repro from the bug report: a saturating log-shaped
+    # dataset whose fit line sits far below the achieved frontier at the
+    # left edge of the data.
+    POINTS = [(1.0, 1.0), (2.0, 3.0), (4.0, 3.2), (8.0, 3.25)]
+
+    def test_log_fit_never_predicts_below_achieved_frontier(self):
+        fit = fit_frontier(self.POINTS, ProjectionKind.LOGARITHMIC)
+        assert fit.max_fitted_gain == pytest.approx(3.25)
+        # Unclamped, the model value at x=1 is beta ~ 1.57 — a projection
+        # that "regresses" 52% under the already-achieved 3.25.
+        assert fit.alpha * 0.0 + fit.beta < 3.25
+        assert fit.predict(1.0) >= 3.25
+
+    def test_linear_fit_clamped_too(self):
+        fit = fit_frontier(self.POINTS, ProjectionKind.LINEAR)
+        assert fit.predict(1.0) >= fit.max_fitted_gain
+
+    def test_clamp_inactive_beyond_the_data(self):
+        fit = fit_frontier(self.POINTS, ProjectionKind.LOGARITHMIC)
+        import math
+
+        raw = fit.alpha * math.log(1000.0) + fit.beta
+        assert fit.predict(1000.0) == pytest.approx(raw)
+        assert raw > fit.max_fitted_gain
+
+    def test_hand_built_fit_has_no_clamp(self):
+        # Fits constructed directly (paper constants, tests) keep the raw
+        # model: max_fitted_gain defaults to -inf.
+        fit = FrontierFit(ProjectionKind.LINEAR, 2.0, 1.0, 3, 0.0)
+        assert fit.predict(0.001) == pytest.approx(1.002)
+
+    def test_fit_projections_clamp_both_models(self):
+        for fit in fit_projections(self.POINTS):
+            assert fit.predict(1.0) >= 3.25

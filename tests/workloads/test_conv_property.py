@@ -5,7 +5,6 @@ interchangeable; hypothesis drives both traced kernels over random images
 and checks elementwise agreement against the numpy reference.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
