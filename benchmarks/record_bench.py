@@ -1,0 +1,110 @@
+"""Record one small-grid Fig 13 sweep as a ``BENCH_*.json`` entry.
+
+CI's benchmark smoke job runs this after the shape-asserting benches: it
+executes the representative (fast) Fig 13 grid through the parallel
+engine with the observability layer on, then writes one self-contained
+JSON entry — engine stats, per-stage span times, and the metrics
+snapshot — so the perf trajectory of the DSE pipeline accumulates one
+point per commit.  The Chrome trace goes next to it for the artifact
+upload.
+
+Usage::
+
+    python benchmarks/record_bench.py --out-dir bench-results \
+        --trace-out bench-results/fig13-trace.json --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.accel.engine import SweepEngine
+from repro.accel.sweep import default_design_grid
+from repro.obs.metrics import metrics, reset_metrics
+from repro.obs.trace import Tracer, set_tracer
+from repro.workloads import s3d
+
+#: The CLI's fast Fig 13 sub-grid (see repro.reporting.export).
+PARTITIONS = (1, 4, 16, 64, 256, 1024)
+SIMPLIFICATIONS = (1, 3, 5, 7, 9, 11, 13)
+
+
+def run(jobs: int) -> dict:
+    """One cold small-grid sweep under a fresh tracer and metrics registry."""
+    kernel = s3d.build()
+    grid = default_design_grid(
+        partitions=PARTITIONS, simplifications=SIMPLIFICATIONS
+    )
+    tracer = Tracer()
+    reset_metrics()
+    set_tracer(tracer)
+    try:
+        engine = SweepEngine(jobs=jobs, use_cache=False)
+        result = engine.sweep(kernel, grid)
+    finally:
+        set_tracer(None)
+    stats = result.stats
+    return {
+        "bench": "fig13_smoke",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": os.environ.get("GITHUB_SHA", "local"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "stats": {
+            "design_points": stats.design_points,
+            "jobs": stats.jobs,
+            "chunks": stats.chunks,
+            "elapsed_s": stats.elapsed_s,
+            "schedule_s": stats.schedule_s,
+            "evaluate_s": stats.evaluate_s,
+            "memo_hits": stats.memo_hits,
+            "memo_misses": stats.memo_misses,
+        },
+        "stages": tracer.stage_rows(),
+        "metrics": metrics().snapshot(),
+        "_tracer": tracer,  # stripped before serialisation
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path("bench-results"),
+        help="directory for the BENCH_*.json entry (default: bench-results)",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="also write the run's Chrome trace-event JSON here",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the sweep (default: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    entry = run(args.jobs)
+    tracer = entry.pop("_tracer")
+    if args.trace_out is not None:
+        tracer.export_chrome(args.trace_out)
+        print(f"wrote trace {args.trace_out} ({len(tracer)} spans)")
+
+    label = entry["commit"][:12]
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    path = args.out_dir / f"BENCH_fig13_smoke_{label}.json"
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2)
+    stats = entry["stats"]
+    print(
+        f"wrote {path}: {stats['design_points']} points in "
+        f"{stats['elapsed_s']:.3f}s (jobs={stats['jobs']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,10 @@ from repro.accel.power import PowerReport, evaluate_design
 from repro.accel.resources import ResourceLibrary
 from repro.accel.sweep import ScheduleCache, default_design_grid
 from repro.accel.trace import TracedKernel
+from repro.obs.log import get_logger, kv
+from repro.obs.trace import span
+
+logger = get_logger("accel.attribution")
 
 #: The concepts Fig 14 stacks, in the figure's legend order.
 CONCEPTS: Tuple[str, ...] = (
@@ -134,29 +138,36 @@ def attribute_gains(
     lib = library if library is not None else ResourceLibrary()
     if cache is None:
         cache = ScheduleCache(kernel, lib)
-    base_design = baseline_design(baseline_node_nm)
-    base_report = evaluate_design(kernel, base_design, lib)
-    base_value = _metric(base_report, metric)
+    with span("attribute", kernel=kernel.name, metric=metric):
+        base_design = baseline_design(baseline_node_nm)
+        base_report = evaluate_design(kernel, base_design, lib)
+        base_value = _metric(base_report, metric)
 
-    best_design, best_report = find_best_design(
-        kernel, metric, node_nm, lib, partitions, simplifications, cache=cache
+        best_design, best_report = find_best_design(
+            kernel, metric, node_nm, lib, partitions, simplifications, cache=cache
+        )
+        best_value = _metric(best_report, metric)
+
+        def ablated_value(design: DesignPoint) -> float:
+            report = evaluate_design(
+                kernel, design, lib, precomputed=cache.get(design)
+            )
+            return _metric(report, metric)
+
+        ablations = {
+            "cmos_saving": best_design.with_node(baseline_node_nm),
+            "partitioning": best_design.with_partition(1),
+            "simplification": best_design.with_simplification(1),
+            "heterogeneity": best_design.without_heterogeneity(),
+        }
+        factors = {
+            concept: max(1.0, best_value / ablated_value(design))
+            for concept, design in ablations.items()
+        }
+    logger.debug(
+        "attribute.done %s",
+        kv(kernel=kernel.name, metric=metric, total_gain=best_value / base_value),
     )
-    best_value = _metric(best_report, metric)
-
-    def ablated_value(design: DesignPoint) -> float:
-        report = evaluate_design(kernel, design, lib, precomputed=cache.get(design))
-        return _metric(report, metric)
-
-    ablations = {
-        "cmos_saving": best_design.with_node(baseline_node_nm),
-        "partitioning": best_design.with_partition(1),
-        "simplification": best_design.with_simplification(1),
-        "heterogeneity": best_design.without_heterogeneity(),
-    }
-    factors = {
-        concept: max(1.0, best_value / ablated_value(design))
-        for concept, design in ablations.items()
-    }
     return GainAttribution(
         kernel=kernel.name,
         metric=metric,

@@ -32,6 +32,11 @@ from repro.accel.resources import OpClass, ResourceLibrary
 from repro.accel.scheduler import Schedule
 from repro.accel.trace import TracedKernel
 from repro.dfg.graph import Dfg
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.obs.trace import span
+
+logger = get_logger("accel.cache")
 
 #: Format version embedded in every entry; bump to invalidate the world.
 CACHE_VERSION: int = 1
@@ -128,15 +133,33 @@ class DiskCache:
     version-mismatched files count as misses (and are best-effort deleted)
     so a damaged cache degrades to recomputation, never to wrong results.
     ``put`` writes atomically (temp file + rename), making the cache safe
-    for concurrent writers — the engine's worker processes.
+    for concurrent writers — the engine's worker processes — and is
+    likewise non-fatal on *any* failure: I/O errors are silent, while
+    serialization failures (an unpicklable value, a ``__reduce__`` that
+    raises, recursion blowups on deep DFGs) are counted in ``drops`` and
+    the value is simply not cached.
+
+    *name* labels this store's metrics family (``cache.<name>.hits`` …)
+    in the process-wide :func:`repro.obs.metrics.metrics` registry.
     """
 
-    def __init__(self, directory: PathLike, version: int = CACHE_VERSION):
+    def __init__(
+        self,
+        directory: PathLike,
+        version: int = CACHE_VERSION,
+        name: str = "disk",
+    ):
         self.directory = Path(directory)
         self.version = version
+        self.name = name
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Values that could not be serialized and were dropped by ``put``.
+        self.drops = 0
+
+    def _count(self, event: str) -> None:
+        metrics().counter(f"cache.{self.name}.{event}").inc()
 
     def path_for(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
@@ -144,43 +167,62 @@ class DiskCache:
     def get(self, key: str):
         """Stored value for *key*, or ``None`` on any kind of miss."""
         path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                entry = pickle.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:  # corrupt pickle, permission error, bad EOF...
-            self.misses += 1
-            self._discard(path)
-            return None
-        if (
-            not isinstance(entry, tuple)
-            or len(entry) != 2
-            or entry[0] != self.version
-        ):
-            self.misses += 1
-            self._discard(path)
-            return None
-        self.hits += 1
-        return entry[1]
+        with span("cache.get", store=self.name):
+            try:
+                with open(path, "rb") as handle:
+                    entry = pickle.load(handle)
+            except FileNotFoundError:
+                self.misses += 1
+                self._count("misses")
+                return None
+            except Exception:  # corrupt pickle, permission error, bad EOF...
+                self.misses += 1
+                self._count("misses")
+                self._discard(path)
+                return None
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or entry[0] != self.version
+            ):
+                self.misses += 1
+                self._count("misses")
+                self._discard(path)
+                return None
+            self.hits += 1
+            self._count("hits")
+            return entry[1]
 
     def put(self, key: str, value) -> None:
         """Atomically store *value* under *key*; failures are non-fatal."""
         path = self.path_for(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with span("cache.put", store=self.name):
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump((self.version, value), handle)
-                os.replace(tmp, path)
-            except BaseException:
-                self._discard(Path(tmp))
-                raise
-            self.writes += 1
-        except OSError:
-            pass  # caching is best-effort; never fail the computation
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump((self.version, value), handle)
+                    os.replace(tmp, path)
+                except BaseException:
+                    self._discard(Path(tmp))
+                    raise
+                self.writes += 1
+                self._count("writes")
+            except OSError:
+                pass  # caching is best-effort; never fail the computation
+            except Exception as exc:
+                # Unpicklable value: PicklingError, a RuntimeError raised by
+                # a __reduce__, RecursionError on a deep DFG...  The temp
+                # file was already cleaned up above; record the drop and
+                # carry on — a value we cannot cache must never abort the
+                # sweep that produced it.
+                self.drops += 1
+                self._count("drops")
+                logger.warning(
+                    "cache.put.dropped %s",
+                    kv(store=self.name, key=key, error=type(exc).__name__),
+                )
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -207,7 +249,9 @@ class ScheduleStore:
         directory: Optional[PathLike] = None,
         version: int = CACHE_VERSION,
     ):
-        self._disk = DiskCache(resolve_cache_dir(directory) / "schedules", version)
+        self._disk = DiskCache(
+            resolve_cache_dir(directory) / "schedules", version, name="schedules"
+        )
 
     @property
     def hits(self) -> int:
@@ -220,6 +264,10 @@ class ScheduleStore:
     @property
     def writes(self) -> int:
         return self._disk.writes
+
+    @property
+    def drops(self) -> int:
+        return self._disk.drops
 
     @staticmethod
     def key(
@@ -282,7 +330,9 @@ class KernelTraceStore:
         directory: Optional[PathLike] = None,
         version: int = CACHE_VERSION,
     ):
-        self._disk = DiskCache(resolve_cache_dir(directory) / "traces", version)
+        self._disk = DiskCache(
+            resolve_cache_dir(directory) / "traces", version, name="traces"
+        )
 
     @property
     def hits(self) -> int:
@@ -291,6 +341,10 @@ class KernelTraceStore:
     @property
     def misses(self) -> int:
         return self._disk.misses
+
+    @property
+    def drops(self) -> int:
+        return self._disk.drops
 
     @staticmethod
     def key(name: str, **build_kwargs) -> str:

@@ -45,6 +45,11 @@ from repro.accel.sweep import (
     default_design_grid,
 )
 from repro.accel.trace import TracedKernel
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.obs.trace import Span, Tracer, get_tracer, set_tracer, span
+
+logger = get_logger("accel.engine")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -63,12 +68,30 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 _WORKER: Dict[str, object] = {}
 
 
+def _init_worker_tracer(trace_spans: bool) -> None:
+    """Install (or, on fork, reset) this worker process's own tracer.
+
+    With the ``fork`` start method the child inherits the parent's tracer
+    *including already-finished parent spans*; shipping those back would
+    duplicate them, so the worker always starts from a clean tracer (or
+    none at all when the parent is not tracing).
+    """
+    set_tracer(Tracer() if trace_spans else None)
+
+
+def _drain_worker_spans() -> List[Span]:
+    tracer = get_tracer()
+    return tracer.drain() if tracer is not None else []
+
+
 def _init_sweep_worker(
     kernel: TracedKernel,
     library: ResourceLibrary,
     cache_dir,
     use_cache: bool,
+    trace_spans: bool = False,
 ) -> None:
+    _init_worker_tracer(trace_spans)
     store = ScheduleStore(cache_dir) if use_cache else None
     _WORKER["kernel"] = kernel
     _WORKER["library"] = library
@@ -77,20 +100,21 @@ def _init_sweep_worker(
 
 def _sweep_chunk(
     designs: Sequence[DesignPoint],
-) -> Tuple[Tuple[PowerReport, ...], Dict[str, float]]:
+) -> Tuple[Tuple[PowerReport, ...], Dict[str, float], List[Span]]:
     kernel: TracedKernel = _WORKER["kernel"]  # type: ignore[assignment]
     library: ResourceLibrary = _WORKER["library"]  # type: ignore[assignment]
     cache: ScheduleCache = _WORKER["cache"]  # type: ignore[assignment]
     before = cache.counters()
     start = perf_counter()
-    reports = tuple(
-        evaluate_design(kernel, design, library, precomputed=cache.get(design))
-        for design in designs
-    )
+    with span("sweep.chunk", designs=len(designs), kernel=kernel.name):
+        reports = tuple(
+            evaluate_design(kernel, design, library, precomputed=cache.get(design))
+            for design in designs
+        )
     elapsed = perf_counter() - start
     delta = {key: value - before[key] for key, value in cache.counters().items()}
     delta["evaluate_s"] = elapsed - delta["schedule_s"]
-    return reports, delta
+    return reports, delta, _drain_worker_spans()
 
 
 def _sweep_kernel_task(
@@ -99,9 +123,12 @@ def _sweep_kernel_task(
     library: Optional[ResourceLibrary],
     cache_dir,
     use_cache: bool,
-) -> SweepResult:
+    trace_spans: bool = False,
+) -> Tuple[SweepResult, List[Span]]:
+    _init_worker_tracer(trace_spans)
     engine = SweepEngine(jobs=1, cache_dir=cache_dir, use_cache=use_cache)
-    return engine.sweep(kernel, designs, library)
+    result = engine.sweep(kernel, designs, library)
+    return result, _drain_worker_spans()
 
 
 def _attribute_kernel_task(
@@ -114,9 +141,19 @@ def _attribute_kernel_task(
     simplifications: Optional[Sequence[int]],
     cache_dir,
     use_cache: bool,
+    trace_spans: Optional[bool] = None,
 ):
+    """Attribute one kernel; the per-kernel unit of :meth:`attribute_all`.
+
+    *trace_spans* is a tri-state: ``True``/``False`` mean "this is a worker
+    process, install a fresh tracer (or none)"; ``None`` means "running
+    in-process, leave the caller's tracer alone" — its spans are already
+    on the parent trace, so an empty list is shipped back.
+    """
     from repro.accel.attribution import attribute_gains
 
+    if trace_spans is not None:
+        _init_worker_tracer(trace_spans)
     lib = library if library is not None else ResourceLibrary()
     store = ScheduleStore(cache_dir) if use_cache else None
     cache = ScheduleCache(kernel, lib, store=store)
@@ -136,7 +173,8 @@ def _attribute_kernel_task(
     counters["evaluate_s"] = elapsed - counters["schedule_s"]
     # Evaluations routed through the cache, plus the uncached 45nm baseline.
     counters["design_points"] = cache.memo_hits + cache.memo_misses + 1
-    return attribution, counters
+    spans = _drain_worker_spans() if trace_spans is not None else []
+    return attribution, counters, spans
 
 
 class SweepEngine:
@@ -194,11 +232,13 @@ class SweepEngine:
         ``abbrev`` and ``build(**kwargs)``). Cache off → plain build.
         """
         if not self.use_cache:
-            return workload.build(**build_kwargs)
+            with span("trace.build", workload=workload.abbrev):
+                return workload.build(**build_kwargs)
         store = KernelTraceStore(self.cache_dir)
         kernel = store.get(workload.abbrev, **build_kwargs)
         if kernel is None:
-            kernel = workload.build(**build_kwargs)
+            with span("trace.build", workload=workload.abbrev):
+                kernel = workload.build(**build_kwargs)
             store.put(workload.abbrev, kernel, **build_kwargs)
         return kernel
 
@@ -217,53 +257,82 @@ class SweepEngine:
         library: Optional[ResourceLibrary] = None,
     ) -> SweepResult:
         """Evaluate *kernel* over *designs* (default: full Table III grid)."""
+        return self._sweep(kernel, designs, library, record=True)
+
+    def _sweep(
+        self,
+        kernel: TracedKernel,
+        designs: Optional[Iterable[DesignPoint]] = None,
+        library: Optional[ResourceLibrary] = None,
+        record: bool = True,
+    ) -> SweepResult:
+        """:meth:`sweep` body; *record=False* lets :meth:`sweep_many`'s
+        serial path account the whole multi-kernel run as one operation
+        instead of double-counting each child into ``self.stats``."""
         lib = library if library is not None else ResourceLibrary()
         design_list = (
             list(designs) if designs is not None else default_design_grid()
         )
+        tracer = get_tracer()
         start = perf_counter()
         accumulator = ParetoAccumulator()
-        stats = SweepStats(
-            design_points=len(design_list), jobs=self.jobs, chunks=1
-        )
-        if self.jobs == 1 or len(design_list) <= 1:
-            cache = ScheduleCache(kernel, lib, store=self.schedule_store())
-            collected: List[PowerReport] = []
-            for design in design_list:
-                report = evaluate_design(
-                    kernel, design, lib, precomputed=cache.get(design)
-                )
-                collected.append(report)
-                accumulator.add_report(report)
-            stats.merge_counters(cache.counters())
-            stats.elapsed_s = perf_counter() - start
-            stats.evaluate_s = stats.elapsed_s - stats.schedule_s
-            reports = tuple(collected)
-        else:
-            chunks = self._chunk(design_list)
-            stats.chunks = len(chunks)
-            workers = min(self.jobs, len(chunks))
-            collected = []
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_sweep_worker,
-                initargs=(kernel, lib, self.cache_dir, self.use_cache),
-            ) as pool:
-                futures = [pool.submit(_sweep_chunk, chunk) for chunk in chunks]
-                # Submission order == grid order, so the merged report tuple
-                # is identical to the serial result.
-                for future in futures:
-                    chunk_reports, delta = future.result()
-                    collected.extend(chunk_reports)
-                    for report in chunk_reports:
-                        accumulator.add_report(report)
-                    stats.evaluate_s += delta.pop("evaluate_s")
-                    stats.merge_counters(delta)
-            stats.elapsed_s = perf_counter() - start
-            reports = tuple(collected)
+        # ``jobs`` is filled in below with the workers *actually used*:
+        # a <=1-point grid runs serially even on a parallel engine, and a
+        # chunked run can need fewer workers than configured.
+        stats = SweepStats(design_points=len(design_list), jobs=1, chunks=1)
+        with span("sweep", kernel=kernel.name, designs=len(design_list)):
+            if self.jobs == 1 or len(design_list) <= 1:
+                cache = ScheduleCache(kernel, lib, store=self.schedule_store())
+                collected: List[PowerReport] = []
+                for design in design_list:
+                    report = evaluate_design(
+                        kernel, design, lib, precomputed=cache.get(design)
+                    )
+                    collected.append(report)
+                    accumulator.add_report(report)
+                stats.merge_counters(cache.counters())
+                stats.elapsed_s = perf_counter() - start
+                stats.evaluate_s = stats.elapsed_s - stats.schedule_s
+                reports = tuple(collected)
+            else:
+                chunks = self._chunk(design_list)
+                stats.chunks = len(chunks)
+                workers = min(self.jobs, len(chunks))
+                stats.jobs = workers
+                collected = []
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_sweep_worker,
+                    initargs=(
+                        kernel,
+                        lib,
+                        self.cache_dir,
+                        self.use_cache,
+                        tracer is not None,
+                    ),
+                ) as pool:
+                    futures = [
+                        pool.submit(_sweep_chunk, chunk) for chunk in chunks
+                    ]
+                    # Submission order == grid order, so the merged report
+                    # tuple is identical to the serial result.
+                    for future in futures:
+                        with span("sweep.collect"):
+                            chunk_reports, delta, worker_spans = future.result()
+                            collected.extend(chunk_reports)
+                            for report in chunk_reports:
+                                accumulator.add_report(report)
+                            stats.evaluate_s += delta.pop("evaluate_s")
+                            stats.merge_counters(delta)
+                        if tracer is not None:
+                            tracer.absorb(worker_spans)
+                stats.elapsed_s = perf_counter() - start
+                reports = tuple(collected)
         result = SweepResult(kernel=kernel.name, reports=reports, stats=stats)
         result._seed_frontier(accumulator.payloads())
-        self._record(stats)
+        if record:
+            self._record(stats)
+        logger.info("sweep.done %s", kv(kernel=kernel.name, **_log_stats(stats)))
         return result
 
     def sweep_many(
@@ -272,33 +341,54 @@ class SweepEngine:
         designs: Optional[Iterable[DesignPoint]] = None,
         library: Optional[ResourceLibrary] = None,
     ) -> List[SweepResult]:
-        """Sweep several kernels, fanning out across kernels when parallel."""
+        """Sweep several kernels, fanning out across kernels when parallel.
+
+        The recorded :class:`SweepStats` describe the multi-kernel run as
+        one operation: ``elapsed_s`` is its wall time and ``jobs`` the
+        worker processes actually used (on the serial path that is the
+        largest worker count any per-kernel sweep used).
+        """
         design_list = (
             list(designs) if designs is not None else default_design_grid()
         )
-        if self.jobs == 1 or len(kernels) <= 1:
-            results = [self.sweep(k, design_list, library) for k in kernels]
-            self.last_stats = self._merged([r.stats for r in results])
-            return results
+        tracer = get_tracer()
         start = perf_counter()
-        workers = min(self.jobs, len(kernels))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _sweep_kernel_task,
-                    kernel,
-                    design_list,
-                    library,
-                    self.cache_dir,
-                    self.use_cache,
-                )
-                for kernel in kernels
-            ]
-            results = [future.result() for future in futures]
-        stats = self._merged([r.stats for r in results])
-        stats.jobs = self.jobs
+        with span("sweep_many", kernels=len(kernels)):
+            if self.jobs == 1 or len(kernels) <= 1:
+                results = [
+                    self._sweep(k, design_list, library, record=False)
+                    for k in kernels
+                ]
+                stats = self._merged([r.stats for r in results])
+                stats.jobs = max((r.stats.jobs for r in results), default=1)
+            else:
+                workers = min(self.jobs, len(kernels))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _sweep_kernel_task,
+                            kernel,
+                            design_list,
+                            library,
+                            self.cache_dir,
+                            self.use_cache,
+                            tracer is not None,
+                        )
+                        for kernel in kernels
+                    ]
+                    results = []
+                    for future in futures:
+                        result, worker_spans = future.result()
+                        results.append(result)
+                        if tracer is not None:
+                            tracer.absorb(worker_spans)
+                stats = self._merged([r.stats for r in results])
+                stats.jobs = workers
         stats.elapsed_s = perf_counter() - start
         self._record(stats)
+        logger.info(
+            "sweep_many.done %s", kv(kernels=len(kernels), **_log_stats(stats))
+        )
         return results
 
     # -- attribution (Fig 14) -------------------------------------------------
@@ -341,37 +431,64 @@ class SweepEngine:
         :func:`repro.accel.attribution.attribute_gains` loop for any
         ``jobs``.
         """
+        tracer = get_tracer()
         start = perf_counter()
-        stats = SweepStats(jobs=self.jobs, chunks=len(kernels))
-        args = [
-            (
-                kernel,
-                metric,
-                node_nm,
-                baseline_node_nm,
-                library,
-                partitions,
-                simplifications,
-                self.cache_dir,
-                self.use_cache,
-            )
-            for kernel in kernels
-        ]
-        if self.jobs == 1 or len(kernels) <= 1:
-            outcomes = [_attribute_kernel_task(*a) for a in args]
-        else:
-            workers = min(self.jobs, len(kernels))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_attribute_kernel_task, *a) for a in args]
-                outcomes = [future.result() for future in futures]
-        attributions = []
-        for attribution, counters in outcomes:
-            attributions.append(attribution)
-            stats.design_points += int(counters.pop("design_points", 0))
-            stats.evaluate_s += counters.pop("evaluate_s", 0.0)
-            stats.merge_counters(counters)
+        serial = self.jobs == 1 or len(kernels) <= 1
+        # ``jobs`` records the worker processes actually used, so the
+        # serial fallback (one kernel, or a jobs=1 engine) reports 1.
+        workers = 1 if serial else min(self.jobs, len(kernels))
+        stats = SweepStats(jobs=workers, chunks=len(kernels))
+        with span("attribute_all", kernels=len(kernels), metric=metric):
+            if serial:
+                outcomes = [
+                    _attribute_kernel_task(
+                        kernel,
+                        metric,
+                        node_nm,
+                        baseline_node_nm,
+                        library,
+                        partitions,
+                        simplifications,
+                        self.cache_dir,
+                        self.use_cache,
+                        # trace_spans=None: in-process, the caller's tracer
+                        # stays installed and records spans directly.
+                    )
+                    for kernel in kernels
+                ]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _attribute_kernel_task,
+                            kernel,
+                            metric,
+                            node_nm,
+                            baseline_node_nm,
+                            library,
+                            partitions,
+                            simplifications,
+                            self.cache_dir,
+                            self.use_cache,
+                            tracer is not None,
+                        )
+                        for kernel in kernels
+                    ]
+                    outcomes = [future.result() for future in futures]
+            attributions = []
+            for attribution, counters, worker_spans in outcomes:
+                attributions.append(attribution)
+                stats.design_points += int(counters.pop("design_points", 0))
+                stats.evaluate_s += counters.pop("evaluate_s", 0.0)
+                stats.merge_counters(counters)
+                if tracer is not None:
+                    tracer.absorb(worker_spans)
         stats.elapsed_s = perf_counter() - start
         self._record(stats)
+        logger.info(
+            "attribute_all.done %s",
+            kv(kernels=len(kernels), metric=metric, **_log_stats(stats)),
+        )
         return attributions
 
     # -- stats plumbing -------------------------------------------------------
@@ -387,3 +504,33 @@ class SweepEngine:
     def _record(self, stats: SweepStats) -> None:
         self.last_stats = stats
         self.stats.merge(stats)
+        # Publish the operation to the process-wide metrics registry.  The
+        # ``engine.*`` family aggregates worker-side cache traffic (shipped
+        # back in the chunk deltas), unlike the per-process ``cache.*``
+        # counters the stores increment locally.
+        registry = metrics()
+        registry.counter("engine.operations").inc()
+        registry.counter("engine.design_points").inc(stats.design_points)
+        registry.counter("engine.chunks").inc(stats.chunks)
+        registry.counter("engine.memo_hits").inc(stats.memo_hits)
+        registry.counter("engine.memo_misses").inc(stats.memo_misses)
+        registry.counter("engine.cache_hits").inc(stats.cache_hits)
+        registry.counter("engine.cache_misses").inc(stats.cache_misses)
+        registry.gauge("engine.jobs").set(stats.jobs)
+        registry.timer("engine.elapsed_s").observe(stats.elapsed_s)
+        registry.timer("engine.schedule_s").observe(stats.schedule_s)
+        registry.timer("engine.evaluate_s").observe(stats.evaluate_s)
+
+
+def _log_stats(stats: SweepStats) -> Dict[str, object]:
+    """The fields ``sweep.done``-style log lines share."""
+    return {
+        "points": stats.design_points,
+        "jobs": stats.jobs,
+        "chunks": stats.chunks,
+        "elapsed_s": stats.elapsed_s,
+        "schedule_s": stats.schedule_s,
+        "evaluate_s": stats.evaluate_s,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+    }

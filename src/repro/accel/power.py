@@ -14,6 +14,7 @@ from repro.accel.design import DesignPoint
 from repro.accel.resources import OpClass, ResourceLibrary, op_class
 from repro.accel.scheduler import Schedule, schedule as run_schedule
 from repro.accel.trace import TracedKernel
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -72,38 +73,43 @@ def evaluate_design(
     """
     lib = library if library is not None else ResourceLibrary()
     if precomputed is None:
-        sched = run_schedule(
-            kernel.dfg,
-            partition=design.partition,
-            library=lib,
-            fusion_window=lib.fusion_window(design.node_nm, design.heterogeneity),
-            latency_extra=lib.latency_extra(design.simplification),
-        )
+        with span("schedule", partition=design.partition):
+            sched = run_schedule(
+                kernel.dfg,
+                partition=design.partition,
+                library=lib,
+                fusion_window=lib.fusion_window(
+                    design.node_nm, design.heterogeneity
+                ),
+                latency_extra=lib.latency_extra(design.simplification),
+            )
     else:
         sched = precomputed
 
-    # Dynamic energy: every traced operation pays its class energy; memory
-    # *accesses* (including re-reads) pay the scratchpad port energy.
-    energy_scale = lib.energy_scale(design.node_nm, design.simplification)
-    dynamic_nj = 0.0
-    for op, count in sched.op_counts.items():
-        if op in ("load", "store"):
-            continue  # charged via access counts below
-        dynamic_nj += lib.costs(op_class(op)).energy_nj * count
-    dynamic_nj += lib.costs(OpClass.MEMORY).energy_nj * kernel.total_accesses
-    dynamic_nj *= energy_scale
+    with span("evaluate"):
+        # Dynamic energy: every traced operation pays its class energy;
+        # memory *accesses* (including re-reads) pay the scratchpad port
+        # energy.
+        energy_scale = lib.energy_scale(design.node_nm, design.simplification)
+        dynamic_nj = 0.0
+        for op, count in sched.op_counts.items():
+            if op in ("load", "store"):
+                continue  # charged via access counts below
+            dynamic_nj += lib.costs(op_class(op)).energy_nj * count
+        dynamic_nj += lib.costs(OpClass.MEMORY).energy_nj * kernel.total_accesses
+        dynamic_nj *= energy_scale
 
-    leakage_w = sum(
-        units * lib.unit_leakage_w(klass, design.node_nm, design.simplification)
-        for klass, units in sched.provisioned.items()
-    )
+        leakage_w = sum(
+            units * lib.unit_leakage_w(klass, design.node_nm, design.simplification)
+            for klass, units in sched.provisioned.items()
+        )
 
-    return PowerReport(
-        kernel=kernel.name,
-        design=design,
-        cycles=sched.cycles,
-        clock_mhz=lib.clock_mhz(design.node_nm),
-        dynamic_energy_nj=dynamic_nj,
-        leakage_power_w=leakage_w,
-        total_ops=sched.total_ops,
-    )
+        return PowerReport(
+            kernel=kernel.name,
+            design=design,
+            cycles=sched.cycles,
+            clock_mhz=lib.clock_mhz(design.node_nm),
+            dynamic_energy_nj=dynamic_nj,
+            leakage_power_w=leakage_w,
+            total_ops=sched.total_ops,
+        )

@@ -42,6 +42,11 @@ from repro.accel.resources import ResourceLibrary
 from repro.accel.scheduler import Schedule, schedule as run_schedule
 from repro.accel.trace import TracedKernel
 from repro.errors import ValidationError
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.obs.trace import span
+
+logger = get_logger("accel.sweep")
 
 
 def table3_partitions(limit: int = MAX_PARTITION_FACTOR) -> Tuple[int, ...]:
@@ -136,25 +141,45 @@ class ScheduleCache:
         extra = self._library.latency_extra(design.simplification)
         partition = min(design.partition, self._partition_cap)
         key = (partition, window, extra)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.memo_hits += 1
-            return cached
-        self.memo_misses += 1
-        sched = None
-        if self.store is not None:
-            kernel_fp, library_fp = self._store_fingerprints()
-            sched = self.store.get(kernel_fp, library_fp, partition, window, extra)
+        with span("cache.lookup"):
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.memo_hits += 1
+                metrics().counter("cache.memo.hits").inc()
+                return cached
+            self.memo_misses += 1
+            metrics().counter("cache.memo.misses").inc()
+            sched = None
+            if self.store is not None:
+                kernel_fp, library_fp = self._store_fingerprints()
+                sched = self.store.get(
+                    kernel_fp, library_fp, partition, window, extra
+                )
         if sched is None:
             start = perf_counter()
-            sched = run_schedule(
-                self._kernel.dfg,
-                partition=partition,
-                library=self._library,
-                fusion_window=window,
-                latency_extra=extra,
+            with span(
+                "schedule", partition=partition, window=window, extra=extra
+            ):
+                sched = run_schedule(
+                    self._kernel.dfg,
+                    partition=partition,
+                    library=self._library,
+                    fusion_window=window,
+                    latency_extra=extra,
+                )
+            elapsed = perf_counter() - start
+            self.schedule_s += elapsed
+            metrics().timer("schedule").observe(elapsed)
+            logger.debug(
+                "schedule.computed %s",
+                kv(
+                    kernel=self._kernel.name,
+                    partition=partition,
+                    window=window,
+                    extra=extra,
+                    elapsed_s=elapsed,
+                ),
             )
-            self.schedule_s += perf_counter() - start
             if self.store is not None:
                 kernel_fp, library_fp = self._store_fingerprints()
                 self.store.put(
@@ -210,6 +235,15 @@ class SweepStats:
     ``schedule_s``/``evaluate_s`` are cumulative stage times — summed
     across worker processes, so they can exceed ``elapsed_s`` wall time
     when ``jobs > 1``.
+
+    ``elapsed_s`` is always the *wall-clock* duration of the operation
+    that produced the stats, on every path (serial, parallel,
+    multi-kernel) — never a sum over children.  ``jobs`` records the
+    worker processes *actually used*, so a one-point grid or a
+    single-kernel ``sweep_many`` on a ``jobs=8`` engine reports
+    ``jobs=1``, not 8.  (:meth:`merge` sums ``elapsed_s``, which is only
+    meaningful for lifetime aggregates such as ``SweepEngine.stats``,
+    where it reads as "total operation time", not wall time.)
     """
 
     design_points: int = 0
@@ -430,9 +464,18 @@ def sweep(
     (``use_cache=False`` disables persistence even when a directory is
     configured).  *cache* injects a pre-built :class:`ScheduleCache` into
     the serial path, sharing schedules with other evaluations of the same
-    kernel.
+    kernel; it cannot be combined with the engine options (``jobs``,
+    ``cache_dir``, ``use_cache``) because each engine worker builds its
+    own cache — the injected one would be silently ignored.
     """
     if jobs != 1 or cache_dir is not None or use_cache:
+        if cache is not None:
+            raise ValidationError(
+                "sweep(cache=...) cannot be combined with jobs/cache_dir/"
+                "use_cache: the engine builds one ScheduleCache per worker "
+                "process, so an injected cache would be silently ignored. "
+                "Drop the engine options or the injected cache."
+            )
         from repro.accel.engine import SweepEngine
 
         engine = SweepEngine(

@@ -8,6 +8,13 @@ Usage (installed as ``accelerator-wall``, or ``python -m repro``):
     accelerator-wall maturity               # Section IV-E maturity classes
     accelerator-wall check                  # numerical self-diagnostics
     accelerator-wall export --out out/      # JSON of every artifact
+    accelerator-wall stats                  # metrics snapshot of the last run
+
+Observability: ``-v``/``-vv`` enable structured ``key=value`` logging on
+the ``repro.*`` loggers; the DSE-backed commands (``plot``, ``export``)
+additionally accept ``--profile`` (per-stage time table after the run)
+and ``--trace-out FILE`` (Chrome trace-event JSON for Perfetto /
+``chrome://tracing``).
 
 Exit codes: 0 on success; 1 when a command completes but reports failures
 (``insights``, ``check``); :data:`EXIT_ERROR` (2) when a
@@ -18,8 +25,10 @@ one-line ``error:`` message on stderr, never a traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.cmos.model import CmosPotentialModel
@@ -77,6 +86,97 @@ def _add_dse_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the persistent DSE cache even if a directory is set",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage time table after the command",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the run "
+        "(open in Perfetto or chrome://tracing)",
+    )
+
+
+# -- observability plumbing ---------------------------------------------------
+
+
+def _metrics_path():
+    """Where DSE commands persist their metrics snapshot for ``stats``.
+
+    Always the *default* cache directory ($REPRO_CACHE_DIR or
+    ``~/.cache/accelerator-wall``): the snapshot is a diagnostics
+    artifact, so it is written even when ``--no-cache`` disables the
+    schedule cache, and ``--cache-dir`` does not move it.
+    """
+    from repro.accel.cache import default_cache_dir
+
+    return default_cache_dir() / "metrics.json"
+
+
+def _obs_begin(args):
+    """Install a process tracer when ``--profile``/``--trace-out`` ask for one."""
+    from repro.obs.trace import Tracer, set_tracer
+
+    if getattr(args, "profile", False) or getattr(args, "trace_out", None):
+        tracer = Tracer()
+        set_tracer(tracer)
+        return tracer
+    return None
+
+
+def _obs_finish(args, tracer) -> None:
+    """Render/export the trace, uninstall it, persist the metrics snapshot."""
+    from repro.obs.metrics import metrics
+    from repro.obs.trace import set_tracer
+
+    if tracer is not None:
+        set_tracer(None)
+        if getattr(args, "trace_out", None):
+            path = tracer.export_chrome(args.trace_out)
+            print(f"wrote trace {path} ({len(tracer)} spans)")
+        if getattr(args, "profile", False):
+            print("\n=== profile: per-stage time ===")
+            rows = tracer.stage_rows()
+            print(render_rows(rows) if rows else "(no spans recorded)")
+    snapshot = metrics().snapshot()
+    if not snapshot:
+        return
+    payload = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "recorded_unix": time.time(),
+        "command": getattr(args, "command", "?"),
+        "metrics": snapshot,
+    }
+    path = _metrics_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    except OSError:
+        pass  # diagnostics are best-effort; never fail the command
+
+
+def _cmd_stats(args) -> int:
+    """Render the metrics snapshot persisted by the last DSE-backed run."""
+    from repro.obs.metrics import MetricsRegistry
+
+    path = _metrics_path()
+    if not path.exists():
+        print(
+            "no metrics recorded yet; run a DSE-backed command first "
+            "(e.g. `accelerator-wall plot fig13`)"
+        )
+        return 0
+    with open(path) as handle:
+        payload = json.load(handle)
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"=== metrics snapshot ({path}) ===")
+    print(f"recorded: {payload.get('recorded_at', '?')}")
+    print(f"command:  {payload.get('command', '?')}")
+    print(MetricsRegistry().render(payload.get("metrics", {})))
+    return 0
 
 
 def _cmd_tables(args) -> int:
@@ -165,6 +265,14 @@ PLOTS = ("fig1", "fig4", "fig9", "fig13", "fig15")
 
 
 def _cmd_plot(args) -> int:
+    tracer = _obs_begin(args)
+    try:
+        return _plot_body(args)
+    finally:
+        _obs_finish(args, tracer)
+
+
+def _plot_body(args) -> int:
     from repro.reporting.ascii_plots import (
         plot_csr_series,
         plot_frontier,
@@ -246,13 +354,19 @@ def _cmd_check(args) -> int:
 def _cmd_export(args) -> int:
     from repro.reporting.export import export_all
 
-    engine = _dse_engine(args)
-    paths = export_all(args.out, _model(args), fast=not args.full, engine=engine)
-    for name, path in paths.items():
-        print(f"wrote {path}")
-    if engine.stats.design_points:
-        print(f"[dse] {engine.stats.describe()}")
-    return 0
+    tracer = _obs_begin(args)
+    try:
+        engine = _dse_engine(args)
+        paths = export_all(
+            args.out, _model(args), fast=not args.full, engine=engine
+        )
+        for name, path in paths.items():
+            print(f"wrote {path}")
+        if engine.stats.design_points:
+            print(f"[dse] {engine.stats.describe()}")
+        return 0
+    finally:
+        _obs_finish(args, tracer)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="refit the CMOS model from the bundled chip population "
         "instead of using the paper's published constants",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured key=value logging on repro.* loggers "
+        "(-v: INFO, -vv: DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -311,6 +433,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dse_options(plot)
     plot.set_defaults(func=_cmd_plot)
 
+    stats = sub.add_parser(
+        "stats",
+        help="show the metrics snapshot persisted by the last DSE-backed run",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="print the raw snapshot as JSON"
+    )
+    stats.set_defaults(func=_cmd_stats)
+
     export = sub.add_parser("export", help="write every artifact as JSON")
     export.add_argument("--out", default="artifacts", help="output directory")
     export.add_argument(
@@ -331,6 +462,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     degenerate fit), not tracebacks.
     """
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.obs.log import configure_logging
+
+        configure_logging(args.verbose)
     try:
         return args.func(args)
     except ReproError as exc:

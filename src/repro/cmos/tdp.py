@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 from repro.cmos.nodes import NODE_ERAS_TDP, NodeEra, era_for_node
 from repro.cmos.transistors import fit_power_law
 from repro.errors import FitError
+from repro.obs.trace import span
 from repro.validate import require_positive
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -136,25 +137,27 @@ def fit_tdp_model(
     """
     fits = []
     for era in eras:
-        rows = database.in_era(era).with_transistors()
-        try:
-            if len(rows) < min_points:
-                raise FitError(f"only {len(rows)} rows in era {era.name}")
-            tdp, product = rows.tdp_points()
-            coefficient, exponent, r2 = fit_power_law(tdp, product)
-            fits.append(
-                TdpFit(
-                    era=era,
-                    coefficient=coefficient,
-                    exponent=exponent,
-                    r2=r2,
-                    n_points=len(rows),
-                )
-            )
-        except FitError:
-            if era.name in PAPER_TDP_FITS:
-                coefficient, exponent = PAPER_TDP_FITS[era.name]
-                fits.append(TdpFit(era=era, coefficient=coefficient, exponent=exponent))
-            else:
-                raise
+        with span("cmos.fit.tdp", era=era.name):
+            fits.append(_fit_era(database, era, min_points))
     return TdpModel(fits)
+
+
+def _fit_era(database: "ChipDatabase", era: NodeEra, min_points: int) -> TdpFit:
+    rows = database.in_era(era).with_transistors()
+    try:
+        if len(rows) < min_points:
+            raise FitError(f"only {len(rows)} rows in era {era.name}")
+        tdp, product = rows.tdp_points()
+        coefficient, exponent, r2 = fit_power_law(tdp, product)
+        return TdpFit(
+            era=era,
+            coefficient=coefficient,
+            exponent=exponent,
+            r2=r2,
+            n_points=len(rows),
+        )
+    except FitError:
+        if era.name in PAPER_TDP_FITS:
+            coefficient, exponent = PAPER_TDP_FITS[era.name]
+            return TdpFit(era=era, coefficient=coefficient, exponent=exponent)
+        raise

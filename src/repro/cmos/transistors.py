@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.cmos.nodes import density_factor
 from repro.errors import FitError
+from repro.obs.trace import span
 from repro.validate import (
     guarded_numpy,
     require_all_finite,
@@ -119,11 +120,12 @@ def fit_transistor_count(database: "ChipDatabase") -> TransistorCountFit:
 
     Uses every row that discloses both die area and transistor count.
     """
-    density, transistors = database.density_points()
-    coefficient, exponent, r2 = fit_power_law(density, transistors)
-    return TransistorCountFit(
-        coefficient=coefficient,
-        exponent=exponent,
-        r2=r2,
-        n_points=int(len(density)),
-    )
+    with span("cmos.fit.density"):
+        density, transistors = database.density_points()
+        coefficient, exponent, r2 = fit_power_law(density, transistors)
+        return TransistorCountFit(
+            coefficient=coefficient,
+            exponent=exponent,
+            r2=r2,
+            n_points=int(len(density)),
+        )

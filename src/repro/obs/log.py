@@ -1,0 +1,75 @@
+"""Structured ``key=value`` logging on the ``repro.*`` logger tree.
+
+Library modules obtain loggers with :func:`get_logger` and format their
+messages with :func:`kv`, so every line is a greppable sequence of
+``key=value`` pairs::
+
+    logger.info("sweep.done %s", kv(kernel="S3D", points=96, elapsed_s=0.41))
+
+Nothing is emitted until a handler is attached: :func:`configure_logging`
+is called exactly once by the CLI, mapping ``-v`` to INFO and ``-vv`` to
+DEBUG on the ``repro`` root logger.  Library code never configures
+handlers itself, so embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure_logging", "get_logger", "kv"]
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(relativeCreated)8.1fms %(levelname)-7s %(name)s %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str):
+        # Quote only when needed so the common case stays clean.
+        return value if value and " " not in value and "=" not in value else repr(value)
+    return str(value)
+
+
+def kv(**fields: object) -> str:
+    """Render *fields* as space-separated ``key=value`` pairs."""
+    return " ".join(f"{key}={_format_value(value)}" for key, value in fields.items())
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root logger.
+
+    ``verbosity`` 0 leaves logging at WARNING (quiet), 1 enables INFO,
+    2+ enables DEBUG.  Idempotent: a handler installed by a previous call
+    is replaced, not duplicated, so tests and repeated CLI invocations in
+    one process never double-log.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO
+        if verbosity == 1
+        else logging.DEBUG
+    )
+    root.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.set_name("repro-obs")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,201 @@
+"""Process-wide registry of named counters, gauges, and timers.
+
+Instrumented code publishes what it is doing under stable dotted names —
+``cache.schedules.hits``, ``engine.sweeps``, ``engine.elapsed_s`` — and
+operators read the aggregate through :meth:`MetricsRegistry.snapshot`
+(machine-readable) or :meth:`MetricsRegistry.render` (a table, surfaced
+by the ``repro stats`` CLI command).
+
+The registry is per *process*.  The sweep engine folds its worker
+processes' cache/stage counters into the parent's ``engine.*`` metrics
+via :class:`repro.accel.sweep.SweepStats`, so the parent snapshot covers
+the whole run; the ``cache.*`` families count only the calling process's
+own cache traffic (see METHODOLOGY §10).
+
+Snapshots are plain dicts, so they can be persisted as JSON and merged
+with :meth:`MetricsRegistry.absorb` (counters and timers add, gauges
+keep the absorbed value).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "metrics",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        self.value += int(amount)
+        return self.value
+
+
+class Gauge:
+    """A point-in-time float (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+
+class Timer:
+    """Accumulated duration with an observation count."""
+
+    __slots__ = ("count", "total_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += float(seconds)
+
+    def time(self) -> "_TimerContext":
+        """Context manager observing the duration of its body."""
+        return _TimerContext(self)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
+
+    def timer(self, name: str) -> Timer:
+        try:
+            return self._timers[name]
+        except KeyError:
+            with self._lock:
+                return self._timers.setdefault(name, Timer())
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, or a fresh CLI invocation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view: ``name -> {"type", "value", ...}``, JSON-safe."""
+        out: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for name, counter in self._counters.items():
+                out[name] = {"type": "counter", "value": counter.value}
+            for name, gauge in self._gauges.items():
+                out[name] = {"type": "gauge", "value": gauge.value}
+            for name, timer in self._timers.items():
+                out[name] = {
+                    "type": "timer",
+                    "count": timer.count,
+                    "total_s": timer.total_s,
+                }
+        return out
+
+    def absorb(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Merge a :meth:`snapshot` (counters/timers add, gauges overwrite)."""
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(entry.get("value", 0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(entry.get("value", 0.0)))
+            elif kind == "timer":
+                timer = self.timer(name)
+                timer.count += int(entry.get("count", 0))
+                timer.total_s += float(entry.get("total_s", 0.0))
+
+    def render(self, snapshot: Optional[Dict[str, Dict[str, object]]] = None) -> str:
+        """Human-readable table of *snapshot* (default: the live registry)."""
+        snap = snapshot if snapshot is not None else self.snapshot()
+        if not snap:
+            return "(no metrics recorded)"
+        lines: List[str] = []
+        width = max(len(name) for name in snap)
+        for name in sorted(snap):
+            entry = snap[name]
+            kind = entry.get("type", "?")
+            if kind == "timer":
+                count = int(entry.get("count", 0))
+                total = float(entry.get("total_s", 0.0))
+                mean_ms = 1e3 * total / count if count else 0.0
+                value = f"{total:.4f}s over {count} calls ({mean_ms:.3f} ms/call)"
+            else:
+                value = f"{entry.get('value', 0)}"
+            lines.append(f"{name:<{width}}  {kind:<7}  {value}")
+        return "\n".join(lines)
+
+
+# -- the process-wide registry ------------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide default registry instrumented code publishes to."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide registry (test isolation, CLI startup)."""
+    _REGISTRY.reset()

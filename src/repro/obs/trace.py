@@ -1,0 +1,262 @@
+"""Nested span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records :class:`Span` rows — name, monotonic start time,
+duration, process id, thread id, nesting depth, and a small attribute
+dict.  Spans are opened through the module-level :func:`span` context
+manager, which is a shared no-op object while no tracer is installed, so
+instrumented hot loops (one span per design point) cost almost nothing in
+ordinary runs.
+
+Timestamps come from :func:`time.monotonic`.  On Linux that is
+``CLOCK_MONOTONIC``, which is machine-wide, so spans recorded inside the
+engine's worker processes line up with the parent's on a shared timeline;
+the engine ships each chunk's finished spans back with the chunk result
+and the parent :meth:`Tracer.absorb`\\ s them.
+
+:meth:`Tracer.export_chrome` writes the Chrome trace-event format
+(``{"traceEvents": [...]}``, one complete ``"ph": "X"`` event per span,
+microsecond units) understood by Perfetto and ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "span"]
+
+AttrValue = Union[str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span: a named interval on a (pid, tid) track.
+
+    ``start_s`` is :func:`time.monotonic` seconds; ``depth`` is the
+    nesting level within its thread at the time the span opened (0 for a
+    top-level span).  Instances are plain picklable data so worker
+    processes can ship them back to the parent.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    pid: int
+    tid: int
+    depth: int
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def contains(self, other: "Span") -> bool:
+        """Whether *other* lies within this span's interval (same track)."""
+        return (
+            self.pid == other.pid
+            and self.tid == other.tid
+            and self.start_s <= other.start_s
+            and other.end_s <= self.end_s + 1e-9
+        )
+
+
+class _ActiveSpan:
+    """Context manager recording one span on *tracer*."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, AttrValue]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._stack().append(self._name)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self._start
+        stack = self._tracer._stack()
+        stack.pop()
+        self._tracer._finish(
+            Span(
+                name=self._name,
+                start_s=self._start,
+                duration_s=duration,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=len(stack),
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in used while no tracer is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans; safe for concurrent threads.
+
+    One tracer lives in the parent process (installed by the CLI when
+    ``--profile`` or ``--trace-out`` is given); each worker process
+    installs its own and the engine merges the workers' spans back with
+    :meth:`absorb`.
+    """
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, **attrs: AttrValue) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("schedule", partition=4):``."""
+        return _ActiveSpan(self, name, attrs)
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, finished: Span) -> None:
+        with self._lock:
+            self._spans.append(finished)
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Merge spans recorded elsewhere (worker processes) into this trace."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    def drain(self) -> List[Span]:
+        """Remove and return every finished span (worker → parent shipping)."""
+        with self._lock:
+            drained = self._spans
+            self._spans = []
+        return drained
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- reporting ------------------------------------------------------------
+
+    def chrome_events(self) -> List[Dict[str, object]]:
+        """Spans as Chrome trace-event ``"ph": "X"`` complete events.
+
+        Timestamps are rebased to the earliest span so the trace starts
+        near zero, and converted to the format's microsecond unit.
+        """
+        spans = self.spans
+        if not spans:
+            return []
+        epoch = min(s.start_s for s in spans)
+        events: List[Dict[str, object]] = []
+        for s in sorted(spans, key=lambda s: s.start_s):
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (s.start_s - epoch) * 1e6,
+                    "dur": s.duration_s * 1e6,
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    "args": dict(s.attrs),
+                }
+            )
+        return events
+
+    def export_chrome(self, path: Union[str, Path]) -> Path:
+        """Write the trace as Chrome trace-event JSON and return the path."""
+        path = Path(path)
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.obs.trace"},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def stage_rows(self) -> List[Dict[str, object]]:
+        """Per-stage aggregation: one row per span name, longest first.
+
+        The rows behind the CLI ``--profile`` table: call count, total
+        and mean time, and each stage's share of the summed span time
+        (shares can exceed 100% of wall time when workers overlap).
+        """
+        totals: Dict[str, List[float]] = {}
+        for s in self.spans:
+            bucket = totals.setdefault(s.name, [0, 0.0])
+            bucket[0] += 1
+            bucket[1] += s.duration_s
+        grand = sum(t for _, t in totals.values()) or 1.0
+        rows = []
+        for name, (count, total) in sorted(
+            totals.items(), key=lambda kv: kv[1][1], reverse=True
+        ):
+            rows.append(
+                {
+                    "stage": name,
+                    "calls": int(count),
+                    "total_s": f"{total:.4f}",
+                    "mean_ms": f"{1e3 * total / count:.3f}",
+                    "share": f"{100.0 * total / grand:.1f}%",
+                }
+            )
+        return rows
+
+
+# -- the process-wide tracer --------------------------------------------------
+
+_TRACER: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is off."""
+    return _TRACER
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or with ``None`` remove) the process-wide tracer."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def span(name: str, **attrs: AttrValue):
+    """Open *name* on the installed tracer; no-op when tracing is off."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)

@@ -13,7 +13,11 @@ from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.cmos.model import CmosPotentialModel
 from repro.dfg.analysis import analyze
+from repro.obs.log import get_logger, kv
+from repro.obs.trace import span
 from repro.reporting import figures, tables
+
+logger = get_logger("reporting.export")
 
 PathLike = Union[str, Path]
 
@@ -106,8 +110,11 @@ def export_artifact(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.json"
-    with open(path, "w") as handle:
-        json.dump(_jsonable(builder()), handle, indent=2)
+    with span("export.artifact", artifact=name):
+        payload = _jsonable(builder())
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    logger.info("export.wrote %s", kv(artifact=name, path=str(path)))
     return path
 
 

@@ -20,6 +20,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.errors import ProjectionError
+from repro.obs.trace import span
 from repro.validate import (
     guarded_numpy,
     require_all_finite,
@@ -81,6 +82,13 @@ def fit_frontier(
     points: Sequence[Tuple[float, float]], kind: ProjectionKind
 ) -> FrontierFit:
     """Least-squares fit of one Eq 5/6 model on the upper Pareto frontier."""
+    with span("wall.fit_frontier", kind=kind.value, points=len(points)):
+        return _fit_frontier(points, kind)
+
+
+def _fit_frontier(
+    points: Sequence[Tuple[float, float]], kind: ProjectionKind
+) -> FrontierFit:
     for x, y in points:
         require_finite(x, "frontier point physical", ProjectionError)
         require_finite(y, "frontier point gain", ProjectionError)

@@ -127,20 +127,57 @@ class TestDiskCache:
         finally:
             os.chmod(ro_dir, 0o700)
 
-    def test_failed_pickle_dump_cleans_up_tmp_file(self, tmp_path):
+    def test_unpicklable_value_is_dropped_not_raised(self, tmp_path):
         cache = DiskCache(tmp_path)
         key = "ab" + "0" * 62
         unpicklable = lambda: None  # noqa: E731 - locals cannot be pickled
-        with pytest.raises(Exception):
-            cache.put(key, unpicklable)
+        cache.put(key, unpicklable)  # must not raise: caching is best-effort
         # The atomic-write temp file must not leak, and no partial entry
         # may be visible under the key.
         assert list(tmp_path.rglob("*.tmp")) == []
         assert cache.get(key) is None
         assert cache.writes == 0
+        assert cache.drops == 1
         # The slot still works for a well-behaved value afterwards.
         cache.put(key, "recovered")
         assert cache.get(key) == "recovered"
+
+    def test_reduce_raising_value_is_dropped_not_raised(self, tmp_path):
+        # Values whose __reduce__ raises produce arbitrary exception types
+        # (not just PicklingError); none may escape the best-effort put.
+        class Hostile:
+            def __reduce__(self):
+                raise RuntimeError("refuses to pickle")
+
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, Hostile())
+        assert cache.drops == 1
+        assert cache.writes == 0
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert cache.get(key) is None
+        cache.put(key, "recovered")
+        assert cache.get(key) == "recovered"
+
+    def test_keyboard_interrupt_during_put_still_propagates(self, tmp_path):
+        class Impatient:
+            def __reduce__(self):
+                raise KeyboardInterrupt
+
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(key, Impatient())
+        # Even then the temp file is discarded.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert cache.drops == 0
+
+    def test_store_wrappers_surface_drops(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        store._disk.put("ab" + "0" * 62, lambda: None)
+        assert store.drops == 1
+        traces = KernelTraceStore(tmp_path)
+        assert traces.drops == 0
 
 
 class TestFingerprints:

@@ -12,13 +12,16 @@ from hypothesis import strategies as st
 
 from repro.accel.attribution import attribute_all, attribute_gains
 from repro.accel.engine import SweepEngine, resolve_jobs
+from repro.accel.resources import ResourceLibrary
 from repro.accel.sweep import (
     ParetoAccumulator,
+    ScheduleCache,
     SweepStats,
     default_design_grid,
     pareto_points,
     sweep,
 )
+from repro.errors import ValidationError
 from repro.workloads import s3d, trd
 
 GRID = dict(
@@ -118,6 +121,89 @@ class TestAttributionEquivalence:
         assert engine.attribute(kernel, **SMALL) == attribute_gains(
             kernel, **SMALL
         )
+
+
+class TestStatsAccounting:
+    """Regressions for the jobs/elapsed accounting bugs.
+
+    ``jobs`` must report the workers *actually used* (serial fallbacks
+    report 1), ``elapsed_s`` is always the wall time of the operation,
+    and every public entry point records exactly once.
+    """
+
+    def test_single_point_grid_reports_serial_jobs(self, kernel, grid):
+        engine = SweepEngine(jobs=4, use_cache=False)
+        result = engine.sweep(kernel, grid[:1])
+        assert result.stats.jobs == 1  # serial fallback, not self.jobs
+        assert result.stats.chunks == 1
+
+    def test_empty_grid_reports_serial_jobs(self, kernel):
+        engine = SweepEngine(jobs=4, use_cache=False)
+        result = engine.sweep(kernel, [])
+        assert result.stats.jobs == 1
+        assert result.stats.design_points == 0
+
+    def test_parallel_uses_at_most_chunk_count_workers(self, kernel, grid):
+        # More workers than chunks: report what was actually spawned.
+        engine = SweepEngine(jobs=64, use_cache=False, chunk_size=len(grid))
+        result = engine.sweep(kernel, grid)
+        assert result.stats.chunks == 1
+        assert result.stats.jobs == 1
+
+    def test_sweep_many_serial_records_once(self, grid):
+        kernels = [trd.build(n=16), s3d.build()]
+        engine = SweepEngine(jobs=1, use_cache=False)
+        results = engine.sweep_many(kernels, grid)
+        stats = engine.last_stats
+        assert stats is not None
+        assert stats.jobs == 1  # serial path: one worker actually used
+        # One recorded operation covering all kernels, not one per kernel.
+        assert engine.stats.design_points == len(grid) * len(kernels)
+        assert stats.design_points == len(grid) * len(kernels)
+        # Wall-clock elapsed: the whole run, bounded below by any child.
+        assert stats.elapsed_s >= max(r.stats.elapsed_s for r in results)
+
+    def test_sweep_many_parallel_reports_workers_used(self, grid):
+        kernels = [trd.build(n=16), s3d.build()]
+        engine = SweepEngine(jobs=8, use_cache=False)
+        engine.sweep_many(kernels, grid)
+        assert engine.last_stats.jobs == 2  # min(jobs, kernels)
+
+    def test_attribute_all_serial_reports_one_job(self):
+        kernels = [trd.build(n=16), s3d.build()]
+        engine = SweepEngine(jobs=1, use_cache=False)
+        engine.attribute_all(kernels, **SMALL)
+        assert engine.last_stats.jobs == 1
+
+    def test_attribute_all_parallel_reports_workers_used(self):
+        kernels = [trd.build(n=16), s3d.build()]
+        engine = SweepEngine(jobs=8, use_cache=False)
+        engine.attribute_all(kernels, **SMALL)
+        assert engine.last_stats.jobs == 2  # min(jobs, kernels)
+
+
+class TestInjectedCacheGuard:
+    def test_sweep_rejects_cache_with_jobs(self, kernel, grid):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        with pytest.raises(ValidationError, match="silently ignored"):
+            sweep(kernel, grid, cache=cache, jobs=2)
+
+    def test_sweep_rejects_cache_with_cache_dir(self, kernel, grid, tmp_path):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        with pytest.raises(ValidationError):
+            sweep(kernel, grid, cache=cache, cache_dir=tmp_path)
+
+    def test_sweep_rejects_cache_with_use_cache(self, kernel, grid):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        with pytest.raises(ValidationError):
+            sweep(kernel, grid, cache=cache, use_cache=True)
+
+    def test_sweep_accepts_cache_serial_uncached(self, kernel, serial):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        result = sweep(kernel, default_design_grid(**GRID), cache=cache)
+        assert result.reports == serial.reports
+        # The injected cache was actually consulted.
+        assert cache.memo_hits + cache.memo_misses > 0
 
 
 class TestSweepStats:

@@ -1,0 +1,18 @@
+"""Isolation for the process-wide observability singletons."""
+
+import pytest
+
+from repro.obs.metrics import reset_metrics
+from repro.obs.trace import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Each test starts and ends with no tracer and empty metrics."""
+    previous = set_tracer(None)
+    reset_metrics()
+    try:
+        yield
+    finally:
+        set_tracer(previous)
+        reset_metrics()

@@ -1,0 +1,74 @@
+"""Tests for structured key=value logging helpers."""
+
+import io
+import logging
+
+from repro.obs.log import ROOT_LOGGER, configure_logging, get_logger, kv
+
+
+class TestGetLogger:
+    def test_prefixes_repro_namespace(self):
+        assert get_logger("accel.sweep").name == "repro.accel.sweep"
+
+    def test_already_namespaced_name_unchanged(self):
+        assert get_logger("repro.accel.sweep").name == "repro.accel.sweep"
+        assert get_logger("repro").name == "repro"
+
+
+class TestKv:
+    def test_basic_pairs_in_order(self):
+        assert kv(kernel="TRD", points=96) == "kernel=TRD points=96"
+
+    def test_floats_compact(self):
+        assert kv(elapsed_s=0.123456789) == "elapsed_s=0.123457"
+
+    def test_strings_with_spaces_quoted(self):
+        assert kv(msg="two words") == "msg='two words'"
+
+    def test_strings_with_equals_quoted(self):
+        assert kv(expr="a=b") == "expr='a=b'"
+
+    def test_bool_and_none(self):
+        assert kv(flag=True, missing=None) == "flag=True missing=None"
+
+
+class TestConfigureLogging:
+    def teardown_method(self):
+        root = logging.getLogger(ROOT_LOGGER)
+        for handler in list(root.handlers):
+            if handler.get_name() == "repro-obs":
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def _obs_handlers(self):
+        root = logging.getLogger(ROOT_LOGGER)
+        return [h for h in root.handlers if h.get_name() == "repro-obs"]
+
+    def test_verbosity_levels(self):
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+        assert configure_logging(5).level == logging.DEBUG
+
+    def test_idempotent_single_handler(self):
+        configure_logging(1)
+        configure_logging(2)
+        assert len(self._obs_handlers()) == 1
+
+    def test_messages_reach_stream(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("accel.sweep").info(
+            "sweep.done %s", kv(kernel="TRD", points=96)
+        )
+        line = stream.getvalue()
+        assert "repro.accel.sweep" in line
+        assert "sweep.done kernel=TRD points=96" in line
+
+    def test_quiet_mode_suppresses_info(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        get_logger("accel.sweep").info("hidden")
+        get_logger("accel.sweep").warning("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()

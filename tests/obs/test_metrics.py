@@ -1,0 +1,122 @@
+"""Tests for the process-wide metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    metrics,
+    reset_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        assert counter.inc() == 1
+        assert counter.inc(4) == 5
+        assert counter.value == 5
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_timer_observe_and_mean(self):
+        timer = Timer()
+        assert timer.mean_s == 0.0  # no division by zero when unused
+        timer.observe(0.2)
+        timer.observe(0.4)
+        assert timer.count == 2
+        assert timer.total_s == pytest.approx(0.6)
+        assert timer.mean_s == pytest.approx(0.3)
+
+    def test_timer_context_manager(self):
+        timer = Timer()
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total_s >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.timer("t") is registry.timer("t")
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_snapshot_shape_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(3)
+        registry.gauge("engine.jobs").set(2)
+        registry.timer("schedule").observe(0.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["cache.hits"] == {"type": "counter", "value": 3}
+        assert snap["engine.jobs"] == {"type": "gauge", "value": 2.0}
+        assert snap["schedule"] == {
+            "type": "timer",
+            "count": 1,
+            "total_s": 0.5,
+        }
+
+    def test_absorb_adds_counters_and_timers_overwrites_gauges(self):
+        source = MetricsRegistry()
+        source.counter("hits").inc(2)
+        source.gauge("jobs").set(4)
+        source.timer("schedule").observe(1.0)
+
+        target = MetricsRegistry()
+        target.counter("hits").inc(1)
+        target.gauge("jobs").set(1)
+        target.timer("schedule").observe(0.5)
+        target.absorb(source.snapshot())
+
+        assert target.counter("hits").value == 3
+        assert target.gauge("jobs").value == 4.0
+        assert target.timer("schedule").count == 2
+        assert target.timer("schedule").total_s == pytest.approx(1.5)
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_render_lists_every_metric_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(7)
+        registry.gauge("a.gauge").set(1.5)
+        registry.timer("c.timer").observe(0.25)
+        lines = registry.render().splitlines()
+        assert [line.split()[0] for line in lines] == [
+            "a.gauge",
+            "b.count",
+            "c.timer",
+        ]
+        assert "7" in lines[1]
+        assert "over 1 calls" in lines[2]
+
+    def test_render_accepts_persisted_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        persisted = json.loads(json.dumps(registry.snapshot()))
+        assert MetricsRegistry().render(persisted) == registry.render()
+
+
+class TestProcessWideRegistry:
+    def test_metrics_returns_singleton(self):
+        assert metrics() is metrics()
+
+    def test_reset_metrics_clears(self):
+        metrics().counter("leak").inc()
+        reset_metrics()
+        assert metrics().snapshot() == {}

@@ -87,6 +87,99 @@ class TestCommands:
         assert len(payload) == 4
 
 
+class TestObservability:
+    """The --profile/--trace-out flags, -v logging, and `stats`."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_obs(self, monkeypatch, tmp_path):
+        """Point the metrics snapshot at a temp dir; undo logging config."""
+        import logging
+
+        from repro.obs.log import ROOT_LOGGER
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "obs-cache"))
+        yield
+        root = logging.getLogger(ROOT_LOGGER)
+        for handler in list(root.handlers):
+            if handler.get_name() == "repro-obs":
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def test_plot_fig13_profile_and_trace(self, tmp_path, capsys):
+        # The issue's acceptance command: profile table + valid Chrome
+        # trace with parent and worker spans.
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "plot", "fig13", "--jobs", "2",
+            "--profile", "--trace-out", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "=== profile: per-stage time ===" in out
+        assert f"wrote trace {trace_path}" in out
+        assert "schedule" in out and "evaluate" in out
+
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+        names = {e["name"] for e in events}
+        assert {"sweep", "schedule", "evaluate", "cache.lookup"} <= names
+        # Spans came from the parent *and* its worker processes.
+        assert len({e["pid"] for e in events}) >= 2
+
+    def test_trace_out_without_profile_skips_table(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["plot", "fig13", "--trace-out", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out
+        assert "per-stage time" not in out
+        assert trace_path.exists()
+
+    def test_tracer_uninstalled_after_command(self, tmp_path):
+        from repro.obs.trace import get_tracer
+
+        assert main(
+            ["plot", "fig13", "--trace-out", str(tmp_path / "t.json")]
+        ) == 0
+        assert get_tracer() is None
+
+    def test_stats_before_any_run(self, capsys):
+        assert main(["stats"]) == 0
+        assert "no metrics recorded yet" in capsys.readouterr().out
+
+    def test_stats_renders_last_run_snapshot(self, capsys):
+        assert main(["plot", "fig13", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "=== metrics snapshot" in out
+        assert "command:  plot" in out
+        assert "engine.design_points" in out
+        assert "engine.elapsed_s" in out
+
+    def test_stats_json_output(self, capsys):
+        assert main(["plot", "fig13"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "plot"
+        metrics = payload["metrics"]
+        assert metrics["engine.operations"]["type"] == "counter"
+        assert metrics["engine.operations"]["value"] >= 1
+
+    def test_verbose_flag_enables_structured_logs(self, capsys):
+        assert main(["-v", "plot", "fig13"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.accel.engine" in err
+        assert "sweep.done" in err
+        assert "kernel=" in err
+
+
 class TestErrorHandling:
     """Regression: ReproError used to escape main() as a raw traceback."""
 
