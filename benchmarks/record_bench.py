@@ -27,6 +27,7 @@ from repro.accel.engine import SweepEngine
 from repro.accel.sweep import default_design_grid
 from repro.obs.metrics import metrics, reset_metrics
 from repro.obs.trace import Tracer, set_tracer
+from repro.provenance.manifest import SCHEMA_VERSION, RunLedger, capture
 from repro.workloads import s3d
 
 #: The CLI's fast Fig 13 sub-grid (see repro.reporting.export).
@@ -49,8 +50,19 @@ def run(jobs: int) -> dict:
     finally:
         set_tracer(None)
     stats = result.stats
+    manifest = capture("bench")
+    manifest.metrics = metrics().snapshot()
+    manifest.stages = tracer.stage_rows()
+    manifest.engine = engine.provenance()
+    manifest.elapsed_s = stats.elapsed_s
+    try:
+        RunLedger().record(manifest)
+    except OSError:
+        pass  # ledger is best-effort; the bench entry itself still lands
     return {
         "bench": "fig13_smoke",
+        "schema_version": SCHEMA_VERSION,
+        "run_id": manifest.run_id,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "commit": os.environ.get("GITHUB_SHA", "local"),
         "python": platform.python_version(),

@@ -493,6 +493,21 @@ class SweepEngine:
 
     # -- stats plumbing -------------------------------------------------------
 
+    def provenance(self) -> Dict[str, object]:
+        """Engine configuration and lifetime stats for a run manifest.
+
+        ``stats`` is the cumulative :meth:`SweepStats.to_dict` across every
+        operation this engine ran — the perf quantities
+        :mod:`repro.provenance.drift` threshold-compares between runs.
+        """
+        return {
+            "jobs": self.jobs,
+            "use_cache": self.use_cache,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "chunk_size": self.chunk_size,
+            "stats": self.stats.to_dict(),
+        }
+
     @staticmethod
     def _merged(parts: Sequence[Optional[SweepStats]]) -> SweepStats:
         merged = SweepStats(chunks=0)

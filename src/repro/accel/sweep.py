@@ -300,6 +300,23 @@ class SweepStats:
             f"memo {self.memo_hits} hits / {self.memo_misses} misses)"
         )
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe view (run manifests, BENCH entries, drift comparison)."""
+        return {
+            "design_points": self.design_points,
+            "jobs": self.jobs,
+            "chunks": self.chunks,
+            "elapsed_s": self.elapsed_s,
+            "schedule_s": self.schedule_s,
+            "evaluate_s": self.evaluate_s,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "memo_hit_rate": self.memo_hit_rate,
+        }
+
 
 class ParetoAccumulator:
     """Incrementally maintained Pareto frontier, minimising (x, y).

@@ -48,6 +48,15 @@ class CheckResult:
         status = "ok" if self.ok else "FAIL"
         return f"[{status:>4}] {self.subsystem}/{self.name}: {self.detail}"
 
+    def to_dict(self) -> dict:
+        """JSON-safe view, recorded into the run manifest's check table."""
+        return {
+            "subsystem": self.subsystem,
+            "name": self.name,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
 
 def _ensure(condition: bool, message: str) -> None:
     if not condition:

@@ -9,12 +9,19 @@ Usage (installed as ``accelerator-wall``, or ``python -m repro``):
     accelerator-wall check                  # numerical self-diagnostics
     accelerator-wall export --out out/      # JSON of every artifact
     accelerator-wall stats                  # metrics snapshot of the last run
+    accelerator-wall report                 # list the run ledger
+    accelerator-wall report --compare A B   # golden-number drift report
 
 Observability: ``-v``/``-vv`` enable structured ``key=value`` logging on
 the ``repro.*`` loggers; the DSE-backed commands (``plot``, ``export``)
 additionally accept ``--profile`` (per-stage time table after the run)
 and ``--trace-out FILE`` (Chrome trace-event JSON for Perfetto /
 ``chrome://tracing``).
+
+Provenance: ``export``, ``plot``, and ``check`` record a run manifest
+(git SHA, config/input hashes, metrics, timings) into the run ledger
+(``$REPRO_RUNS_DIR`` or ``<cache-dir>/runs``) and print its ``[run] id``;
+``report`` renders a single run or compares two (exit 1 on drift).
 
 Exit codes: 0 on success; 1 when a command completes but reports failures
 (``insights``, ``check``); :data:`EXIT_ERROR` (2) when a
@@ -124,10 +131,11 @@ def _obs_begin(args):
     return None
 
 
-def _obs_finish(args, tracer) -> None:
-    """Render/export the trace, uninstall it, persist the metrics snapshot."""
+def _obs_finish(args, tracer, manifest=None, engine=None) -> None:
+    """Render/export the trace, uninstall it, persist snapshot + manifest."""
     from repro.obs.metrics import metrics
     from repro.obs.trace import set_tracer
+    from repro.provenance.manifest import SCHEMA_VERSION
 
     if tracer is not None:
         set_tracer(None)
@@ -139,12 +147,16 @@ def _obs_finish(args, tracer) -> None:
             rows = tracer.stage_rows()
             print(render_rows(rows) if rows else "(no spans recorded)")
     snapshot = metrics().snapshot()
+    if manifest is not None:
+        _record_manifest(manifest, snapshot, tracer, engine)
     if not snapshot:
         return
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "recorded_unix": time.time(),
         "command": getattr(args, "command", "?"),
+        "run_id": manifest.run_id if manifest is not None else None,
         "metrics": snapshot,
     }
     path = _metrics_path()
@@ -156,6 +168,38 @@ def _obs_finish(args, tracer) -> None:
         pass  # diagnostics are best-effort; never fail the command
 
 
+# -- provenance plumbing ------------------------------------------------------
+
+
+def _capture_manifest(args, command: str):
+    """Start a run manifest for *command*; ``None`` if capture fails."""
+    from repro.provenance.manifest import capture
+
+    try:
+        return capture(
+            command, argv=getattr(args, "_argv", None), model=_model(args)
+        )
+    except Exception:  # noqa: BLE001 - provenance must never break the run
+        return None
+
+
+def _record_manifest(manifest, snapshot, tracer=None, engine=None) -> None:
+    """Complete *manifest* with run outcomes and write the ledger entry."""
+    from repro.provenance.manifest import RunLedger
+
+    manifest.metrics = snapshot
+    if tracer is not None:
+        manifest.stages = tracer.stage_rows()
+    if engine is not None:
+        manifest.engine = engine.provenance()
+    manifest.elapsed_s = time.time() - manifest.created_unix
+    try:
+        RunLedger().record(manifest)
+    except OSError:
+        return  # best-effort: an unwritable ledger never fails the command
+    print(f"[run] {manifest.run_id}")
+
+
 def _cmd_stats(args) -> int:
     """Render the metrics snapshot persisted by the last DSE-backed run."""
     from repro.obs.metrics import MetricsRegistry
@@ -163,20 +207,90 @@ def _cmd_stats(args) -> int:
     path = _metrics_path()
     if not path.exists():
         print(
-            "no metrics recorded yet; run a DSE-backed command first "
-            "(e.g. `accelerator-wall plot fig13`)"
+            "no metrics snapshot found; run a DSE-backed command first "
+            "(e.g. `accelerator-wall plot fig13`)",
+            file=sys.stderr,
         )
-        return 0
-    with open(path) as handle:
-        payload = json.load(handle)
+        return 1
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"metrics snapshot {path} is unreadable ({exc}); "
+            "re-run a DSE-backed command to refresh it",
+            file=sys.stderr,
+        )
+        return 1
     if getattr(args, "json", False):
         print(json.dumps(payload, indent=2))
         return 0
     print(f"=== metrics snapshot ({path}) ===")
     print(f"recorded: {payload.get('recorded_at', '?')}")
     print(f"command:  {payload.get('command', '?')}")
+    if payload.get("run_id"):
+        print(f"run:      {payload['run_id']}")
     print(MetricsRegistry().render(payload.get("metrics", {})))
     return 0
+
+
+def _cmd_report(args) -> int:
+    """List the run ledger, summarise one run, or compare two runs."""
+    from repro.provenance.drift import compare_runs
+    from repro.provenance.manifest import RunLedger
+    from repro.provenance.report import (
+        _summaries,
+        format_drift_report,
+        format_run_report,
+    )
+
+    ledger = RunLedger(args.runs_dir)
+    if args.prune is not None:
+        removed = ledger.prune(args.prune)
+        print(f"pruned {len(removed)} runs, kept {len(ledger.ids())}")
+        return 0
+    if args.compare:
+        run_a, run_b = args.compare
+        manifest_a = ledger.get(run_a)
+        manifest_b = ledger.get(run_b)
+        report = compare_runs(manifest_a, manifest_b)
+        rendered = format_drift_report(
+            report, manifest_a, manifest_b, ledger, fmt=args.format
+        )
+        _emit_report(rendered, args.out)
+        return 0 if report.clean else 1
+    if args.run_id:
+        manifest = ledger.get(args.run_id)
+        _emit_report(
+            format_run_report(manifest, ledger, fmt=args.format), args.out
+        )
+        return 0
+    manifests = ledger.list()
+    if args.ids:
+        for manifest in manifests:
+            print(manifest.run_id)
+        return 0
+    if not manifests:
+        print(
+            f"run ledger {ledger.root} is empty; run `accelerator-wall "
+            "export` or `plot fig13` to record a run"
+        )
+        return 0
+    print(f"=== run ledger ({ledger.root}) ===")
+    print(render_rows(_summaries(manifests)))
+    return 0
+
+
+def _emit_report(rendered: str, out: Optional[str]) -> None:
+    if out:
+        from pathlib import Path
+
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        print(f"wrote report {path}")
+    else:
+        print(rendered, end="")
 
 
 def _cmd_tables(args) -> int:
@@ -266,13 +380,17 @@ PLOTS = ("fig1", "fig4", "fig9", "fig13", "fig15")
 
 def _cmd_plot(args) -> int:
     tracer = _obs_begin(args)
+    manifest = _capture_manifest(args, "plot")
+    engine_box = {}
     try:
-        return _plot_body(args)
+        return _plot_body(args, engine_box)
     finally:
-        _obs_finish(args, tracer)
+        _obs_finish(
+            args, tracer, manifest=manifest, engine=engine_box.get("engine")
+        )
 
 
-def _plot_body(args) -> int:
+def _plot_body(args, engine_box) -> int:
     from repro.reporting.ascii_plots import (
         plot_csr_series,
         plot_frontier,
@@ -300,7 +418,7 @@ def _plot_body(args) -> int:
         from repro.accel.sweep import default_design_grid
         from repro.workloads import get_workload
 
-        engine = _dse_engine(args)
+        engine = engine_box["engine"] = _dse_engine(args)
         kernel = engine.trace(get_workload("S3D"))
         if getattr(args, "full_grid", False):
             grid = default_design_grid()  # full Table III cross product
@@ -345,9 +463,14 @@ def _cmd_insights(args) -> int:
 
 def _cmd_check(args) -> int:
     from repro.check import run_checks, render_results
+    from repro.obs.metrics import metrics
 
+    manifest = _capture_manifest(args, "check")
     results = run_checks(args.subsystem or None)
     print(render_results(results))
+    if manifest is not None:
+        manifest.checks = [result.to_dict() for result in results]
+        _record_manifest(manifest, metrics().snapshot())
     return 0 if all(result.ok for result in results) else 1
 
 
@@ -355,10 +478,22 @@ def _cmd_export(args) -> int:
     from repro.reporting.export import export_all
 
     tracer = _obs_begin(args)
+    manifest = _capture_manifest(args, "export")
+    engine = None
     try:
         engine = _dse_engine(args)
+        names = (
+            [name.strip() for name in args.only.split(",") if name.strip()]
+            if args.only
+            else None
+        )
         paths = export_all(
-            args.out, _model(args), fast=not args.full, engine=engine
+            args.out,
+            _model(args),
+            fast=not args.full,
+            names=names,
+            engine=engine,
+            manifest=manifest,
         )
         for name, path in paths.items():
             print(f"wrote {path}")
@@ -366,7 +501,7 @@ def _cmd_export(args) -> int:
             print(f"[dse] {engine.stats.describe()}")
         return 0
     finally:
-        _obs_finish(args, tracer)
+        _obs_finish(args, tracer, manifest=manifest, engine=engine)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -448,8 +583,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", "--full-grid", dest="full", action="store_true",
         help="use the full Table III sweep grid for Figs 13-14 (slow)",
     )
+    export.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated artifact subset (e.g. fig13,table5)",
+    )
     _add_dse_options(export)
     export.set_defaults(func=_cmd_export)
+
+    report = sub.add_parser(
+        "report",
+        help="render run-ledger provenance reports and golden-number drift",
+    )
+    report.add_argument(
+        "run_id", nargs="?", default=None,
+        help="summarise this run (default: list the ledger)",
+    )
+    report.add_argument(
+        "--compare", nargs=2, metavar="RUN", default=None,
+        help="diff two runs' golden numbers and perf stats (exit 1 on drift)",
+    )
+    report.add_argument(
+        "--format", choices=("md", "html"), default="md",
+        help="report rendering (default: md)",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    report.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUNS_DIR or "
+        "<cache-dir>/runs)",
+    )
+    report.add_argument(
+        "--ids", action="store_true",
+        help="print run ids only, oldest first (scripting)",
+    )
+    report.add_argument(
+        "--prune", type=int, default=None, metavar="N",
+        help="keep only the N most recent runs, delete the rest",
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -462,6 +636,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     degenerate fit), not tracebacks.
     """
     args = build_parser().parse_args(argv)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     if args.verbose:
         from repro.obs.log import configure_logging
 

@@ -153,17 +153,40 @@ class MetricsRegistry:
         return out
 
     def absorb(self, snapshot: Dict[str, Dict[str, object]]) -> None:
-        """Merge a :meth:`snapshot` (counters/timers add, gauges overwrite)."""
+        """Merge a :meth:`snapshot` (counters/timers add, gauges overwrite).
+
+        Tolerant of snapshots written by other library versions: entries
+        with an unknown metric kind, a non-dict shape, or non-numeric
+        fields are skipped — counted in the ``metrics.absorb.skipped``
+        counter and reported once per call as a structured warning — so
+        old persisted ledgers stay readable instead of raising.
+        """
+        skipped: List[str] = []
         for name, entry in snapshot.items():
-            kind = entry.get("type")
-            if kind == "counter":
-                self.counter(name).inc(int(entry.get("value", 0)))
-            elif kind == "gauge":
-                self.gauge(name).set(float(entry.get("value", 0.0)))
-            elif kind == "timer":
-                timer = self.timer(name)
-                timer.count += int(entry.get("count", 0))
-                timer.total_s += float(entry.get("total_s", 0.0))
+            kind = entry.get("type") if isinstance(entry, dict) else None
+            try:
+                if kind == "counter":
+                    self.counter(name).inc(int(entry.get("value", 0)))
+                elif kind == "gauge":
+                    self.gauge(name).set(float(entry.get("value", 0.0)))
+                elif kind == "timer":
+                    count = int(entry.get("count", 0))
+                    total_s = float(entry.get("total_s", 0.0))
+                    timer = self.timer(name)
+                    timer.count += count
+                    timer.total_s += total_s
+                else:
+                    skipped.append(name)
+            except (TypeError, ValueError):
+                skipped.append(name)
+        if skipped:
+            from repro.obs.log import get_logger, kv
+
+            self.counter("metrics.absorb.skipped").inc(len(skipped))
+            get_logger("obs.metrics").warning(
+                "metrics.absorb.skipped %s",
+                kv(count=len(skipped), names=",".join(sorted(skipped)[:8])),
+            )
 
     def render(self, snapshot: Optional[Dict[str, Dict[str, object]]] = None) -> str:
         """Human-readable table of *snapshot* (default: the live registry)."""

@@ -196,11 +196,17 @@ class Tracer:
 
     def export_chrome(self, path: Union[str, Path]) -> Path:
         """Write the trace as Chrome trace-event JSON and return the path."""
+        # Imported lazily: provenance imports this module at load time.
+        from repro.provenance.manifest import SCHEMA_VERSION
+
         path = Path(path)
         payload = {
             "traceEvents": self.chrome_events(),
             "displayTimeUnit": "ms",
-            "otherData": {"source": "repro.obs.trace"},
+            "otherData": {
+                "source": "repro.obs.trace",
+                "schema_version": SCHEMA_VERSION,
+            },
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w") as handle:

@@ -17,6 +17,37 @@ Point = Tuple[float, float]
 #: Marker characters assigned to series in order.
 MARKERS = "ox+*#@%&"
 
+#: Sparkline glyphs, lowest to highest.
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line trend of *values* using :data:`SPARK_LEVELS` glyphs.
+
+    Values are min-max scaled; non-finite values render as ``?``.  With
+    *width* set, the series is resampled (by striding) to fit.  Used by
+    the provenance reports to show per-run perf history inline.
+    """
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if width is not None and width > 0 and len(points) > width:
+        step = len(points) / width
+        points = [points[int(i * step)] for i in range(width)]
+    finite = [v for v in points if math.isfinite(v)]
+    if not finite:
+        return "?" * len(points)
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+    top = len(SPARK_LEVELS) - 1
+    out = []
+    for value in points:
+        if not math.isfinite(value):
+            out.append("?")
+            continue
+        out.append(SPARK_LEVELS[int(round((value - low) / span * top))])
+    return "".join(out)
+
 
 def _transform(value: float, log: bool) -> float:
     if log:

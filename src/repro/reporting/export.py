@@ -3,6 +3,17 @@
 ``export_all`` writes one JSON file per table/figure into a directory, so
 plots and downstream analyses can consume the reproduction without
 importing the library.
+
+Every artifact file is a provenance-stamped envelope::
+
+    {"schema_version": 1, "manifest": {...}, "data": <payload>}
+
+where ``manifest`` is the run's :meth:`RunManifest.artifact_block` — run
+id, git SHA + dirty flag, environment versions, config/input content
+hashes, and the metrics snapshot at write time — so any artifact can be
+joined back to its ledger entry (``runs/<run_id>/manifest.json``) and
+audited.  The full manifest additionally records the run's golden-number
+scalars, which :mod:`repro.provenance.drift` compares across runs.
 """
 
 from __future__ import annotations
@@ -92,30 +103,75 @@ def artifact_builders(
     }
 
 
+def _build_payloads(
+    names: Sequence[str],
+    builders: Dict[str, Callable[[], object]],
+) -> Dict[str, object]:
+    payloads: Dict[str, object] = {}
+    for name in names:
+        try:
+            builder = builders[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown artifact {name!r}; known: {sorted(builders)}"
+            ) from None
+        with span("export.artifact", artifact=name):
+            payloads[name] = _jsonable(builder())
+    return payloads
+
+
+def _write_artifacts(
+    payloads: Dict[str, object],
+    directory: Path,
+    manifest,
+) -> Dict[str, Path]:
+    """Write provenance-stamped envelopes; one file per artifact."""
+    from repro.provenance.manifest import SCHEMA_VERSION
+
+    directory.mkdir(parents=True, exist_ok=True)
+    block = manifest.artifact_block()
+    paths: Dict[str, Path] = {}
+    for name, payload in payloads.items():
+        path = directory / f"{name}.json"
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "manifest": block,
+            "data": payload,
+        }
+        with open(path, "w") as handle:
+            json.dump(envelope, handle, indent=2)
+        paths[name] = path
+        logger.info(
+            "export.wrote %s",
+            kv(artifact=name, path=str(path), run_id=manifest.run_id),
+        )
+    return paths
+
+
+def _finish_manifest(manifest, payloads: Dict[str, object], engine) -> None:
+    """Fold golden numbers, metrics, and engine stats into *manifest*."""
+    from repro.obs.metrics import metrics
+    from repro.provenance.drift import golden_numbers
+
+    manifest.golden.update(golden_numbers(payloads))
+    manifest.metrics = metrics().snapshot()
+    if engine is not None:
+        manifest.engine = engine.provenance()
+
+
 def export_artifact(
     name: str,
     directory: PathLike,
     model: Optional[CmosPotentialModel] = None,
     fast: bool = True,
     engine=None,
+    manifest=None,
 ) -> Path:
     """Regenerate one artifact and write ``<directory>/<name>.json``."""
-    builders = artifact_builders(model, fast, engine=engine)
-    try:
-        builder = builders[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown artifact {name!r}; known: {sorted(builders)}"
-        ) from None
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"{name}.json"
-    with span("export.artifact", artifact=name):
-        payload = _jsonable(builder())
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-    logger.info("export.wrote %s", kv(artifact=name, path=str(path)))
-    return path
+    return export_all(
+        directory, model, fast=fast, names=[name], engine=engine,
+        manifest=manifest,
+    )[name]
 
 
 def export_all(
@@ -124,11 +180,31 @@ def export_all(
     fast: bool = True,
     names: Optional[Sequence[str]] = None,
     engine=None,
+    manifest=None,
+    ledger=None,
 ) -> Dict[str, Path]:
-    """Regenerate and write every (or the named) artifacts."""
+    """Regenerate and write every (or the named) artifacts.
+
+    *manifest* is the run's :class:`~repro.provenance.manifest.RunManifest`
+    (one is captured if not given); it is completed with the export's
+    golden numbers, metrics snapshot, and engine stats, stamped into each
+    artifact envelope, and recorded in the run *ledger* (default ledger
+    unless one is passed; recording is best-effort — an unwritable ledger
+    never fails the export).
+    """
+    from repro.provenance.manifest import RunLedger, capture
+
     builders = artifact_builders(model, fast, engine=engine)
     selected = list(names) if names is not None else sorted(builders)
-    return {
-        name: export_artifact(name, directory, model, fast, engine=engine)
-        for name in selected
-    }
+    if manifest is None:
+        manifest = capture("export", model=model)
+    payloads = _build_payloads(selected, builders)
+    _finish_manifest(manifest, payloads, engine)
+    paths = _write_artifacts(payloads, Path(directory), manifest)
+    try:
+        (ledger if ledger is not None else RunLedger()).record(manifest)
+    except OSError as exc:
+        logger.warning(
+            "ledger.record_failed %s", kv(run_id=manifest.run_id, error=str(exc))
+        )
+    return paths

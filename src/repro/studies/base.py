@@ -9,6 +9,7 @@ figures need: baseline-normalised gain/CSR series (via
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -71,6 +72,29 @@ class CaseStudy:
 
     def names(self) -> List[str]:
         return [chip.spec.name for chip in self.chips]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the study's dataset (provenance input).
+
+        Covers every chip's physical spec and measured application gains
+        plus the study's metric configuration, so two runs with equal
+        fingerprints consumed byte-for-byte the same case-study inputs.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.name}|{self.performance_metric}|{self.efficiency_metric}"
+            f"|{self.physical_performance_metric}|{self.capped}\n".encode()
+        )
+        for chip in self.chips:
+            spec = chip.spec
+            h.update(
+                f"{spec.name}|{spec.category.value}|{spec.node_nm!r}"
+                f"|{spec.frequency_mhz!r}|{spec.tdp_w!r}|{spec.area_mm2!r}"
+                f"|{spec.transistors!r}|{spec.year!r}\n".encode()
+            )
+            for name in sorted(chip.measured):
+                h.update(f"  {name}={chip.measured[name]!r}\n".encode())
+        return h.hexdigest()
 
     def performance_series(
         self, model: CmosPotentialModel, baseline: Optional[str] = None

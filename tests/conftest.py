@@ -10,6 +10,12 @@ from repro.datasheets.reference import reference_database
 from repro.datasheets.synthetic import SyntheticPopulationConfig, synthetic_database
 
 
+@pytest.fixture(autouse=True)
+def isolated_runs_dir(monkeypatch, tmp_path):
+    """Keep the provenance run ledger out of the real user cache."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture(scope="session")
 def paper_model() -> CmosPotentialModel:
     """CMOS model built from the paper's published constants."""

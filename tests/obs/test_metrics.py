@@ -88,6 +88,37 @@ class TestRegistry:
         assert target.timer("schedule").count == 2
         assert target.timer("schedule").total_s == pytest.approx(1.5)
 
+    def test_absorb_skips_unknown_kind(self):
+        # Regression: a snapshot from a newer library version used to raise.
+        registry = MetricsRegistry()
+        registry.absorb({
+            "good": {"type": "counter", "value": 2},
+            "exotic": {"type": "histogram", "buckets": [1, 2]},
+        })
+        assert registry.counter("good").value == 2
+        snap = registry.snapshot()
+        assert "exotic" not in snap
+        assert snap["metrics.absorb.skipped"]["value"] == 1
+
+    def test_absorb_skips_non_dict_and_bad_values(self):
+        registry = MetricsRegistry()
+        registry.absorb({
+            "not-a-dict": 7,
+            "bad-counter": {"type": "counter", "value": "NaNish"},
+            "bad-timer": {"type": "timer", "count": None, "total_s": 1.0},
+            "ok": {"type": "gauge", "value": 3.5},
+        })
+        assert registry.gauge("ok").value == 3.5
+        assert registry.counter("metrics.absorb.skipped").value == 3
+        # A half-bad timer entry must not half-apply.
+        assert registry.timer("bad-timer").count == 0
+        assert registry.timer("bad-timer").total_s == 0.0
+
+    def test_absorb_clean_snapshot_has_no_skip_counter(self):
+        registry = MetricsRegistry()
+        registry.absorb({"x": {"type": "counter", "value": 1}})
+        assert "metrics.absorb.skipped" not in registry.snapshot()
+
     def test_render_empty(self):
         assert MetricsRegistry().render() == "(no metrics recorded)"
 

@@ -1,0 +1,190 @@
+"""Tests for golden-number drift and perf-regression comparison."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.provenance.drift import (
+    GOLDEN_ARTIFACTS,
+    Tolerance,
+    compare_bench_entries,
+    compare_golden,
+    compare_runs,
+    flatten_scalars,
+    golden_numbers,
+)
+from repro.provenance.manifest import SCHEMA_VERSION, RunManifest
+
+
+def _manifest(run_id, golden=None, engine=None, schema=SCHEMA_VERSION):
+    return RunManifest(
+        run_id=run_id,
+        schema_version=schema,
+        command="export",
+        argv=[],
+        created_at="2026-08-05T12:00:00+0000",
+        created_unix=1000.0,
+        git={"sha": "abc", "dirty": False},
+        environment={},
+        config_hashes={},
+        input_hashes={},
+        golden=dict(golden or {}),
+        engine=dict(engine or {}),
+    )
+
+
+class TestFlatten:
+    def test_nested_paths(self):
+        payload = {"a": {"b": [1, {"c": 2.5}]}, "d": 3}
+        assert flatten_scalars(payload) == {
+            "a.b.0": 1.0,
+            "a.b.1.c": 2.5,
+            "d": 3.0,
+        }
+
+    def test_bools_and_strings_skipped(self):
+        assert flatten_scalars({"flag": True, "label": "x", "v": 1}) == {
+            "v": 1.0
+        }
+
+    def test_prefix(self):
+        assert flatten_scalars({"x": 1}, "fig13") == {"fig13.x": 1.0}
+
+    def test_golden_numbers_filters_to_golden_artifacts(self):
+        payloads = {"fig13": {"x": 1}, "table1": {"y": 2}}
+        numbers = golden_numbers(payloads)
+        assert numbers == {"fig13.x": 1.0}
+        assert "table1" not in GOLDEN_ARTIFACTS
+
+
+class TestTolerance:
+    def test_exact_equal_passes(self):
+        assert Tolerance().allows(1.0, 1.0)
+        assert Tolerance().allows(math.inf, math.inf)
+        assert Tolerance().allows(math.nan, math.nan)
+
+    def test_nonfinite_mismatch_fails(self):
+        assert not Tolerance().allows(math.inf, 1.0)
+        assert not Tolerance().allows(math.nan, 1.0)
+
+    def test_rel_tolerance(self):
+        assert Tolerance(rel=1e-6).allows(1.0, 1.0 + 1e-8)
+        assert not Tolerance(rel=1e-6).allows(1.0, 1.0 + 1e-3)
+
+
+class TestCompareRuns:
+    def test_identical_runs_zero_drift(self):
+        # The issue's core invariant: same golden map -> clean report.
+        golden = {"table5.0.x": 1.5, "fig13.runtime.0": 0.25}
+        report = compare_runs(_manifest("a", golden), _manifest("b", golden))
+        assert report.clean
+        assert report.compared == 2
+        assert not report.drifted and not report.added and not report.removed
+        assert "zero drift" in report.describe()
+
+    def test_perturbed_quantity_flagged_by_name(self):
+        golden_a = {"table5.0.x": 1.5, "fig13.runtime.0": 0.25}
+        golden_b = {"table5.0.x": 1.5, "fig13.runtime.0": 0.50}
+        report = compare_runs(
+            _manifest("a", golden_a), _manifest("b", golden_b)
+        )
+        assert not report.clean
+        (drift,) = report.drifted
+        assert drift.name == "fig13.runtime.0"
+        assert drift.value_a == 0.25 and drift.value_b == 0.5
+        assert "fig13.runtime.0" in drift.describe()
+
+    def test_added_and_removed_quantities(self):
+        report = compare_runs(
+            _manifest("a", {"x": 1.0, "gone": 2.0}),
+            _manifest("b", {"x": 1.0, "new": 3.0}),
+        )
+        assert report.added == ("new",)
+        assert report.removed == ("gone",)
+        assert not report.clean
+
+    def test_schema_mismatch_refused(self):
+        good = _manifest("a", {"x": 1.0})
+        bad = _manifest("b", {"x": 1.0}, schema=SCHEMA_VERSION + 1)
+        with pytest.raises(ValidationError, match="schema_version"):
+            compare_runs(good, bad)
+
+    def test_perf_elapsed_regression_flagged(self):
+        engine_a = {"stats": {"elapsed_s": 1.0}}
+        engine_b = {"stats": {"elapsed_s": 2.0}}
+        report = compare_runs(
+            _manifest("a", engine=engine_a), _manifest("b", engine=engine_b)
+        )
+        (flag,) = report.perf
+        assert flag.metric == "elapsed_s"
+        assert flag.regressed
+        assert report.perf_regressed
+        assert report.clean  # perf noise never counts as golden drift
+
+    def test_perf_within_threshold_not_flagged(self):
+        engine_a = {"stats": {"elapsed_s": 1.0}}
+        engine_b = {"stats": {"elapsed_s": 1.2}}
+        report = compare_runs(
+            _manifest("a", engine=engine_a), _manifest("b", engine=engine_b)
+        )
+        assert not report.perf_regressed
+
+    def test_cache_hit_rate_drop_flagged(self):
+        engine_a = {"stats": {"elapsed_s": 1.0, "cache_hits": 9, "cache_misses": 1}}
+        engine_b = {"stats": {"elapsed_s": 1.0, "cache_hits": 5, "cache_misses": 5}}
+        report = compare_runs(
+            _manifest("a", engine=engine_a), _manifest("b", engine=engine_b)
+        )
+        rate = {flag.metric: flag for flag in report.perf}["cache_hit_rate"]
+        assert rate.regressed
+
+    def test_runs_without_engine_stats_have_no_perf_flags(self):
+        report = compare_runs(_manifest("a"), _manifest("b"))
+        assert report.perf == ()
+
+
+class TestCompareGolden:
+    def test_tolerance_respected(self):
+        compared, drifted, added, removed = compare_golden(
+            {"x": 1.0}, {"x": 1.0 + 1e-13}
+        )
+        assert compared == 1
+        assert not drifted  # within the default abs tolerance
+
+
+class TestBenchEntries:
+    def _entry(self, elapsed, memo_hits=8, memo_misses=2):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "stats": {
+                "elapsed_s": elapsed,
+                "memo_hits": memo_hits,
+                "memo_misses": memo_misses,
+            },
+        }
+
+    def test_regression_flagged(self):
+        flags = compare_bench_entries(self._entry(1.0), self._entry(3.0))
+        by_metric = {flag.metric: flag for flag in flags}
+        assert by_metric["elapsed_s"].regressed
+        assert not by_metric["memo_hit_rate"].regressed
+
+    def test_memo_hit_rate_drop_flagged(self):
+        flags = compare_bench_entries(
+            self._entry(1.0, memo_hits=9, memo_misses=1),
+            self._entry(1.0, memo_hits=1, memo_misses=9),
+        )
+        by_metric = {flag.metric: flag for flag in flags}
+        assert by_metric["memo_hit_rate"].regressed
+
+    def test_pre_provenance_entries_refused(self):
+        with pytest.raises(ValidationError):
+            compare_bench_entries({"stats": {}}, self._entry(1.0))
+
+    def test_entries_without_stats_refused(self):
+        with pytest.raises(ValidationError, match="stats"):
+            compare_bench_entries(
+                {"schema_version": SCHEMA_VERSION},
+                {"schema_version": SCHEMA_VERSION},
+            )

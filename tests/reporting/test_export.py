@@ -1,10 +1,15 @@
-"""Tests for JSON artifact export."""
+"""Tests for JSON artifact export and its provenance envelopes."""
 
 import json
 
 import pytest
 
+from repro.provenance.manifest import SCHEMA_VERSION
 from repro.reporting.export import artifact_builders, export_all, export_artifact
+
+
+def _load(path):
+    return json.loads(path.read_text())
 
 
 class TestExport:
@@ -18,8 +23,9 @@ class TestExport:
 
     def test_export_single_artifact(self, tmp_path, paper_model):
         path = export_artifact("table5", tmp_path, paper_model)
-        payload = json.loads(path.read_text())
-        assert len(payload) == 4
+        envelope = _load(path)
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert len(envelope["data"]) == 4
 
     def test_export_unknown_artifact(self, tmp_path):
         with pytest.raises(ValueError):
@@ -36,7 +42,7 @@ class TestExport:
 
     def test_fig3d_tuple_keys_serialised(self, tmp_path, paper_model):
         path = export_artifact("fig3d", tmp_path, paper_model)
-        payload = json.loads(path.read_text())
+        payload = _load(path)["data"]
         assert isinstance(payload, dict)
         assert all(isinstance(k, str) for k in payload)
 
@@ -44,3 +50,50 @@ class TestExport:
         nested = tmp_path / "a" / "b"
         path = export_artifact("table1", nested, paper_model)
         assert path.parent == nested
+
+
+class TestProvenanceEnvelope:
+    """Every artifact carries the run's manifest block (issue acceptance)."""
+
+    def test_manifest_block_fields(self, tmp_path, paper_model):
+        path = export_artifact("table5", tmp_path, paper_model)
+        block = _load(path)["manifest"]
+        assert block["schema_version"] == SCHEMA_VERSION
+        assert block["command"] == "export"
+        assert "sha" in block["git"] and "dirty" in block["git"]
+        assert block["input_hashes"]  # content hashes of the datasheets
+        assert all(
+            isinstance(v, str) and len(v) == 64
+            for v in block["input_hashes"].values()
+        )
+        assert block["config_hashes"]["cmos_model"]
+        assert isinstance(block["metrics"], dict)
+        assert block["environment"]["python"]
+
+    def test_same_block_in_every_artifact(self, tmp_path, paper_model):
+        paths = export_all(tmp_path, paper_model, names=["table5", "fig3a"])
+        blocks = [_load(p)["manifest"] for p in paths.values()]
+        assert blocks[0] == blocks[1]
+        assert blocks[0]["run_id"]
+
+    def test_export_records_ledger_entry(self, tmp_path, paper_model):
+        from repro.provenance.manifest import RunLedger
+
+        ledger = RunLedger(tmp_path / "ledger")
+        paths = export_all(
+            tmp_path / "out", paper_model, names=["table5"], ledger=ledger
+        )
+        run_id = _load(paths["table5"])["manifest"]["run_id"]
+        manifest = ledger.get(run_id)
+        assert manifest.golden  # golden numbers captured for drift
+        assert any(name.startswith("table5.") for name in manifest.golden)
+
+    def test_golden_numbers_cover_wall_scalars(self, tmp_path, paper_model):
+        from repro.provenance.manifest import RunLedger
+
+        ledger = RunLedger(tmp_path / "ledger")
+        export_all(
+            tmp_path / "out", paper_model, names=["fig15_16"], ledger=ledger
+        )
+        manifest = ledger.latest()
+        assert any("projected_log" in name for name in manifest.golden)

@@ -83,8 +83,18 @@ class TestCommands:
         assert main(["export", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "table5.json" in out
-        payload = json.loads((tmp_path / "table5.json").read_text())
-        assert len(payload) == 4
+        envelope = json.loads((tmp_path / "table5.json").read_text())
+        assert len(envelope["data"]) == 4
+        assert envelope["manifest"]["command"] == "export"
+
+    def test_export_only_subset(self, tmp_path, capsys):
+        out_dir = tmp_path / "subset"
+        assert main(
+            ["export", "--out", str(out_dir), "--only", "table5,fig3a"]
+        ) == 0
+        capsys.readouterr()
+        written = {p.name for p in out_dir.glob("*.json")}
+        assert written == {"table5.json", "fig3a.json"}
 
 
 class TestObservability:
@@ -149,8 +159,22 @@ class TestObservability:
         assert get_tracer() is None
 
     def test_stats_before_any_run(self, capsys):
-        assert main(["stats"]) == 0
-        assert "no metrics recorded yet" in capsys.readouterr().out
+        # Regression: used to dump a traceback / silently succeed.
+        assert main(["stats"]) == 1
+        captured = capsys.readouterr()
+        assert "no metrics snapshot found" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_stats_with_corrupt_snapshot(self, capsys):
+        from repro.cli import _metrics_path
+
+        path = _metrics_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert main(["stats"]) == 1
+        captured = capsys.readouterr()
+        assert "unreadable" in captured.err
+        assert "Traceback" not in captured.err
 
     def test_stats_renders_last_run_snapshot(self, capsys):
         assert main(["plot", "fig13", "--jobs", "2"]) == 0
@@ -178,6 +202,90 @@ class TestObservability:
         assert "repro.accel.engine" in err
         assert "sweep.done" in err
         assert "kernel=" in err
+
+
+class TestReportCommand:
+    """The `report` command: ledger listing, run reports, drift compares."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def _export(self, tmp_path, capsys, sub):
+        assert main(
+            ["export", "--out", str(tmp_path / sub), "--only", "table5,fig3a"]
+        ) == 0
+        capsys.readouterr()
+
+    def _ids(self, capsys):
+        assert main(["report", "--ids"]) == 0
+        return capsys.readouterr().out.split()
+
+    def test_empty_ledger_message(self, capsys):
+        assert main(["report"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_listing_and_single_run_report(self, tmp_path, capsys):
+        self._export(tmp_path, capsys, "a")
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "=== run ledger" in out
+        assert "export" in out
+        (run_id,) = self._ids(capsys)
+        assert main(["report", run_id]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "Golden numbers" in out
+
+    def test_compare_identical_runs_zero_drift(self, tmp_path, capsys):
+        # The acceptance invariant: two exports of the same config drift-free.
+        self._export(tmp_path, capsys, "a")
+        self._export(tmp_path, capsys, "b")
+        id_a, id_b = self._ids(capsys)
+        assert main(["report", "--compare", id_a, id_b]) == 0
+        out = capsys.readouterr().out
+        assert "zero drift" in out
+
+    def test_compare_perturbed_run_names_quantity(self, tmp_path, capsys):
+        from repro.provenance.manifest import RunLedger
+
+        self._export(tmp_path, capsys, "a")
+        self._export(tmp_path, capsys, "b")
+        id_a, id_b = self._ids(capsys)
+        ledger = RunLedger()
+        tampered = ledger.get(id_b)
+        tampered.golden["table5.0.projected_log"] = 123.456
+        ledger.record(tampered)
+        assert main(["report", "--compare", id_a, id_b]) == 1
+        out = capsys.readouterr().out
+        assert "table5.0.projected_log" in out
+
+    def test_report_html_written_to_file(self, tmp_path, capsys):
+        self._export(tmp_path, capsys, "a")
+        (run_id,) = self._ids(capsys)
+        out_file = tmp_path / "report.html"
+        assert main(
+            ["report", run_id, "--format", "html", "--out", str(out_file)]
+        ) == 0
+        assert "wrote report" in capsys.readouterr().out
+        html = out_file.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert run_id in html
+
+    def test_prune_keeps_newest(self, tmp_path, capsys):
+        for sub in ("a", "b", "c"):
+            self._export(tmp_path, capsys, sub)
+        ids = self._ids(capsys)
+        assert len(ids) == 3
+        assert main(["report", "--prune", "1"]) == 0
+        assert "pruned 2 runs" in capsys.readouterr().out
+        assert self._ids(capsys) == ids[-1:]
+
+    def test_unknown_run_id_is_oneline_error(self, capsys):
+        assert main(["report", "nosuchrun"]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
 
 
 class TestErrorHandling:
