@@ -1,0 +1,284 @@
+"""Load-test the serving layer and record a ``BENCH_*.json`` entry.
+
+Starts an in-process server (:class:`repro.serve.ServerHandle`), drives
+it with N concurrent clients sending a mixed traffic pattern (evaluate,
+what-if, CMOS gains, CSR series), and records per-endpoint p50/p95/p99
+latency and aggregate throughput.  The evaluate endpoint is additionally
+measured **twice** — once with micro-batching on and once with it off —
+so each entry carries the batched-vs-unbatched throughput ratio the
+acceptance criterion tracks.
+
+Usage::
+
+    python benchmarks/serve_load.py --out-dir bench-results \
+        --clients 8 --requests 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import statistics
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.provenance.manifest import SCHEMA_VERSION
+from repro.serve import ServeConfig, ServerHandle
+
+#: Design points the mixed-traffic phase cycles through (warmed up, so the
+#: phase measures steady-state request handling).
+EVALUATE_POINTS = (
+    {"workload": "FFT", "node_nm": 5.0, "partition": 64, "simplification": 9},
+    {"workload": "FFT", "node_nm": 7.0, "partition": 16, "simplification": 5},
+    {"workload": "GMM", "node_nm": 5.0, "partition": 256, "simplification": 13},
+    {"workload": "S3D", "node_nm": 10.0, "partition": 4, "simplification": 3},
+)
+
+#: Cold design points for the batched-vs-unbatched comparison: every
+#: (partition, simplification) pair schedules from scratch (~10ms), and all
+#: clients request the *same* point at the same step — the concurrent-
+#: duplicate pattern of a dashboard fanning one query out.  Batching
+#: coalesces each point onto one schedule; without it every client pays
+#: the full scheduling cost redundantly.
+COLD_POINTS = tuple(
+    {"workload": "FFT", "node_nm": 5.0, "partition": p, "simplification": s}
+    for s in (3, 5, 7, 9, 11)
+    for p in (2, 8, 32, 128, 512)
+)
+
+#: Kernel-trace warmup only — not part of any phase's design cycle, so the
+#: phases stay schedule-cold while workload tracing happens up front.
+TRACE_WARMUP = (
+    {"workload": "FFT", "node_nm": 45.0, "partition": 1, "simplification": 1},
+    {"workload": "GMM", "node_nm": 45.0, "partition": 1, "simplification": 1},
+    {"workload": "S3D", "node_nm": 45.0, "partition": 1, "simplification": 1},
+)
+
+WHATIF_BODIES = (
+    {"domain": "video_decoding", "die_scale": 2.0},
+    {"domain": "bitcoin_mining", "metric": "efficiency", "tdp_scale": 4.0},
+)
+
+GET_TARGETS = (
+    "/cmos/gains?node=5",
+    "/cmos/gains?node=7&frequency_mhz=2000",
+    "/csr/video",
+    "/wall/projections",
+)
+
+
+class Client:
+    """One load-generating thread with a keep-alive connection."""
+
+    def __init__(self, port: int, client_id: str):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        self.headers = {"X-Client-Id": client_id}
+        self.latencies: Dict[str, List[float]] = {}
+        self.errors = 0
+
+    def request(
+        self, method: str, target: str, body: Optional[dict], family: str
+    ) -> None:
+        payload = json.dumps(body).encode() if body is not None else None
+        start = time.perf_counter()
+        try:
+            self.conn.request(method, target, body=payload, headers=self.headers)
+            response = self.conn.getresponse()
+            response.read()
+            ok = response.status == 200
+        except (http.client.HTTPException, OSError):
+            self.conn.close()
+            ok = False
+        elapsed = time.perf_counter() - start
+        if ok:
+            self.latencies.setdefault(family, []).append(elapsed)
+        else:
+            self.errors += 1
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def percentile(values: List[float], q: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarise(values: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "p50_ms": percentile(values, 0.50) * 1e3,
+        "p95_ms": percentile(values, 0.95) * 1e3,
+        "p99_ms": percentile(values, 0.99) * 1e3,
+        "mean_ms": (statistics.fmean(values) * 1e3) if values else float("nan"),
+    }
+
+
+def mixed_phase(port: int, clients: int, requests: int) -> Dict[str, Any]:
+    """Mixed-traffic phase: every client interleaves all endpoint families."""
+
+    def worker(client: Client, index: int) -> None:
+        # Per-family turn counters: `(index + i) % 4` alone would always
+        # select variant 0 of each family (both moduli in lock-step).
+        turns = [0, 0, 0, 0]
+        for i in range(requests):
+            family = (index + i) % 4
+            turn = turns[family]
+            turns[family] += 1
+            if family == 0:
+                body = EVALUATE_POINTS[(index + turn) % len(EVALUATE_POINTS)]
+                client.request("POST", "/evaluate", body, "evaluate")
+            elif family == 1:
+                body = WHATIF_BODIES[(index + turn) % len(WHATIF_BODIES)]
+                client.request("POST", "/wall/whatif", body, "whatif")
+            elif family == 2:
+                target = GET_TARGETS[(index + turn) % len(GET_TARGETS)]
+                name = target.split("?")[0].split("/")[1]
+                client.request("GET", target, None, name)
+            else:
+                client.request("GET", "/healthz", None, "healthz")
+
+    return run_phase(port, clients, worker)
+
+
+def evaluate_phase(port: int, clients: int, requests: int) -> Dict[str, Any]:
+    """Evaluate-only phase used for the batched-vs-unbatched comparison.
+
+    All clients walk :data:`COLD_POINTS` in the *same* order (no per-client
+    offset), so at any instant the in-flight requests are concurrent
+    duplicates of a schedule-cold design point.
+    """
+
+    def worker(client: Client, index: int) -> None:
+        for i in range(min(requests, len(COLD_POINTS))):
+            client.request("POST", "/evaluate", COLD_POINTS[i], "evaluate")
+
+    return run_phase(port, clients, worker)
+
+
+def run_phase(port: int, clients: int, worker) -> Dict[str, Any]:
+    pool = [Client(port, f"load-{i}") for i in range(clients)]
+    threads = [
+        threading.Thread(target=worker, args=(client, i))
+        for i, client in enumerate(pool)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    latencies: Dict[str, List[float]] = {}
+    errors = 0
+    for client in pool:
+        for family, values in client.latencies.items():
+            latencies.setdefault(family, []).extend(values)
+        errors += client.errors
+        client.close()
+    total = sum(len(v) for v in latencies.values())
+    return {
+        "clients": clients,
+        "requests_ok": total,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "throughput_rps": total / elapsed if elapsed > 0 else float("nan"),
+        "latency": {family: summarise(v) for family, v in sorted(latencies.items())},
+    }
+
+
+def with_server(
+    batching: bool, fn, warm: Tuple[dict, ...] = TRACE_WARMUP
+) -> Dict[str, Any]:
+    """Run *fn(port)* against a fresh server; kernels pre-traced via *warm*."""
+    config = ServeConfig(
+        port=0,
+        batching=batching,
+        response_cache=0,  # isolate batching: no response-level caching
+        workers=8,
+    )
+    handle = ServerHandle(config).start()
+    try:
+        # Trace each kernel once up front so the phase measures steady-state
+        # serving, not one-time workload tracing.
+        probe = Client(handle.port, "warmup")
+        for body in warm:
+            probe.request("POST", "/evaluate", body, "warmup")
+        probe.close()
+        return fn(handle.port)
+    finally:
+        handle.stop()
+
+
+def run(clients: int, requests: int) -> dict:
+    mixed = with_server(
+        True,
+        lambda port: mixed_phase(port, clients, requests),
+        warm=TRACE_WARMUP + EVALUATE_POINTS,
+    )
+    batched = with_server(
+        True, lambda port: evaluate_phase(port, clients, requests)
+    )
+    unbatched = with_server(
+        False, lambda port: evaluate_phase(port, clients, requests)
+    )
+    ratio = (
+        batched["throughput_rps"] / unbatched["throughput_rps"]
+        if unbatched["throughput_rps"] > 0
+        else float("nan")
+    )
+    return {
+        "bench": "serve_load",
+        "schema_version": SCHEMA_VERSION,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": os.environ.get("GITHUB_SHA", "local"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {"clients": clients, "requests_per_client": requests},
+        "mixed": mixed,
+        "evaluate_batched": batched,
+        "evaluate_unbatched": unbatched,
+        "batched_speedup": ratio,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path("bench-results"),
+        help="directory for the BENCH_*.json entry (default: bench-results)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent load-generating clients (default: 8)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=40,
+        help="requests per client per phase (default: 40)",
+    )
+    args = parser.parse_args(argv)
+
+    entry = run(args.clients, args.requests)
+    label = entry["commit"][:12]
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    path = args.out_dir / f"BENCH_serve_load_{label}.json"
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2)
+    mixed = entry["mixed"]
+    print(
+        f"wrote {path}: {mixed['requests_ok']} requests at "
+        f"{mixed['throughput_rps']:.1f} req/s "
+        f"(batched evaluate speedup {entry['batched_speedup']:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

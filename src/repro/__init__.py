@@ -35,7 +35,27 @@ from repro.datasheets import ChipDatabase, ChipSpec, reference_database
 from repro.errors import ReproError
 from repro.wall import accelerator_wall, wall_report_all_domains
 
-__version__ = "1.0.0"
+#: The single source of truth for the package version — pyproject.toml
+#: reads it back via ``[tool.setuptools.dynamic]``, so the two can never
+#: disagree.
+__version__ = "1.1.0"
+
+
+def version_string() -> str:
+    """``repro <version> (<sha>[, dirty])`` — the CLI/server version line.
+
+    Combines :data:`__version__` with the best-effort git state so a
+    report quoting it pins both the release and the exact tree.
+    """
+    from repro.provenance.manifest import git_state
+
+    git = git_state()
+    sha = git.get("sha")
+    tree = "no-git" if not sha else str(sha)[:12] + (
+        ", dirty" if git.get("dirty") else ""
+    )
+    return f"repro {__version__} ({tree})"
+
 
 __all__ = [
     "CmosPotentialModel",
@@ -48,4 +68,5 @@ __all__ = [
     "accelerator_wall",
     "wall_report_all_domains",
     "__version__",
+    "version_string",
 ]

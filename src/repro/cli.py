@@ -9,6 +9,7 @@ Usage (installed as ``accelerator-wall``, or ``python -m repro``):
     accelerator-wall check                  # numerical self-diagnostics
     accelerator-wall export --out out/      # JSON of every artifact
     accelerator-wall stats                  # metrics snapshot of the last run
+    accelerator-wall serve --port 8080      # HTTP JSON API over the model
     accelerator-wall report                 # list the run ledger
     accelerator-wall report --compare A B   # golden-number drift report
 
@@ -504,11 +505,52 @@ def _cmd_export(args) -> int:
         _obs_finish(args, tracer, manifest=manifest, engine=engine)
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False)
+        and getattr(args, "cache_dir", None) is not None,
+        batching=not args.no_batching,
+        batch_window_s=args.batch_window_ms / 1e3,
+        batch_max=args.batch_max,
+        response_cache=args.response_cache,
+        rate_limit=args.rate_limit,
+        job_concurrency=args.job_concurrency,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return ServeApp(config).run()
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` printing the single-sourced version + git SHA.
+
+    A custom action (not ``action="version"``) so the git subprocess only
+    runs when the flag is actually used, not on every parser build.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "show the package version and git SHA, then exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        import repro
+
+        print(repro.version_string())
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="accelerator-wall",
         description="Reproduction of 'The Accelerator Wall' (HPCA 2019)",
     )
+    parser.add_argument("--version", action=_VersionAction, dest="_version")
     parser.add_argument(
         "--refit",
         action="store_true",
@@ -589,6 +631,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dse_options(export)
     export.set_defaults(func=_cmd_export)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the model over HTTP (JSON endpoints, batching, jobs)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="sweep-engine worker processes for background sweeps "
+        "(0 = all cores)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent DSE cache directory (enables the schedule cache)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent DSE cache even if a directory is set",
+    )
+    serve.add_argument(
+        "--no-batching", action="store_true",
+        help="disable request micro-batching (each request evaluates alone)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batch collection window (default: 2ms)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=64, metavar="N",
+        help="max distinct payloads per batch flush (default: 64)",
+    )
+    serve.add_argument(
+        "--response-cache", type=int, default=1024, metavar="N",
+        help="LRU response-cache entries, 0 disables (default: 1024)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="RPS",
+        help="per-client requests/second, 0 disables (default: off)",
+    )
+    serve.add_argument(
+        "--job-concurrency", type=int, default=1, metavar="N",
+        help="background sweep jobs running simultaneously (default: 1)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="graceful-drain budget on SIGTERM (default: 10s)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report",

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.cmos.model import CmosPotentialModel
 from repro.dfg.analysis import analyze
+from repro.errors import ValidationError
 from repro.obs.log import get_logger, kv
 from repro.obs.trace import span
 from repro.reporting import figures, tables
@@ -107,14 +108,18 @@ def _build_payloads(
     names: Sequence[str],
     builders: Dict[str, Callable[[], object]],
 ) -> Dict[str, object]:
+    unknown = sorted(set(names) - set(builders))
+    if unknown:
+        # ValidationError so the CLI reports `error: ...` and exits 2
+        # instead of dumping a traceback on a typo in --only.
+        raise ValidationError(
+            f"unknown artifact{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(n) for n in unknown)}; "
+            f"valid names: {', '.join(sorted(builders))}"
+        )
     payloads: Dict[str, object] = {}
     for name in names:
-        try:
-            builder = builders[name]
-        except KeyError:
-            raise ValueError(
-                f"unknown artifact {name!r}; known: {sorted(builders)}"
-            ) from None
+        builder = builders[name]
         with span("export.artifact", artifact=name):
             payloads[name] = _jsonable(builder())
     return payloads
@@ -196,6 +201,13 @@ def export_all(
 
     builders = artifact_builders(model, fast, engine=engine)
     selected = list(names) if names is not None else sorted(builders)
+    if not selected:
+        # e.g. `--only ,` — an accidentally empty selection should not
+        # silently export nothing.
+        raise ValidationError(
+            "no artifacts selected; valid names: "
+            + ", ".join(sorted(builders))
+        )
     if manifest is None:
         manifest = capture("export", model=model)
     payloads = _build_payloads(selected, builders)

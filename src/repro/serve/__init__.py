@@ -1,0 +1,31 @@
+"""``repro.serve`` — the async, batched, observable model-serving layer.
+
+Started via ``repro serve``; loads the fitted CMOS model, case studies,
+and sweep engine once, then answers the paper's core queries over a
+stdlib-only asyncio HTTP server with micro-batching, background sweep
+jobs, rate limiting, Prometheus metrics, and provenance-stamped
+responses.  See ``docs/METHODOLOGY.md`` §12 for the endpoint reference.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig, ServerHandle
+from repro.serve.batching import LruCache, MicroBatcher
+from repro.serve.jobs import Job, JobQueue, QueueFullError, UnknownJobError
+from repro.serve.limits import RateLimiter
+from repro.serve.router import HttpError, Request, Response, Router
+
+__all__ = [
+    "HttpError",
+    "Job",
+    "JobQueue",
+    "LruCache",
+    "MicroBatcher",
+    "QueueFullError",
+    "RateLimiter",
+    "Request",
+    "Response",
+    "Router",
+    "ServeApp",
+    "ServeConfig",
+    "ServerHandle",
+    "UnknownJobError",
+]

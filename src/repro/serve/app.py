@@ -1,0 +1,662 @@
+"""The serving application: state, HTTP protocol, and lifecycle.
+
+``repro serve`` builds one :class:`ServeApp`: it loads the fitted CMOS
+model, the case studies, and the sweep engine **once** at startup,
+captures a run manifest into the provenance ledger, and then serves the
+paper's core queries over a small stdlib-only HTTP/1.1 server
+(``asyncio.start_server`` — no web framework, no new runtime deps).
+
+Request flow::
+
+    connection -> parse -> rate limit -> route -> handler
+                                          |          |
+                                          |          +-- run_blocking (thread pool)
+                                          |          +-- MicroBatcher (vectorized)
+                                          |          +-- JobQueue (background sweeps)
+                                          +-- 429 Too Many Requests
+
+Every JSON response is wrapped in the provenance envelope
+``{"schema_version", "server": {run_id, git, version, ...}, "data"}`` so
+served numbers can be joined to the run ledger and drift-checked against
+exported artifacts with the PR-4 machinery.  SIGTERM/SIGINT trigger a
+graceful drain: the listener closes, in-flight requests finish, queued
+jobs are cancelled, running jobs get a bounded grace period, and the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, ValidationError
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import metrics
+from repro.obs.trace import span
+from repro.serve.batching import LruCache, MicroBatcher
+from repro.serve.handlers import (
+    compute_evaluate_batch,
+    compute_whatif,
+    register_routes,
+)
+from repro.serve.jobs import JobQueue
+from repro.serve.limits import RateLimiter
+from repro.serve.router import HttpError, Request, Response, Router
+
+__all__ = ["ServeApp", "ServeConfig", "ServerHandle"]
+
+logger = get_logger("serve.http")
+
+#: Sub-grids used by non-``full`` evaluate/attribute/sweep requests — the
+#: same representative Table III subsets as ``repro export`` (fast mode),
+#: so served DSE numbers line up with the exported fast artifacts.
+FAST_PARTITIONS: Tuple[int, ...] = (1, 4, 16, 64, 256, 1024)
+FAST_SIMPLIFICATIONS: Tuple[int, ...] = (1, 3, 5, 7, 9, 11, 13)
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+IDLE_TIMEOUT_S = 30.0
+
+#: Routes exempt from rate limiting and drain rejection (operators must
+#: always be able to probe a draining or overloaded server).
+OPS_ROUTES = ("healthz", "metrics", "version")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one serving process (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int = 1                  # sweep-engine worker processes
+    cache_dir: Optional[str] = None
+    use_cache: bool = False        # persistent schedule cache opt-in
+    workers: int = 4               # blocking-work thread pool size
+    batching: bool = True
+    batch_window_s: float = 0.002
+    batch_max: int = 64
+    response_cache: int = 1024     # LRU entries; 0 disables
+    rate_limit: float = 0.0        # requests/s per client; 0 disables
+    rate_burst: Optional[float] = None
+    job_concurrency: int = 1
+    max_pending_jobs: int = 32
+    drain_timeout_s: float = 10.0
+
+
+class ServeApp:
+    """One serving process: loaded state + HTTP front end."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config if config is not None else ServeConfig()
+        self.router = Router()
+        register_routes(self.router)
+        self.started_unix = time.time()
+        self.inflight = 0
+        self.draining = False
+        self._shutdown = None  # asyncio.Event, created on the serving loop
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._started = False
+
+    # -- startup ---------------------------------------------------------------
+
+    def startup(self) -> None:
+        """Load models/state once; must run before serving (idempotent)."""
+        if self._started:
+            return
+        from repro.accel.engine import SweepEngine
+        from repro.accel.resources import ResourceLibrary
+        from repro.cmos.model import CmosPotentialModel
+        from repro.provenance.manifest import SCHEMA_VERSION, RunLedger, capture
+
+        config = self.config
+        self.model = CmosPotentialModel.paper()
+        self.library = ResourceLibrary()
+        self.engine = SweepEngine(
+            jobs=config.jobs,
+            cache_dir=config.cache_dir,
+            use_cache=config.use_cache,
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, config.workers), thread_name_prefix="serve"
+        )
+        self.schema_version = SCHEMA_VERSION
+        self.manifest = capture("serve", argv=[])
+        self.git = dict(self.manifest.git)
+        try:
+            RunLedger().record(self.manifest)
+        except OSError:
+            pass  # provenance is best-effort; serving must still come up
+        self._kernels: Dict[str, Any] = {}
+        self._schedule_caches: Dict[str, Any] = {}
+        self._kernel_lock = threading.Lock()
+        self._artifact_cache = LruCache(64, name="artifact")
+        self._response_cache = LruCache(config.response_cache, name="response")
+        self.evaluate_batcher = MicroBatcher(
+            lambda items: compute_evaluate_batch(self, items),
+            max_batch=config.batch_max,
+            window_s=config.batch_window_s,
+            executor=self.executor,
+            name="evaluate",
+        )
+        self.whatif_batcher = MicroBatcher(
+            lambda items: [compute_whatif(self, item) for item in items],
+            max_batch=config.batch_max,
+            window_s=config.batch_window_s,
+            executor=self.executor,
+            name="whatif",
+        )
+        self.jobs = JobQueue(
+            self._run_job,
+            concurrency=config.job_concurrency,
+            max_pending=config.max_pending_jobs,
+            executor=self.executor,
+        )
+        self.limiter = RateLimiter(config.rate_limit, config.rate_burst)
+        self._started = True
+        logger.info(
+            "serve.startup %s",
+            kv(
+                run_id=self.manifest.run_id,
+                jobs=config.jobs,
+                batching=config.batching,
+                rate_limit=config.rate_limit,
+            ),
+        )
+
+    # -- state accessors used by handlers --------------------------------------
+
+    async def run_blocking(self, fn: Callable[[], Any]) -> Any:
+        """Run blocking *fn* on the app's thread pool."""
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(self.executor, fn)
+
+    def workload_names(self) -> List[str]:
+        from repro.workloads import WORKLOADS
+
+        return [w.abbrev for w in WORKLOADS]
+
+    def workload(self, abbrev: str):
+        """Resolve a workload abbreviation; 400 with the valid names."""
+        from repro.workloads import get_workload
+
+        try:
+            return get_workload(abbrev)
+        except ReproError:
+            raise HttpError(
+                400,
+                f"unknown workload {abbrev!r}",
+                valid_workloads=self.workload_names(),
+            )
+
+    def kernel(self, abbrev: str):
+        """The traced kernel for *abbrev*, traced once and retained."""
+        key = abbrev.upper()
+        kernel = self._kernels.get(key)
+        if kernel is not None:
+            return kernel
+        with self._kernel_lock:
+            kernel = self._kernels.get(key)
+            if kernel is None:
+                kernel = self.engine.trace(self.workload(abbrev))
+                self._kernels[key] = kernel
+        return kernel
+
+    def schedule_cache(self, abbrev: str):
+        """Per-workload :class:`ScheduleCache` shared across requests."""
+        key = abbrev.upper()
+        cache = self._schedule_caches.get(key)
+        if cache is not None:
+            return cache
+        with self._kernel_lock:
+            cache = self._schedule_caches.get(key)
+            if cache is None:
+                cache = self.engine.schedule_cache(self.kernel(key), self.library)
+                self._schedule_caches[key] = cache
+        return cache
+
+    def study(self, name: str):
+        """Resolve a case-study name; 400 with the valid names."""
+        from repro.cli import STUDIES, _study_object
+
+        if name not in STUDIES:
+            raise HttpError(
+                400, f"unknown study {name!r}", valid_studies=list(STUDIES)
+            )
+        return _study_object(name, self.model)
+
+    def fast_subsets(
+        self, full: bool
+    ) -> Tuple[Optional[Sequence[int]], Optional[Sequence[int]]]:
+        """(partitions, simplifications) — ``None`` means full Table III."""
+        if full:
+            return None, None
+        return FAST_PARTITIONS, FAST_SIMPLIFICATIONS
+
+    def artifact_names(self) -> List[str]:
+        from repro.reporting.export import artifact_builders
+
+        return sorted(artifact_builders(self.model, fast=True))
+
+    async def artifact_payload(self, name: str) -> Any:
+        """One export artifact's payload, built lazily and LRU-cached.
+
+        The payload goes through the same builder and ``_jsonable``
+        coercion as ``repro export``, so endpoint responses are golden-
+        parity with exported artifact files.
+        """
+        from repro.reporting.export import _jsonable, artifact_builders
+
+        hit, value = self._artifact_cache.get(name)
+        if hit:
+            return value
+
+        def build() -> Any:
+            builders = artifact_builders(self.model, fast=True, engine=self.engine)
+            try:
+                builder = builders[name]
+            except KeyError:
+                raise HttpError(
+                    404,
+                    f"unknown artifact {name!r}",
+                    valid_artifacts=sorted(builders),
+                )
+            with span("serve.artifact", artifact=name):
+                return _jsonable(builder())
+
+        value = await self.run_blocking(build)
+        self._artifact_cache.put(name, value)
+        return value
+
+    async def batched_evaluate(self, key, item) -> Any:
+        return await self._batched(self.evaluate_batcher, key, item)
+
+    async def batched_whatif(self, key, item) -> Any:
+        return await self._batched(self.whatif_batcher, key, item)
+
+    async def _batched(self, batcher: MicroBatcher, key, item) -> Any:
+        hit, value = self._response_cache.get(key)
+        if hit:
+            return value
+        if self.config.batching:
+            value = await batcher.submit(key, item)
+        else:
+            results = await self.run_blocking(
+                lambda: batcher.batch_fn([item])
+            )
+            value = results[0]
+        self._response_cache.put(key, value)
+        return value
+
+    # -- background sweep jobs -------------------------------------------------
+
+    def _run_job(self, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Blocking job body; runs on the thread pool, engine fans out."""
+        if kind != "sweep":
+            raise ValidationError(f"unknown job kind {kind!r}")
+        from repro.accel.design import SWEEP_NODES
+        from repro.accel.sweep import default_design_grid
+
+        abbrev = params["workload"]
+        kernel = self.kernel(abbrev)
+        partitions, simplifications = self.fast_subsets(params.get("full", False))
+        try:
+            grid = default_design_grid(
+                nodes=tuple(params.get("nodes") or SWEEP_NODES),
+                partitions=params.get("partitions") or partitions,
+                simplifications=params.get("simplifications") or simplifications,
+            )
+        except ReproError as exc:
+            raise ValidationError(f"invalid sweep grid: {exc}")
+        result = self.engine.sweep(kernel, grid)
+        frontier = result.pareto_frontier()
+        return {
+            "workload": kernel.name,
+            "design_points": len(result.reports),
+            "stats": result.stats.to_dict(),
+            "pareto_frontier": [
+                {
+                    "node_nm": r.design.node_nm,
+                    "partition": r.design.partition,
+                    "simplification": r.design.simplification,
+                    "runtime_s": r.runtime_s,
+                    "power_w": r.power_w,
+                }
+                for r in frontier
+            ],
+        }
+
+    # -- envelope ---------------------------------------------------------------
+
+    def envelope(self, data: Any) -> Dict[str, Any]:
+        """Wrap *data* in the provenance envelope every response carries."""
+        import repro
+
+        return {
+            "schema_version": self.schema_version,
+            "server": {
+                "run_id": self.manifest.run_id,
+                "command": "serve",
+                "version": repro.__version__,
+                "git": self.git,
+                "started_at": self.manifest.created_at,
+            },
+            "data": data,
+        }
+
+    # -- request dispatch -------------------------------------------------------
+
+    async def dispatch(self, request: Request) -> Response:
+        """Route one request and produce its response (never raises)."""
+        registry = metrics()
+        start = perf_counter()
+        route_name = "unrouted"
+        try:
+            route, params = self.router.resolve(request.method, request.path)
+            route_name = route.name
+            if self.draining and route_name not in OPS_ROUTES:
+                raise HttpError(
+                    503, "server is draining", headers={"Connection": "close"}
+                )
+            if route_name not in OPS_ROUTES:
+                admitted, retry_after = self.limiter.allow(request.client)
+                if not admitted:
+                    registry.counter("serve.rate_limited").inc()
+                    raise HttpError(
+                        429,
+                        f"rate limit exceeded for client {request.client!r}",
+                        headers={"Retry-After": f"{retry_after:.3f}"},
+                        retry_after_s=retry_after,
+                    )
+            self.inflight += 1
+            registry.gauge("serve.inflight").set(self.inflight)
+            try:
+                with span("serve.request", route=route_name, method=request.method):
+                    payload = await route.handler(self, request, **params)
+            finally:
+                self.inflight -= 1
+                registry.gauge("serve.inflight").set(self.inflight)
+            if isinstance(payload, Response):
+                response = payload
+            else:
+                response = Response.json(self.envelope(payload))
+        except HttpError as exc:
+            response = Response.json(
+                self.envelope(exc.payload()), status=exc.status,
+                headers=exc.headers,
+            )
+        except ReproError as exc:
+            # Library guards rejecting an input are client errors, not 500s.
+            response = Response.json(
+                self.envelope({"error": str(exc), "status": 400}), status=400
+            )
+        except Exception as exc:  # noqa: BLE001 - never kill the connection loop
+            logger.exception("request.failed method=%s path=%s", request.method, request.path)
+            response = Response.json(
+                self.envelope(
+                    {"error": f"internal error: {type(exc).__name__}", "status": 500}
+                ),
+                status=500,
+            )
+        elapsed = perf_counter() - start
+        registry.counter("serve.requests").inc()
+        registry.counter(f"serve.requests.{route_name}").inc()
+        registry.counter(f"serve.responses.{response.status // 100}xx").inc()
+        registry.timer("serve.latency_s").observe(elapsed)
+        registry.timer(f"serve.latency_s.{route_name}").observe(elapsed)
+        logger.info(
+            "request %s",
+            kv(
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                ms=elapsed * 1e3,
+                client=request.client,
+            ),
+        )
+        return response
+
+    # -- the HTTP/1.1 protocol --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else "local"
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request, keep_alive = await self._read_request(reader, peer_host)
+                if request is None:
+                    break
+                response = await self.dispatch(request)
+                close = (
+                    not keep_alive
+                    or self.draining
+                    or response.headers.get("Connection") == "close"
+                )
+                await self._write_response(writer, response, close)
+                if close:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+        ):
+            pass  # client went away or idled out — normal churn
+        except asyncio.CancelledError:
+            pass  # drain cancelled an idle keep-alive connection
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, peer_host: str
+    ) -> Tuple[Optional[Request], bool]:
+        """Parse one request; ``(None, False)`` on a cleanly closed socket."""
+        try:
+            line = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            return None, False
+        if not line.strip():
+            return None, False
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ConnectionError("malformed request line")
+        method, target, http_version = parts
+        headers: Dict[str, str] = {}
+        total = len(line)
+        while True:
+            header_line = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT_S)
+            total += len(header_line)
+            if total > MAX_HEADER_BYTES:
+                raise ConnectionError("header block too large")
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header_line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ConnectionError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        path, query = Request.parse_target(target)
+        client = headers.get("x-client-id", peer_host)
+        keep_alive = (
+            http_version != "HTTP/1.0"
+            and headers.get("connection", "").lower() != "close"
+        )
+        return (
+            Request(
+                method=method.upper(),
+                path=path,
+                query=query,
+                headers=headers,
+                body=body,
+                client=client,
+            ),
+            keep_alive,
+        )
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response, close: bool
+    ) -> None:
+        head = [
+            f"HTTP/1.1 {response.status} {response.reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"X-Run-Id: {self.manifest.run_id}",
+            f"X-Schema-Version: {self.schema_version}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in response.headers.items():
+            if name.lower() != "connection":
+                head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(response.body)
+        await writer.drain()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start_server(self) -> Tuple[str, int]:
+        """Bind the listener and spawn job workers; returns (host, port)."""
+        self.startup()
+        self._shutdown = asyncio.Event()
+        self.jobs.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            family=socket.AF_INET,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.bound_port = sockname[1]
+        logger.info(
+            "serve.listening %s",
+            kv(host=self.config.host, port=self.bound_port),
+        )
+        return self.config.host, self.bound_port
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (signal handlers and tests call this)."""
+        self.draining = True
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def _drain(self) -> None:
+        """Stop accepting, let in-flight work finish, tear down bounded."""
+        config = self.config
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + config.drain_timeout_s
+        while self.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        # Remaining connections are idle keep-alives (or past the drain
+        # budget): close them so nothing outlives the loop.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.jobs.close(drain=True, timeout_s=config.drain_timeout_s)
+        self.executor.shutdown(wait=True)
+        logger.info(
+            "serve.drained %s",
+            kv(inflight=self.inflight, uptime_s=time.time() - self.started_unix),
+        )
+
+    async def serve_until_shutdown(self, install_signals: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`), then drain."""
+        await self.start_server()
+        if install_signals:
+            loop = asyncio.get_event_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or platform without signal support
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+        self.draining = True
+        await self._drain()
+
+    def run(self) -> int:
+        """Blocking entry point used by ``repro serve``; exits 0 on drain."""
+        self.startup()
+        print(
+            f"serving on http://{self.config.host}:{self.config.port} "
+            f"[run] {self.manifest.run_id}"
+        )
+        asyncio.run(self.serve_until_shutdown())
+        print("drained, bye")
+        return 0
+
+
+class ServerHandle:
+    """A server running on a background thread (tests and benchmarks).
+
+    Usage::
+
+        handle = ServerHandle(ServeConfig(port=0)).start()
+        ... http requests against handle.port ...
+        handle.stop()
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.app = ServeApp(config)
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self, timeout_s: float = 60.0) -> "ServerHandle":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise RuntimeError("server failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def main() -> None:
+            try:
+                self.host, self.port = await self.app.start_server()
+            except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            assert self.app._shutdown is not None
+            await self.app._shutdown.wait()
+            self.app.draining = True
+            await self.app._drain()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self.app.request_shutdown)
+            self._thread.join(timeout_s)

@@ -1,0 +1,195 @@
+"""Request micro-batching and the in-memory response cache.
+
+Two layers sit between the HTTP handlers and the evaluation model:
+
+* :class:`LruCache` — a bounded response cache keyed by the canonical
+  request payload.  Repeated identical queries (the common case for a
+  dashboard polling the same what-if scenario) are answered without
+  touching the model at all.  This sits *over* the persistent
+  :class:`repro.accel.cache.ScheduleCache`, which still de-duplicates the
+  expensive scheduling work across distinct-but-structurally-equal design
+  points on a miss.
+
+* :class:`MicroBatcher` — coalesces concurrent requests into one
+  vectorized model call.  The first request to arrive opens a short
+  collection window (``window_s``); every request landing inside it joins
+  the batch, identical payloads are merged onto one computation
+  (request coalescing), and the whole batch runs as a single executor
+  call.  Results are deterministic per item, so a batched run returns
+  exactly what the same requests would return evaluated sequentially —
+  batching changes wall-clock, never values.
+
+Both layers publish their traffic to the process metrics registry
+(``serve.cache.*``, ``serve.batch.*``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import metrics
+from repro.obs.trace import span
+
+__all__ = ["LruCache", "MicroBatcher"]
+
+
+class LruCache:
+    """Bounded least-recently-used map with hit/miss accounting.
+
+    ``capacity <= 0`` disables the cache (every lookup misses, nothing is
+    stored), so one code path serves both cached and uncached modes.
+    """
+
+    def __init__(self, capacity: int, name: str = "response"):
+        self.capacity = int(capacity)
+        self.name = name
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(found, value)``; a hit refreshes the entry's recency."""
+        if self.capacity > 0:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                pass
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                metrics().counter(f"serve.cache.{self.name}.hits").inc()
+                return True, value
+        self.misses += 1
+        metrics().counter(f"serve.cache.{self.name}.misses").inc()
+        return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.capacity > 0 and key in self._entries
+
+
+class MicroBatcher:
+    """Coalesce concurrent awaitable requests into one vectorized call.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(items) -> results`` evaluating a list of payloads and
+        returning one result per payload, in order.  It runs off the event
+        loop (in *executor*), must be thread-safe with itself, and must be
+        a pure function of each item — the batcher relies on that to merge
+        identical payloads and to guarantee batched == sequential results.
+    max_batch:
+        Largest number of *distinct* payloads per flush; more pending
+        requests simply flush in successive batches.
+    window_s:
+        Collection window opened by the first request of a batch.  Small
+        (milliseconds): long enough for concurrent requests to coalesce,
+        short enough to be invisible in client latency.
+    executor:
+        Where ``batch_fn`` runs (``None`` = the loop's default executor).
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+        max_batch: int = 64,
+        window_s: float = 0.002,
+        executor=None,
+        name: str = "evaluate",
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.batch_fn = batch_fn
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self.executor = executor
+        self.name = name
+        # key -> (item, [futures awaiting that item's result])
+        self._pending: "OrderedDict[Hashable, Tuple[Any, List[asyncio.Future]]]"
+        self._pending = OrderedDict()
+        self._flusher: Optional[asyncio.Task] = None
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    async def submit(self, key: Hashable, item: Any) -> Any:
+        """Evaluate *item*, coalescing with concurrent identical requests.
+
+        *key* is the canonical identity of *item*: submissions sharing a
+        key while a batch is forming share one computation and one result.
+        """
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
+        entry = self._pending.get(key)
+        if entry is not None:
+            entry[1].append(future)
+            metrics().counter(f"serve.batch.{self.name}.coalesced").inc()
+        else:
+            self._pending[key] = (item, [future])
+            if self._flusher is None or self._flusher.done():
+                self._flusher = loop.create_task(self._flush_after_window())
+        metrics().counter(f"serve.batch.{self.name}.requests").inc()
+        return await future
+
+    async def _flush_after_window(self) -> None:
+        try:
+            await asyncio.sleep(self.window_s)
+            while self._pending:
+                await self._flush_once()
+        finally:
+            self._flusher = None
+
+    async def _flush_once(self) -> None:
+        batch: List[Tuple[Hashable, Any, List[asyncio.Future]]] = []
+        while self._pending and len(batch) < self.max_batch:
+            key, (item, futures) = self._pending.popitem(last=False)
+            batch.append((key, item, futures))
+        if not batch:
+            return
+        registry = metrics()
+        registry.counter(f"serve.batch.{self.name}.flushes").inc()
+        registry.counter(f"serve.batch.{self.name}.items").inc(len(batch))
+        registry.gauge(f"serve.batch.{self.name}.last_size").set(len(batch))
+        items = [item for _, item, _ in batch]
+        loop = asyncio.get_event_loop()
+        try:
+            with span(f"serve.batch.{self.name}", items=len(items)):
+                results = await loop.run_in_executor(
+                    self.executor, self._run_batch, items
+                )
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for _, _, futures in batch:
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        for (_, _, futures), result in zip(batch, results):
+            for future in futures:
+                if not future.done():
+                    future.set_result(result)
+
+    def _run_batch(self, items: Sequence[Any]) -> Sequence[Any]:
+        results = self.batch_fn(items)
+        if len(results) != len(items):
+            raise RuntimeError(
+                f"batch_fn returned {len(results)} results for "
+                f"{len(items)} items"
+            )
+        return results

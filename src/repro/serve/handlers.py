@@ -1,0 +1,493 @@
+"""Endpoint implementations for the serving layer.
+
+Each handler is ``async def handler(app, request, **path_params)`` taking
+the :class:`repro.serve.app.ServeApp` and a parsed
+:class:`repro.serve.router.Request`; it returns a JSON-able payload (the
+app wraps it into the provenance envelope) or a ready
+:class:`~repro.serve.router.Response` for non-JSON bodies.
+
+The query endpoints reuse the *same* builder functions as ``repro
+export`` (:func:`repro.reporting.export.artifact_builders`, the study
+objects, :func:`repro.wall.wall_sensitivity`, ...), so a served payload
+is byte-for-byte the number set the offline artifact carries — the golden
+parity the drift comparator checks in the test suite and CI.
+"""
+
+from __future__ import annotations
+
+import platform
+import re
+import time
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.serve.router import HttpError, Request, Response
+from repro.serve import jobs as jobmod
+
+__all__ = ["register_routes", "render_prometheus"]
+
+
+# -- operational surface ------------------------------------------------------
+
+
+async def healthz(app, request: Request) -> Dict[str, Any]:
+    counts = app.jobs.counts()
+    return {
+        "status": "draining" if app.draining else "ok",
+        "uptime_s": time.time() - app.started_unix,
+        "inflight_requests": app.inflight,
+        "jobs": counts,
+        "batching": app.config.batching,
+        "workloads": app.workload_names(),
+    }
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Counters and gauges map directly; timers become summaries with
+    ``_count`` and ``_sum`` series, the convention scrape pipelines
+    expect for accumulated-duration instruments.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        prom = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {int(entry.get('value', 0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {float(entry.get('value', 0.0)):g}")
+        elif kind == "timer":
+            lines.append(f"# TYPE {prom} summary")
+            lines.append(f"{prom}_count {int(entry.get('count', 0))}")
+            lines.append(f"{prom}_sum {float(entry.get('total_s', 0.0)):.9g}")
+    return "\n".join(lines) + "\n"
+
+
+async def metrics_text(app, request: Request) -> Response:
+    from repro.obs.metrics import metrics
+
+    return Response.text(
+        render_prometheus(metrics().snapshot()),
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+async def version(app, request: Request) -> Dict[str, Any]:
+    import repro
+
+    return {
+        "version": repro.__version__,
+        "git": app.git,
+        "schema_version": app.schema_version,
+        "python": platform.python_version(),
+    }
+
+
+# -- artifacts (export parity) ------------------------------------------------
+
+
+async def artifacts_index(app, request: Request) -> Dict[str, Any]:
+    return {"artifacts": app.artifact_names()}
+
+
+async def artifact(app, request: Request, name: str) -> Any:
+    return await app.artifact_payload(name)
+
+
+# -- CMOS model queries (Fig 3) -----------------------------------------------
+
+
+async def cmos_gains(app, request: Request) -> Dict[str, Any]:
+    """Physical chip gains at a node (the Fig 3d quantity, one point).
+
+    Query parameters: ``node`` (required), ``frequency_mhz`` (default
+    1000), ``area_mm2`` (default 100), ``tdp_w`` (optional — omitting it
+    means an unconstrained power envelope), ``baseline_node`` (default
+    45) for the normalisation corner.
+    """
+    node = request.param_float("node")
+    if node is None:
+        raise HttpError(400, "query parameter 'node' is required (e.g. node=5)")
+    frequency = request.param_float("frequency_mhz", 1000.0)
+    area = request.param_float("area_mm2", 100.0)
+    tdp = request.param_float("tdp_w", None)
+    baseline_node = request.param_float("baseline_node", 45.0)
+
+    def compute() -> Dict[str, Any]:
+        gains = app.model.evaluate(node, frequency, area_mm2=area, tdp_w=tdp)
+        base = app.model.evaluate(
+            baseline_node, frequency, area_mm2=area, tdp_w=tdp
+        )
+        return {
+            "node_nm": gains.node_nm,
+            "baseline_node_nm": base.node_nm,
+            "frequency_mhz": frequency,
+            "area_mm2": area,
+            "tdp_w": tdp,
+            "potential_transistors": gains.potential_transistors,
+            "active_transistors": gains.active_transistors,
+            "power_w": gains.power_w,
+            "tdp_limited": gains.tdp_limited,
+            "throughput_gain": gains.throughput / base.throughput,
+            "energy_efficiency_gain": (
+                gains.energy_efficiency / base.energy_efficiency
+            ),
+        }
+
+    return await app.run_blocking(compute)
+
+
+# -- case-study CSR series (Eqs 1-2) ------------------------------------------
+
+
+async def csr_study(app, request: Request, study: str) -> Dict[str, Any]:
+    """One case study's baseline-normalised CSR series and summary."""
+    obj = app.study(study)
+
+    def compute() -> Dict[str, Any]:
+        series = obj.performance_series(app.model)
+        return {
+            "study": obj.name,
+            "metric": series.metric,
+            "baseline": series.baseline_name,
+            "series": [
+                {
+                    "name": p.name,
+                    "node_nm": p.node_nm,
+                    "year": p.year,
+                    "gain": p.gain,
+                    "physical": p.physical,
+                    "csr": p.csr,
+                }
+                for p in series
+            ],
+            "summary": obj.summary(app.model),
+        }
+
+    return await app.run_blocking(compute)
+
+
+# -- wall projections and what-if (Eqs 5-6, Table V) --------------------------
+
+
+async def wall_projections(app, request: Request) -> Any:
+    """The Figs 15-16 projections — identical to the fig15_16 artifact."""
+    return await app.artifact_payload("fig15_16")
+
+
+async def wall_whatif(app, request: Request) -> Dict[str, Any]:
+    """What-if: re-evaluate one domain's wall under scaled Table V limits.
+
+    Body: ``{"domain": ..., "metric"?: "performance"|"efficiency",
+    "die_scale"?: 1.0, "tdp_scale"?: 1.0, "frequency_scale"?: 1.0}``.
+    Scales multiply the domain's Table V die size, power budget, and
+    clock; the response carries the perturbed physical limit and headroom
+    next to the unperturbed baseline.
+    """
+    body = request.json_object()
+    domain = body.get("domain")
+    from repro.wall.limits import _limits
+
+    if domain not in _limits():
+        raise HttpError(
+            400,
+            f"unknown domain {domain!r}",
+            valid_domains=sorted(_limits()),
+        )
+    metric = body.get("metric", "performance")
+    if metric not in ("performance", "efficiency"):
+        raise HttpError(
+            400,
+            f"unknown metric {metric!r}",
+            valid_metrics=["performance", "efficiency"],
+        )
+    scales = {}
+    for key in ("die_scale", "tdp_scale", "frequency_scale"):
+        value = body.get(key, 1.0)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise HttpError(400, f"{key} must be a number, got {value!r}")
+        if not (0.0 < float(value) <= 100.0):
+            raise HttpError(400, f"{key}={value!r} outside (0, 100]")
+        scales[key] = float(value)
+
+    key = (
+        "whatif", domain, metric,
+        scales["die_scale"], scales["tdp_scale"], scales["frequency_scale"],
+    )
+    return await app.batched_whatif(key, {"domain": domain, "metric": metric, **scales})
+
+
+def compute_whatif(app, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Blocking what-if evaluation (one perturbed wall point + baseline)."""
+    from repro.wall import accelerator_wall, wall_sensitivity
+
+    domain = params["domain"]
+    metric = params["metric"]
+    baseline = accelerator_wall(domain, app.model, metric)
+    point = wall_sensitivity(
+        domain,
+        app.model,
+        metric=metric,
+        die_scales=(params["die_scale"],),
+        tdp_scales=(params["tdp_scale"],),
+        frequency_scales=(params["frequency_scale"],),
+    )[0]
+    low, high = baseline.headroom
+    return {
+        "domain": domain,
+        "metric": metric,
+        "scales": {
+            "die": point.die_scale,
+            "tdp": point.tdp_scale,
+            "frequency": point.frequency_scale,
+        },
+        "baseline": {
+            "physical_limit": baseline.physical_limit,
+            "headroom_low": low,
+            "headroom_high": high,
+        },
+        "scenario": {
+            "physical_limit": point.physical_limit,
+            "headroom_low": point.headroom_low,
+            "headroom_high": point.headroom_high,
+        },
+    }
+
+
+# -- DSE evaluation and attribution (Section VI) ------------------------------
+
+
+def _design_params(body: Mapping[str, Any]) -> Dict[str, Any]:
+    params = {
+        "node_nm": body.get("node_nm", 45.0),
+        "partition": body.get("partition", 1),
+        "simplification": body.get("simplification", 1),
+        "heterogeneity": body.get("heterogeneity", True),
+    }
+    for name in ("node_nm",):
+        if not isinstance(params[name], (int, float)) or isinstance(
+            params[name], bool
+        ):
+            raise HttpError(400, f"{name} must be a number, got {params[name]!r}")
+    for name in ("partition", "simplification"):
+        if not isinstance(params[name], int) or isinstance(params[name], bool):
+            raise HttpError(
+                400, f"{name} must be an integer, got {params[name]!r}"
+            )
+    if not isinstance(params["heterogeneity"], bool):
+        raise HttpError(
+            400,
+            f"heterogeneity must be a boolean, got {params['heterogeneity']!r}",
+        )
+    return params
+
+
+async def evaluate(app, request: Request) -> Dict[str, Any]:
+    """Evaluate one accelerator design point (micro-batched).
+
+    Body: ``{"workload": "S3D", "node_nm": 5, "partition": 64,
+    "simplification": 9, "heterogeneity": true}``.  Concurrent requests
+    coalesce into one vectorized model call; identical concurrent
+    payloads share a single evaluation.
+    """
+    body = request.json_object()
+    workload = body.get("workload", "S3D")
+    if not isinstance(workload, str):
+        raise HttpError(400, f"workload must be a string, got {workload!r}")
+    app.workload(workload)  # validate abbrev up front -> 400, not batch error
+    params = _design_params(body)
+    key = (
+        "evaluate", workload.upper(), float(params["node_nm"]),
+        params["partition"], params["simplification"], params["heterogeneity"],
+    )
+    return await app.batched_evaluate(key, {"workload": workload, **params})
+
+
+def compute_evaluate_batch(app, items: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Blocking evaluation of a batch of design-point requests.
+
+    One schedule cache spans the whole batch, so design points sharing
+    structural parameters (partition, fusion window, pipeline latency)
+    schedule once — the vectorization micro-batching exists to exploit.
+    Each item's result is a pure function of that item, so the batch
+    returns exactly the sequential per-item results.
+    """
+    from repro.accel.design import DesignPoint
+    from repro.accel.power import evaluate_design
+
+    results: List[Dict[str, Any]] = []
+    for item in items:
+        kernel = app.kernel(item["workload"])
+        try:
+            design = DesignPoint(
+                node_nm=item["node_nm"],
+                partition=item["partition"],
+                simplification=item["simplification"],
+                heterogeneity=item["heterogeneity"],
+            )
+        except ReproError as exc:
+            raise HttpError(400, str(exc))
+        cache = app.schedule_cache(item["workload"])
+        report = evaluate_design(
+            kernel, design, app.library, precomputed=cache.get(design)
+        )
+        results.append(
+            {
+                "workload": kernel.name,
+                "design": {
+                    "node_nm": design.node_nm,
+                    "partition": design.partition,
+                    "simplification": design.simplification,
+                    "heterogeneity": design.heterogeneity,
+                },
+                "runtime_s": report.runtime_s,
+                "power_w": report.power_w,
+                "energy_nj": report.energy_nj,
+                "throughput_ops": report.throughput_ops,
+                "energy_efficiency": report.energy_efficiency,
+            }
+        )
+    return results
+
+
+async def attribute(app, request: Request) -> Dict[str, Any]:
+    """Fig 14 gain attribution for one workload.
+
+    Body: ``{"workload": "FFT", "metric"?: "throughput", "node_nm"?: 5,
+    "baseline_node_nm"?: 45}``.  Runs over the representative (fast)
+    sweep subsets unless ``full`` is true.
+    """
+    body = request.json_object()
+    workload = body.get("workload")
+    if not isinstance(workload, str):
+        raise HttpError(400, "body field 'workload' (string) is required")
+    app.workload(workload)
+    metric = body.get("metric", "throughput")
+    if metric not in ("throughput", "energy_efficiency"):
+        raise HttpError(
+            400,
+            f"unknown metric {metric!r}",
+            valid_metrics=["throughput", "energy_efficiency"],
+        )
+    full = bool(body.get("full", False))
+
+    def compute() -> Dict[str, Any]:
+        kernel = app.kernel(workload)
+        partitions, simplifications = app.fast_subsets(full)
+        attribution = app.engine.attribute(
+            kernel,
+            metric=metric,
+            node_nm=float(body.get("node_nm", 5.0)),
+            baseline_node_nm=float(body.get("baseline_node_nm", 45.0)),
+            partitions=partitions,
+            simplifications=simplifications,
+        )
+        return {
+            "workload": kernel.name,
+            "metric": metric,
+            "total_gain": attribution.total_gain,
+            "csr": attribution.csr,
+            "shares": attribution.shares,
+        }
+
+    return await app.run_blocking(compute)
+
+
+# -- background sweeps --------------------------------------------------------
+
+
+async def sweeps_submit(app, request: Request) -> Any:
+    """Submit a full sweep as a background job; returns the job id.
+
+    Body: ``{"workload": "S3D", "nodes"?: [...], "partitions"?: [...],
+    "simplifications"?: [...], "full"?: false}``.
+    """
+    body = request.json_object()
+    workload = body.get("workload", "S3D")
+    if not isinstance(workload, str):
+        raise HttpError(400, f"workload must be a string, got {workload!r}")
+    app.workload(workload)
+    params: Dict[str, Any] = {"workload": workload, "full": bool(body.get("full", False))}
+    for name in ("nodes", "partitions", "simplifications"):
+        values = body.get(name)
+        if values is None:
+            continue
+        if not isinstance(values, list) or not values:
+            raise HttpError(400, f"{name} must be a non-empty JSON array")
+        params[name] = values
+    try:
+        job = app.jobs.submit("sweep", params)
+    except jobmod.QueueFullError as exc:
+        raise HttpError(503, str(exc), headers={"Retry-After": "1"})
+    return Response.json(
+        app.envelope({"job": job.to_dict(include_result=False)}), status=202
+    )
+
+
+async def sweeps_list(app, request: Request) -> Dict[str, Any]:
+    return {
+        "jobs": [job.to_dict(include_result=False) for job in app.jobs.jobs()],
+        "counts": app.jobs.counts(),
+    }
+
+
+def _job_or_404(app, job_id: str):
+    try:
+        return app.jobs.get(job_id)
+    except jobmod.UnknownJobError:
+        raise HttpError(
+            404,
+            f"no job {job_id!r} (settled jobs are evicted after "
+            f"{app.jobs.history} entries)",
+        )
+
+
+async def sweeps_get(app, request: Request, job_id: str) -> Dict[str, Any]:
+    job = _job_or_404(app, job_id)
+    return {"job": job.to_dict(include_result=True)}
+
+
+async def sweeps_cancel(app, request: Request, job_id: str) -> Any:
+    job = _job_or_404(app, job_id)
+    was = job.status
+    job = app.jobs.cancel(job_id)
+    if job.status != jobmod.CANCELLED:
+        raise HttpError(
+            409,
+            f"job {job_id!r} is {was}; only queued jobs can be cancelled",
+            status_now=job.status,
+        )
+    return {"job": job.to_dict(include_result=False)}
+
+
+# -- registration -------------------------------------------------------------
+
+
+def register_routes(router) -> None:
+    """Install every endpoint on *router* (see module docstring)."""
+    router.add("GET", "/healthz", healthz, name="healthz")
+    router.add("GET", "/metrics", metrics_text, name="metrics")
+    router.add("GET", "/version", version, name="version")
+    router.add("GET", "/artifacts", artifacts_index, name="artifacts")
+    router.add("GET", "/artifacts/{name}", artifact, name="artifact")
+    router.add("GET", "/cmos/gains", cmos_gains, name="cmos.gains")
+    router.add("GET", "/csr/{study}", csr_study, name="csr.study")
+    router.add("GET", "/wall/projections", wall_projections, name="wall.projections")
+    router.add("POST", "/wall/whatif", wall_whatif, name="wall.whatif")
+    router.add("POST", "/evaluate", evaluate, name="evaluate")
+    router.add("POST", "/attribute", attribute, name="attribute")
+    router.add("POST", "/sweeps", sweeps_submit, name="sweeps.submit")
+    router.add("GET", "/sweeps", sweeps_list, name="sweeps.list")
+    router.add("GET", "/sweeps/{job_id}", sweeps_get, name="sweeps.get")
+    router.add("DELETE", "/sweeps/{job_id}", sweeps_cancel, name="sweeps.cancel")

@@ -1,0 +1,264 @@
+"""Background job queue for long-running sweeps.
+
+``POST /sweeps`` must not hold an HTTP connection open for the minutes a
+full Table III sweep can take, so sweeps run as *jobs*: submission
+returns an id immediately, execution happens on the existing
+:class:`repro.accel.engine.SweepEngine` worker pool with bounded
+concurrency, and clients poll ``GET /sweeps/{id}`` until the job settles.
+
+Lifecycle::
+
+    queued -> running -> done | failed
+    queued -> cancelled                  (cancel before a worker picks it up)
+
+A *running* job is not forcibly killed — the engine's process pool cannot
+be safely interrupted mid-sweep — so cancelling one is refused; the
+client sees its current state.  Settled jobs are kept for ``history``
+entries so results stay pollable, then evicted oldest-first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.log import get_logger, kv
+from repro.obs.metrics import metrics
+
+__all__ = ["Job", "JobQueue", "QueueFullError", "UnknownJobError"]
+
+logger = get_logger("serve.jobs")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can no longer leave.
+SETTLED = (DONE, FAILED, CANCELLED)
+
+
+class QueueFullError(RuntimeError):
+    """The queue's pending backlog is at capacity."""
+
+
+class UnknownJobError(KeyError):
+    """No job with the requested id (it may have been evicted)."""
+
+
+@dataclass
+class Job:
+    """One submitted sweep: identity, lifecycle stamps, and the result."""
+
+    job_id: str
+    kind: str
+    params: Dict[str, Any]
+    status: str = QUEUED
+    submitted_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    result: Optional[Any] = None
+    error: Optional[str] = None
+
+    @property
+    def settled(self) -> bool:
+        return self.status in SETTLED
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": self.params,
+            "status": self.status,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        else:
+            payload["result"] = None
+        return payload
+
+
+class JobQueue:
+    """Bounded asynchronous job runner over a blocking *runner* callable.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(kind, params) -> result`` executed off the event loop for
+        each job; exceptions mark the job ``failed`` with the message.
+    concurrency:
+        Jobs running simultaneously.  Each running job occupies one
+        executor thread; the sweep engine underneath may still fan out
+        across processes.
+    max_pending:
+        Backlog bound; submissions beyond it raise :class:`QueueFullError`
+        (surfaced as HTTP 503).
+    history:
+        Settled jobs retained for polling before eviction.
+    executor:
+        Where *runner* runs (``None`` = the loop's default executor).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[str, Dict[str, Any]], Any],
+        concurrency: int = 1,
+        max_pending: int = 32,
+        history: int = 64,
+        executor=None,
+    ):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.runner = runner
+        self.concurrency = int(concurrency)
+        self.max_pending = int(max_pending)
+        self.history = int(history)
+        self.executor = executor
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._workers: List[asyncio.Task] = []
+        self._running = 0
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        loop = asyncio.get_event_loop()
+        while len(self._workers) < self.concurrency:
+            self._workers.append(loop.create_task(self._worker()))
+
+    async def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop accepting jobs; optionally wait for running ones to settle.
+
+        Queued jobs are cancelled immediately (they never started); with
+        *drain* the running jobs get up to *timeout_s* to finish before
+        the workers are torn down.
+        """
+        self._closed = True
+        for job in self._jobs.values():
+            if job.status == QUEUED:
+                self._settle(job, CANCELLED)
+        if drain:
+            deadline = time.monotonic() + timeout_s
+            while self._running and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._workers.clear()
+
+    # -- submission and queries ------------------------------------------------
+
+    def submit(self, kind: str, params: Dict[str, Any]) -> Job:
+        """Enqueue a job; raises :class:`QueueFullError` at capacity."""
+        if self._closed:
+            raise QueueFullError("job queue is shutting down")
+        backlog = sum(1 for j in self._jobs.values() if j.status == QUEUED)
+        if backlog >= self.max_pending:
+            raise QueueFullError(
+                f"job backlog is full ({backlog}/{self.max_pending} queued)"
+            )
+        job = Job(job_id=f"job-{uuid.uuid4().hex[:12]}", kind=kind, params=params)
+        self._jobs[job.job_id] = job
+        self._queue.put_nowait(job.job_id)
+        metrics().counter("serve.jobs.submitted").inc()
+        logger.info("job.submitted %s", kv(job_id=job.job_id, kind=kind))
+        self._evict()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> List[Job]:
+        """Every retained job, oldest submission first."""
+        return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job; running/settled jobs are left untouched.
+
+        Returns the job either way — callers inspect ``status`` to see
+        whether the cancel took effect.
+        """
+        job = self.get(job_id)
+        if job.status == QUEUED:
+            self._settle(job, CANCELLED)
+            logger.info("job.cancelled %s", kv(job_id=job_id))
+        return job
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {
+            QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0, CANCELLED: 0
+        }
+        for job in self._jobs.values():
+            out[job.status] = out.get(job.status, 0) + 1
+        return out
+
+    @property
+    def active(self) -> int:
+        """Jobs currently occupying a worker."""
+        return self._running
+
+    # -- internals -------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            job_id = await self._queue.get()
+            job = self._jobs.get(job_id)
+            if job is None or job.status != QUEUED:
+                continue  # cancelled (or evicted) while queued
+            job.status = RUNNING
+            job.started_unix = time.time()
+            self._running += 1
+            metrics().gauge("serve.jobs.running").set(self._running)
+            try:
+                result = await loop.run_in_executor(
+                    self.executor, self.runner, job.kind, dict(job.params)
+                )
+            except asyncio.CancelledError:
+                self._running -= 1
+                self._settle(job, FAILED, error="server shut down mid-job")
+                raise
+            except Exception as exc:  # noqa: BLE001 - job failure is data
+                self._running -= 1
+                self._settle(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+            else:
+                self._running -= 1
+                job.result = result
+                self._settle(job, DONE)
+            metrics().gauge("serve.jobs.running").set(self._running)
+
+    def _settle(self, job: Job, status: str, error: Optional[str] = None) -> None:
+        job.status = status
+        job.error = error
+        job.finished_unix = time.time()
+        metrics().counter(f"serve.jobs.{status}").inc()
+        elapsed = job.finished_unix - (job.started_unix or job.submitted_unix)
+        logger.info(
+            "job.settled %s",
+            kv(job_id=job.job_id, status=status, elapsed_s=elapsed),
+        )
+        self._evict()
+
+    def _evict(self) -> None:
+        """Drop the oldest settled jobs beyond the history bound."""
+        settled = [j.job_id for j in self._jobs.values() if j.settled]
+        for job_id in settled[: max(0, len(settled) - self.history)]:
+            del self._jobs[job_id]

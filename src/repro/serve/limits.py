@@ -1,0 +1,102 @@
+"""Per-client rate limiting for the serving layer.
+
+A classic token bucket per client key: each client accrues ``rate``
+tokens per second up to a ``burst`` ceiling, and every admitted request
+spends one token.  A drained bucket rejects the request and reports how
+long until the next token — surfaced to clients as an HTTP 429 with a
+``Retry-After`` header.
+
+The limiter is synchronous and O(1) per decision; it runs on the event
+loop, so no locking is needed there, but a lock is kept so benchmarks and
+tests may drive it from plain threads too.  Buckets for idle clients are
+evicted once the table outgrows ``max_clients`` (full buckets are
+indistinguishable from brand-new ones, so eviction never grants extra
+tokens).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["RateLimiter"]
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated_s")
+
+    def __init__(self, tokens: float, updated_s: float):
+        self.tokens = tokens
+        self.updated_s = updated_s
+
+
+class RateLimiter:
+    """Token-bucket admission control keyed by client id.
+
+    Parameters
+    ----------
+    rate:
+        Sustained requests per second per client.  ``0`` (or negative)
+        disables limiting entirely: every request is admitted.
+    burst:
+        Bucket capacity — the largest instantaneous spike a client may
+        send after being idle.  Defaults to ``max(1, rate)``.
+    max_clients:
+        Bucket-table size bound; least-recently-updated buckets are
+        evicted beyond it.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        max_clients: int = 4096,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self.max_clients = int(max_clients)
+        self._buckets: Dict[str, _Bucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0.0
+
+    def allow(self, client: str, now: Optional[float] = None) -> Tuple[bool, float]:
+        """Admit or reject one request from *client*.
+
+        Returns ``(admitted, retry_after_s)``; ``retry_after_s`` is 0 for
+        admitted requests and the seconds until one token accrues
+        otherwise.
+        """
+        if not self.enabled:
+            return True, 0.0
+        stamp = now if now is not None else time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = _Bucket(self.burst, stamp)
+                self._buckets[client] = bucket
+                self._evict(stamp)
+            else:
+                elapsed = max(0.0, stamp - bucket.updated_s)
+                bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+                bucket.updated_s = stamp
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - bucket.tokens) / self.rate
+
+    def _evict(self, now: float) -> None:
+        """Drop the stalest buckets once the table outgrows its bound."""
+        overflow = len(self._buckets) - self.max_clients
+        if overflow <= 0:
+            return
+        stale = sorted(self._buckets, key=lambda c: self._buckets[c].updated_s)
+        for client in stale[:overflow]:
+            del self._buckets[client]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

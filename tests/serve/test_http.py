@@ -1,0 +1,272 @@
+"""End-to-end tests against a live in-process server.
+
+The headline property: a served payload is *the same numbers* as the
+offline ``repro export`` artifact — verified through the provenance
+drift comparator, the same machinery CI uses to gate golden drift
+between runs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.provenance.drift import compare_golden, flatten_scalars
+from repro.provenance.manifest import SCHEMA_VERSION, RunLedger
+
+#: Artifacts cheap enough to export inside a test (no sweep engine runs).
+PARITY_ARTIFACTS = ("fig1", "fig3d", "fig15_16", "table5")
+
+
+class TestProvenanceEnvelope:
+    def test_every_endpoint_carries_the_envelope(self, client):
+        for target in ("/healthz", "/version", "/artifacts", "/wall/projections"):
+            status, payload, headers = client.get(target)
+            assert status == 200, target
+            assert payload["schema_version"] == SCHEMA_VERSION
+            server_block = payload["server"]
+            assert server_block["command"] == "serve"
+            assert server_block["run_id"]
+            assert "data" in payload
+            # Headers repeat the stamp for non-JSON consumers.
+            assert headers["x-run-id"] == server_block["run_id"]
+            assert headers["x-schema-version"] == str(SCHEMA_VERSION)
+
+    def test_run_id_is_recorded_in_the_ledger(self, client, server_runs_dir):
+        _, payload, _ = client.get("/healthz")
+        run_id = payload["server"]["run_id"]
+        manifest = RunLedger(server_runs_dir).get(run_id)
+        assert manifest.command == "serve"
+
+    def test_error_responses_are_enveloped_too(self, client):
+        status, payload, _ = client.get("/no/such/route")
+        assert status == 404
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["data"]["status"] == 404
+
+
+class TestOperationalSurface:
+    def test_healthz(self, client):
+        status, payload, _ = client.get("/healthz")
+        data = payload["data"]
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["uptime_s"] >= 0
+        assert "FFT" in data["workloads"]
+        assert set(data["jobs"]) >= {"queued", "running", "done"}
+
+    def test_version_matches_package(self, client):
+        import repro
+
+        _, payload, _ = client.get("/version")
+        assert payload["data"]["version"] == repro.__version__
+
+    def test_metrics_prometheus_text(self, client):
+        client.get("/healthz")  # ensure at least one counted request
+        status, text, headers = client.get("/metrics", raw=True)
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_latency_s_count" in text
+        assert "repro_serve_requests_healthz" in text
+
+    def test_method_not_allowed(self, client):
+        status, payload, headers = client.post("/healthz", {})
+        assert status == 405
+        assert "GET" in headers["allow"]
+
+
+class TestGoldenParity:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        from repro.reporting.export import export_all
+
+        out = tmp_path_factory.mktemp("artifacts")
+        paths = export_all(out, names=list(PARITY_ARTIFACTS))
+        return {
+            name: json.loads(path.read_text())["data"]
+            for name, path in paths.items()
+        }
+
+    @pytest.mark.parametrize("name", PARITY_ARTIFACTS)
+    def test_served_artifact_matches_export_byte_for_byte(
+        self, client, exported, name
+    ):
+        status, payload, _ = client.get(f"/artifacts/{name}")
+        assert status == 200
+        served = payload["data"]
+        # Strict form: identical JSON serialisation.
+        assert json.dumps(served, sort_keys=True) == json.dumps(
+            exported[name], sort_keys=True
+        )
+        # And through the drift comparator (the CI gate): zero drift.
+        compared, drifted, added, removed = compare_golden(
+            flatten_scalars(exported[name], name),
+            flatten_scalars(served, name),
+        )
+        assert compared > 0
+        assert drifted == [] and added == [] and removed == []
+
+    def test_artifact_index_lists_known_names(self, client):
+        _, payload, _ = client.get("/artifacts")
+        names = payload["data"]["artifacts"]
+        assert set(PARITY_ARTIFACTS) <= set(names)
+
+    def test_unknown_artifact_404_lists_valid_names(self, client):
+        status, payload, _ = client.get("/artifacts/fig99")
+        assert status == 404
+        assert "fig3d" in payload["data"]["valid_artifacts"]
+
+    def test_wall_projections_equals_fig15_16_artifact(self, client, exported):
+        _, payload, _ = client.get("/wall/projections")
+        assert payload["data"] == exported["fig15_16"]
+
+
+class TestQueryEndpoints:
+    def test_cmos_gains_matches_direct_model(self, client):
+        from repro.cmos.model import CmosPotentialModel
+
+        status, payload, _ = client.get("/cmos/gains?node=5&tdp_w=100")
+        assert status == 200
+        data = payload["data"]
+        model = CmosPotentialModel.paper()
+        gains = model.evaluate(5.0, 1000.0, area_mm2=100.0, tdp_w=100.0)
+        base = model.evaluate(45.0, 1000.0, area_mm2=100.0, tdp_w=100.0)
+        assert data["power_w"] == gains.power_w
+        assert data["throughput_gain"] == gains.throughput / base.throughput
+
+    def test_cmos_gains_requires_node(self, client):
+        status, payload, _ = client.get("/cmos/gains")
+        assert status == 400
+        assert "node" in payload["data"]["error"]
+
+    def test_csr_series_matches_study(self, client):
+        from repro.cli import _study_object
+        from repro.cmos.model import CmosPotentialModel
+
+        status, payload, _ = client.get("/csr/bitcoin")
+        assert status == 200
+        data = payload["data"]
+        model = CmosPotentialModel.paper()
+        study = _study_object("bitcoin", model)
+        series = study.performance_series(model)
+        assert data["study"] == study.name
+        assert [p["csr"] for p in data["series"]] == [p.csr for p in series]
+        assert data["summary"] == study.summary(model)
+
+    def test_unknown_study_lists_valid_names(self, client):
+        status, payload, _ = client.get("/csr/nope")
+        assert status == 400
+        assert "video" in payload["data"]["valid_studies"]
+
+    def test_whatif_identity_scales_match_baseline(self, client):
+        status, payload, _ = client.post(
+            "/wall/whatif", {"domain": "bitcoin_mining"}
+        )
+        assert status == 200
+        data = payload["data"]
+        assert data["scenario"]["physical_limit"] == pytest.approx(
+            data["baseline"]["physical_limit"]
+        )
+
+    def test_whatif_rejects_unknown_domain_and_bad_scale(self, client):
+        status, payload, _ = client.post("/wall/whatif", {"domain": "nope"})
+        assert status == 400
+        assert "video_decoding" in payload["data"]["valid_domains"]
+        status, payload, _ = client.post(
+            "/wall/whatif", {"domain": "bitcoin_mining", "die_scale": -1}
+        )
+        assert status == 400
+
+    def test_evaluate_matches_direct_evaluation(self, client, server):
+        from repro.serve.handlers import compute_evaluate_batch
+
+        body = {"workload": "FFT", "node_nm": 5.0, "partition": 16,
+                "simplification": 5, "heterogeneity": True}
+        status, payload, _ = client.post("/evaluate", body)
+        assert status == 200
+        direct = compute_evaluate_batch(server.app, [body])[0]
+        assert payload["data"] == json.loads(json.dumps(direct))
+
+    def test_evaluate_validates_input_types(self, client):
+        bad = [
+            {"workload": 42},
+            {"workload": "FFT", "partition": "sixteen"},
+            {"workload": "FFT", "partition": 3},       # not a power of two
+            {"workload": "FFT", "simplification": 99},  # out of range
+            {"workload": "NOPE"},
+        ]
+        for body in bad:
+            status, payload, _ = client.post("/evaluate", body)
+            assert status == 400, body
+            assert "error" in payload["data"]
+
+    def test_attribute_returns_share_decomposition(self, client):
+        status, payload, _ = client.post("/attribute", {"workload": "FFT"})
+        assert status == 200
+        data = payload["data"]
+        assert data["workload"].upper() == "FFT"
+        assert data["total_gain"] > 1
+        assert isinstance(data["shares"], dict) and data["shares"]
+
+    def test_malformed_json_body_is_400(self, client, server):
+        import http.client as hc
+
+        conn = hc.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("POST", "/evaluate", body=b"{not json")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "JSON" in payload["data"]["error"]
+        finally:
+            conn.close()
+
+
+class TestBatchingEquivalence:
+    def test_concurrent_identical_requests_return_identical_payloads(
+        self, client, server
+    ):
+        body = {"workload": "GMM", "node_nm": 7.0, "partition": 32,
+                "simplification": 7}
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            futures = [
+                pool.submit(client.post, "/evaluate", body) for _ in range(8)
+            ]
+            responses = [f.result() for f in futures]
+        assert all(status == 200 for status, _, _ in responses)
+        bodies = {json.dumps(p["data"], sort_keys=True) for _, p, _ in responses}
+        assert len(bodies) == 1  # one coalesced result, shared verbatim
+
+    def test_batched_equals_unbatched_server(self, client, server):
+        """The same request answered with batching off must not change."""
+        from tests.serve.conftest import ServeClient, make_server
+
+        bodies = [
+            {"workload": "FFT", "node_nm": n, "partition": p, "simplification": s}
+            for n, p, s in ((5.0, 8, 3), (7.0, 64, 9), (10.0, 1, 1))
+        ]
+        unbatched = make_server(batching=False)
+        try:
+            plain = ServeClient(unbatched.port)
+            for body in bodies:
+                _, batched_payload, _ = client.post("/evaluate", body)
+                _, plain_payload, _ = plain.post("/evaluate", body)
+                assert batched_payload["data"] == plain_payload["data"]
+        finally:
+            unbatched.stop()
+
+    def test_mixed_concurrent_traffic_is_correct_per_request(self, client):
+        """Distinct concurrent payloads must each get their own answer."""
+        bodies = [
+            {"workload": "FFT", "node_nm": 5.0, "partition": p, "simplification": 1}
+            for p in (1, 2, 4, 8, 16, 32)
+        ]
+        with concurrent.futures.ThreadPoolExecutor(len(bodies)) as pool:
+            futures = [pool.submit(client.post, "/evaluate", b) for b in bodies]
+            responses = [f.result() for f in futures]
+        for body, (status, payload, _) in zip(bodies, responses):
+            assert status == 200
+            assert payload["data"]["design"]["partition"] == body["partition"]

@@ -1,0 +1,312 @@
+"""Unit tests for the serving building blocks (no sockets involved)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.batching import LruCache, MicroBatcher
+from repro.serve.handlers import render_prometheus
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobQueue,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.serve.limits import RateLimiter
+from repro.serve.router import HttpError, Request, Response, Router
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRouter:
+    def _router(self):
+        async def handler(app, request, **params):
+            return params
+
+        router = Router()
+        router.add("GET", "/healthz", handler, name="healthz")
+        router.add("GET", "/sweeps/{job_id}", handler, name="sweeps.get")
+        router.add("DELETE", "/sweeps/{job_id}", handler, name="sweeps.cancel")
+        return router
+
+    def test_resolves_static_and_param_routes(self):
+        router = self._router()
+        route, params = router.resolve("GET", "/healthz")
+        assert route.name == "healthz" and params == {}
+        route, params = router.resolve("GET", "/sweeps/job-abc")
+        assert route.name == "sweeps.get" and params == {"job_id": "job-abc"}
+
+    def test_unknown_path_is_404_with_route_list(self):
+        with pytest.raises(HttpError) as err:
+            self._router().resolve("GET", "/nope")
+        assert err.value.status == 404
+        assert "/healthz" in err.value.detail["routes"]
+
+    def test_wrong_method_is_405_with_allow_header(self):
+        with pytest.raises(HttpError) as err:
+            self._router().resolve("POST", "/sweeps/job-abc")
+        assert err.value.status == 405
+        assert "GET" in err.value.headers["Allow"]
+        assert "DELETE" in err.value.headers["Allow"]
+
+    def test_request_target_parsing(self):
+        path, query = Request.parse_target("/cmos/gains?node=5&tdp_w=10")
+        assert path == "/cmos/gains"
+        assert query == {"node": "5", "tdp_w": "10"}
+
+    def test_param_float_rejects_garbage(self):
+        request = Request(
+            method="GET", path="/x", query={"node": "abc"},
+            headers={}, body=b"", client="t",
+        )
+        with pytest.raises(HttpError) as err:
+            request.param_float("node")
+        assert err.value.status == 400
+
+    def test_json_object_rejects_non_objects(self):
+        request = Request(
+            method="POST", path="/x", query={},
+            headers={}, body=b"[1, 2]", client="t",
+        )
+        with pytest.raises(HttpError) as err:
+            request.json_object()
+        assert err.value.status == 400
+
+
+class TestLruCache:
+    def test_hit_miss_and_eviction(self):
+        cache = LruCache(2, name="t")
+        assert cache.get("a") == (False, None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refreshes recency
+        cache.put("c", 3)  # evicts b (least recently used)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_zero_capacity_disables(self):
+        cache = LruCache(0, name="t")
+        cache.put("a", 1)
+        assert cache.get("a") == (False, None)
+        assert len(cache) == 0
+
+
+class TestRateLimiter:
+    def test_disabled_when_rate_zero(self):
+        limiter = RateLimiter(0.0)
+        assert not limiter.enabled
+        assert limiter.allow("x") == (True, 0.0)
+
+    def test_burst_then_denied_with_retry_after(self):
+        limiter = RateLimiter(1.0, burst=2)
+        now = 100.0
+        assert limiter.allow("c", now=now)[0]
+        assert limiter.allow("c", now=now)[0]
+        admitted, retry_after = limiter.allow("c", now=now)
+        assert not admitted
+        assert retry_after > 0
+
+    def test_tokens_refill_over_time(self):
+        limiter = RateLimiter(10.0, burst=1)
+        assert limiter.allow("c", now=100.0)[0]
+        assert not limiter.allow("c", now=100.0)[0]
+        assert limiter.allow("c", now=100.2)[0]  # 0.2s * 10/s = 2 tokens
+
+    def test_clients_are_independent(self):
+        limiter = RateLimiter(1.0, burst=1)
+        assert limiter.allow("a", now=100.0)[0]
+        assert limiter.allow("b", now=100.0)[0]
+        assert not limiter.allow("a", now=100.0)[0]
+
+
+class TestMicroBatcher:
+    def test_concurrent_identical_requests_coalesce(self):
+        calls = []
+
+        def batch_fn(items):
+            calls.append(list(items))
+            return [{"item": item} for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(batch_fn, window_s=0.01)
+            results = await asyncio.gather(
+                batcher.submit("k", "payload"),
+                batcher.submit("k", "payload"),
+                batcher.submit("k", "payload"),
+            )
+            return results
+
+        results = run(scenario())
+        assert results == [{"item": "payload"}] * 3
+        assert calls == [["payload"]]  # one flush, one coalesced item
+
+    def test_distinct_payloads_batch_together(self):
+        calls = []
+
+        def batch_fn(items):
+            calls.append(list(items))
+            return [item * 2 for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(batch_fn, window_s=0.01)
+            return await asyncio.gather(
+                batcher.submit("a", 1), batcher.submit("b", 2), batcher.submit("c", 3)
+            )
+
+        assert run(scenario()) == [2, 4, 6]
+        assert len(calls) == 1 and sorted(calls[0]) == [1, 2, 3]
+
+    def test_batched_equals_sequential(self):
+        def batch_fn(items):
+            return [item ** 2 for item in items]
+
+        async def batched():
+            batcher = MicroBatcher(batch_fn, window_s=0.005)
+            return await asyncio.gather(
+                *(batcher.submit(i, i) for i in range(10))
+            )
+
+        async def sequential():
+            batcher = MicroBatcher(batch_fn, window_s=0.0)
+            out = []
+            for i in range(10):
+                out.append(await batcher.submit(i, i))
+            return out
+
+        assert run(batched()) == run(sequential()) == [i ** 2 for i in range(10)]
+
+    def test_batch_exception_fans_out_to_all_waiters(self):
+        def batch_fn(items):
+            raise RuntimeError("boom")
+
+        async def scenario():
+            batcher = MicroBatcher(batch_fn, window_s=0.005)
+            results = await asyncio.gather(
+                batcher.submit("a", 1),
+                batcher.submit("b", 2),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_max_batch_splits_flushes(self):
+        calls = []
+
+        def batch_fn(items):
+            calls.append(len(items))
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(batch_fn, max_batch=2, window_s=0.005)
+            return await asyncio.gather(
+                *(batcher.submit(i, i) for i in range(5))
+            )
+
+        assert run(scenario()) == list(range(5))
+        assert all(size <= 2 for size in calls)
+        assert sum(calls) == 5
+
+
+class TestJobQueue:
+    def test_lifecycle_submit_run_done(self):
+        async def scenario():
+            queue = JobQueue(lambda kind, params: {"kind": kind, **params})
+            queue.start()
+            job = queue.submit("sweep", {"x": 1})
+            assert job.status == "queued"
+            while not queue.get(job.job_id).settled:
+                await asyncio.sleep(0.01)
+            await queue.close()
+            return queue.get(job.job_id)
+
+        job = run(scenario())
+        assert job.status == DONE
+        assert job.result == {"kind": "sweep", "x": 1}
+        assert job.started_unix is not None and job.finished_unix is not None
+
+    def test_failure_is_recorded_not_raised(self):
+        def runner(kind, params):
+            raise ValueError("bad grid")
+
+        async def scenario():
+            queue = JobQueue(runner)
+            queue.start()
+            job = queue.submit("sweep", {})
+            while not queue.get(job.job_id).settled:
+                await asyncio.sleep(0.01)
+            await queue.close()
+            return queue.get(job.job_id)
+
+        job = run(scenario())
+        assert job.status == FAILED
+        assert "bad grid" in job.error
+
+    def test_backlog_bound_raises_queue_full(self):
+        async def scenario():
+            # Workers never started: everything stays queued.
+            queue = JobQueue(lambda k, p: None, max_pending=2)
+            queue.submit("sweep", {})
+            queue.submit("sweep", {})
+            with pytest.raises(QueueFullError):
+                queue.submit("sweep", {})
+
+        run(scenario())
+
+    def test_cancel_queued_job(self):
+        async def scenario():
+            queue = JobQueue(lambda k, p: None, max_pending=4)
+            job = queue.submit("sweep", {})
+            cancelled = queue.cancel(job.job_id)
+            assert cancelled.status == CANCELLED
+            with pytest.raises(UnknownJobError):
+                queue.get("job-nonexistent")
+
+        run(scenario())
+
+    def test_history_eviction(self):
+        async def scenario():
+            queue = JobQueue(lambda k, p: None, max_pending=100, history=2)
+            jobs = [queue.submit("sweep", {}) for _ in range(5)]
+            for job in jobs:
+                queue.cancel(job.job_id)
+            return queue, jobs
+
+        queue, jobs = run(scenario())
+        assert len(queue.jobs()) == 2
+        with pytest.raises(UnknownJobError):
+            queue.get(jobs[0].job_id)
+
+
+class TestPrometheusRendering:
+    def test_renders_all_instrument_kinds(self):
+        snapshot = {
+            "serve.requests": {"type": "counter", "value": 7},
+            "serve.inflight": {"type": "gauge", "value": 2.0},
+            "serve.latency_s": {"type": "timer", "count": 3, "total_s": 0.5},
+        }
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 7" in text
+        assert "repro_serve_inflight 2" in text
+        assert "# TYPE repro_serve_latency_s summary" in text
+        assert "repro_serve_latency_s_count 3" in text
+        assert "repro_serve_latency_s_sum 0.5" in text
+
+    def test_names_are_sanitised(self):
+        text = render_prometheus(
+            {"serve.requests.cmos.gains": {"type": "counter", "value": 1}}
+        )
+        assert "repro_serve_requests_cmos_gains 1" in text
+
+    def test_response_reason_phrases(self):
+        assert Response.json({}, status=429).reason == "Too Many Requests"
+        assert Response.json({}, status=202).reason == "Accepted"

@@ -63,7 +63,7 @@ class TestErrorHierarchy:
 
 class TestPackageApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:
