@@ -8,7 +8,10 @@ high-but-not-extreme simplification).
 The sweep runs through :class:`repro.accel.engine.SweepEngine` with a
 fresh persistent cache: the benchmarked run is cold, then a warm rerun
 checks the acceptance property that cached schedules make the same sweep
-measurably cheaper (hit rate > 0, zero scheduler time).
+measurably cheaper (hit rate > 0, zero scheduler time).  A second cold
+run through the per-point scalar oracle (``vectorize=False``) pins the
+zero-drift contract — the batched numpy path must reproduce the scalar
+reports bit-for-bit — and reports the cold-sweep speedup.
 """
 
 from time import perf_counter
@@ -53,6 +56,22 @@ def test_fig13_stencil_sweep(benchmark, tmp_path):
         f"warm: {warm.stats.describe()}\n"
         f"warm-cache speedup: {result.stats.elapsed_s / warm_wall:.1f}x",
     )
+
+    # Scalar-oracle cold run: the vectorized path (the engine default,
+    # benchmarked above) must be bit-identical and measurably faster.
+    scalar_start = perf_counter()
+    scalar = SweepEngine(
+        jobs=1, cache_dir=tmp_path / "dse-cache-scalar", vectorize=False
+    ).sweep(kernel, grid)
+    scalar_wall = perf_counter() - scalar_start
+    assert scalar.reports == result.reports  # zero drift vs the oracle
+    speedup = scalar.stats.elapsed_s / result.stats.elapsed_s
+    emit(
+        "Fig 13 vectorized vs scalar oracle",
+        f"scalar cold: {scalar.stats.describe()}\n"
+        f"cold-sweep speedup (scalar wall {scalar_wall:.3f}s): {speedup:.1f}x",
+    )
+    assert speedup > 2.0
 
     frontier = result.pareto_frontier()
     emit(

@@ -8,10 +8,23 @@ snapshot — so the perf trajectory of the DSE pipeline accumulates one
 point per commit.  The Chrome trace goes next to it for the artifact
 upload.
 
+``--mode scalar`` records the same grid through the per-point scalar
+oracle instead of the vectorized batch path, and ``--baseline`` compares
+the freshly recorded entry against a previous ``BENCH_*.json`` under the
+perf-threshold flags (:func:`repro.provenance.drift.compare_bench_entries`),
+exiting non-zero on a regression.  CI's perf-smoke gate records a scalar
+baseline and then requires the vectorized entry to beat it by at least 2x
+(``--elapsed-threshold -0.5``).
+
 Usage::
 
     python benchmarks/record_bench.py --out-dir bench-results \
         --trace-out bench-results/fig13-trace.json --jobs 2
+
+    # perf gate: vectorized must be at least 2x faster than scalar
+    python benchmarks/record_bench.py --mode scalar --jobs 1 --out-dir r
+    python benchmarks/record_bench.py --mode vectorized --jobs 1 --out-dir r \
+        --baseline r/BENCH_fig13_smoke_scalar_local.json --elapsed-threshold -0.5
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ PARTITIONS = (1, 4, 16, 64, 256, 1024)
 SIMPLIFICATIONS = (1, 3, 5, 7, 9, 11, 13)
 
 
-def run(jobs: int) -> dict:
+def run(jobs: int, vectorize: bool = True) -> dict:
     """One cold small-grid sweep under a fresh tracer and metrics registry."""
     kernel = s3d.build()
     grid = default_design_grid(
@@ -45,7 +58,7 @@ def run(jobs: int) -> dict:
     reset_metrics()
     set_tracer(tracer)
     try:
-        engine = SweepEngine(jobs=jobs, use_cache=False)
+        engine = SweepEngine(jobs=jobs, use_cache=False, vectorize=vectorize)
         result = engine.sweep(kernel, grid)
     finally:
         set_tracer(None)
@@ -61,6 +74,7 @@ def run(jobs: int) -> dict:
         pass  # ledger is best-effort; the bench entry itself still lands
     return {
         "bench": "fig13_smoke",
+        "mode": "vectorized" if vectorize else "scalar",
         "schema_version": SCHEMA_VERSION,
         "run_id": manifest.run_id,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -97,24 +111,55 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=2,
         help="worker processes for the sweep (default: 2)",
     )
+    parser.add_argument(
+        "--mode", choices=("vectorized", "scalar"), default="vectorized",
+        help="evaluation path: batched numpy (default) or per-point scalar oracle",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous BENCH_*.json to compare against under perf-threshold flags",
+    )
+    parser.add_argument(
+        "--elapsed-threshold", type=float, default=None,
+        help="allowed elapsed_s ratio slack vs the baseline; negative values "
+        "demand a speedup (e.g. -0.5 fails unless at least 2x faster)",
+    )
     args = parser.parse_args(argv)
 
-    entry = run(args.jobs)
+    entry = run(args.jobs, vectorize=args.mode != "scalar")
     tracer = entry.pop("_tracer")
     if args.trace_out is not None:
         tracer.export_chrome(args.trace_out)
         print(f"wrote trace {args.trace_out} ({len(tracer)} spans)")
 
     label = entry["commit"][:12]
+    suffix = "" if entry["mode"] == "vectorized" else f"_{entry['mode']}"
     args.out_dir.mkdir(parents=True, exist_ok=True)
-    path = args.out_dir / f"BENCH_fig13_smoke_{label}.json"
+    path = args.out_dir / f"BENCH_fig13_smoke{suffix}_{label}.json"
     with open(path, "w") as handle:
         json.dump(entry, handle, indent=2)
     stats = entry["stats"]
     print(
         f"wrote {path}: {stats['design_points']} points in "
-        f"{stats['elapsed_s']:.3f}s (jobs={stats['jobs']})"
+        f"{stats['elapsed_s']:.3f}s (jobs={stats['jobs']}, mode={entry['mode']})"
     )
+
+    if args.baseline is not None:
+        from repro.provenance.drift import compare_bench_entries
+
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        kwargs = {}
+        if args.elapsed_threshold is not None:
+            kwargs["elapsed_threshold"] = args.elapsed_threshold
+        flags = compare_bench_entries(baseline, entry, **kwargs)
+        regressed = [flag for flag in flags if flag.regressed]
+        for flag in flags:
+            print(flag.describe())
+        if regressed:
+            print(f"perf gate FAILED vs {args.baseline} ({len(regressed)} flag(s))")
+            return 1
+        print(f"perf gate ok vs {args.baseline}")
     return 0
 
 

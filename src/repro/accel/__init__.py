@@ -10,6 +10,8 @@ ablating one specialization concept at a time attributes gains (Fig 14).
 :class:`SweepEngine` executes those sweeps sharded across worker processes
 with a persistent content-addressed schedule/trace cache
 (:mod:`repro.accel.cache`); ``jobs=1`` matches the serial path exactly.
+Grids evaluate through the vectorized batch path by default
+(:mod:`repro.accel.batch`), bit-identical to the per-point scalar oracle.
 """
 
 from repro.accel.trace import TracedArray, Tracer, Value
@@ -33,6 +35,12 @@ from repro.accel.cache import (
     dfg_fingerprint,
     kernel_fingerprint,
     library_fingerprint,
+)
+from repro.accel.batch import (
+    BatchEvaluator,
+    BatchResult,
+    MacroGraph,
+    evaluate_batch,
 )
 from repro.accel.engine import SweepEngine
 from repro.accel.attribution import (
@@ -68,6 +76,10 @@ __all__ = [
     "dfg_fingerprint",
     "kernel_fingerprint",
     "library_fingerprint",
+    "BatchEvaluator",
+    "BatchResult",
+    "MacroGraph",
+    "evaluate_batch",
     "SweepEngine",
     "GainAttribution",
     "attribute_all",

@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.accel.batch import BatchEvaluator, BatchResult
 from repro.accel.cache import KernelTraceStore, ScheduleStore, resolve_cache_dir
 from repro.accel.design import DesignPoint
 from repro.accel.power import PowerReport, evaluate_design
@@ -90,31 +91,49 @@ def _init_sweep_worker(
     cache_dir,
     use_cache: bool,
     trace_spans: bool = False,
+    vectorize: bool = True,
 ) -> None:
     _init_worker_tracer(trace_spans)
     store = ScheduleStore(cache_dir) if use_cache else None
+    cache = ScheduleCache(kernel, library, store=store)
     _WORKER["kernel"] = kernel
     _WORKER["library"] = library
-    _WORKER["cache"] = ScheduleCache(kernel, library, store=store)
+    _WORKER["cache"] = cache
+    # One evaluator per worker process: macro graphs and scale tables are
+    # amortized across every chunk the worker receives.
+    _WORKER["batch"] = BatchEvaluator(kernel, cache=cache) if vectorize else None
 
 
 def _sweep_chunk(
     designs: Sequence[DesignPoint],
-) -> Tuple[Tuple[PowerReport, ...], Dict[str, float], List[Span]]:
+) -> Tuple[object, Dict[str, float], List[Span]]:
+    """Evaluate one chunk in a worker process.
+
+    Returns either a :class:`BatchResult` (vectorized path — the parent
+    materializes ``PowerReport`` objects at the collection boundary) or a
+    tuple of reports (scalar oracle path), plus the cache-counter delta and
+    any worker spans.
+    """
     kernel: TracedKernel = _WORKER["kernel"]  # type: ignore[assignment]
     library: ResourceLibrary = _WORKER["library"]  # type: ignore[assignment]
     cache: ScheduleCache = _WORKER["cache"]  # type: ignore[assignment]
+    batch: Optional[BatchEvaluator] = _WORKER["batch"]  # type: ignore[assignment]
     before = cache.counters()
     start = perf_counter()
     with span("sweep.chunk", designs=len(designs), kernel=kernel.name):
-        reports = tuple(
-            evaluate_design(kernel, design, library, precomputed=cache.get(design))
-            for design in designs
-        )
+        if batch is not None:
+            payload: object = batch.evaluate(designs)
+        else:
+            payload = tuple(
+                evaluate_design(
+                    kernel, design, library, precomputed=cache.get(design)
+                )
+                for design in designs
+            )
     elapsed = perf_counter() - start
     delta = {key: value - before[key] for key, value in cache.counters().items()}
     delta["evaluate_s"] = elapsed - delta["schedule_s"]
-    return reports, delta, _drain_worker_spans()
+    return payload, delta, _drain_worker_spans()
 
 
 def _sweep_kernel_task(
@@ -124,9 +143,12 @@ def _sweep_kernel_task(
     cache_dir,
     use_cache: bool,
     trace_spans: bool = False,
+    vectorize: bool = True,
 ) -> Tuple[SweepResult, List[Span]]:
     _init_worker_tracer(trace_spans)
-    engine = SweepEngine(jobs=1, cache_dir=cache_dir, use_cache=use_cache)
+    engine = SweepEngine(
+        jobs=1, cache_dir=cache_dir, use_cache=use_cache, vectorize=vectorize
+    )
     result = engine.sweep(kernel, designs, library)
     return result, _drain_worker_spans()
 
@@ -194,6 +216,11 @@ class SweepEngine:
     chunk_size:
         Design points per work unit when sharding a grid; defaults to an
         even split of roughly four chunks per worker.
+    vectorize:
+        Evaluate grids through the batched numpy path
+        (:class:`repro.accel.batch.BatchEvaluator`) instead of the
+        per-point scalar loop. Results are bit-identical either way;
+        ``False`` re-enables the scalar correctness oracle.
     """
 
     def __init__(
@@ -202,11 +229,13 @@ class SweepEngine:
         cache_dir=None,
         use_cache: bool = True,
         chunk_size: Optional[int] = None,
+        vectorize: bool = True,
     ):
         self.jobs = resolve_jobs(jobs)
         self.use_cache = bool(use_cache)
         self.cache_dir = resolve_cache_dir(cache_dir) if self.use_cache else None
         self.chunk_size = chunk_size
+        self.vectorize = bool(vectorize)
         #: Cumulative stats across every operation this engine ran.
         self.stats = SweepStats(jobs=self.jobs, chunks=0)
         #: Stats of the most recent operation (also on ``SweepResult.stats``).
@@ -284,12 +313,19 @@ class SweepEngine:
             if self.jobs == 1 or len(design_list) <= 1:
                 cache = ScheduleCache(kernel, lib, store=self.schedule_store())
                 collected: List[PowerReport] = []
-                for design in design_list:
-                    report = evaluate_design(
-                        kernel, design, lib, precomputed=cache.get(design)
-                    )
-                    collected.append(report)
-                    accumulator.add_report(report)
+                if self.vectorize:
+                    for report in BatchEvaluator(kernel, cache=cache).evaluate(
+                        design_list
+                    ).reports():
+                        collected.append(report)
+                        accumulator.add_report(report)
+                else:
+                    for design in design_list:
+                        report = evaluate_design(
+                            kernel, design, lib, precomputed=cache.get(design)
+                        )
+                        collected.append(report)
+                        accumulator.add_report(report)
                 stats.merge_counters(cache.counters())
                 stats.elapsed_s = perf_counter() - start
                 stats.evaluate_s = stats.elapsed_s - stats.schedule_s
@@ -309,6 +345,7 @@ class SweepEngine:
                         self.cache_dir,
                         self.use_cache,
                         tracer is not None,
+                        self.vectorize,
                     ),
                 ) as pool:
                     futures = [
@@ -318,7 +355,16 @@ class SweepEngine:
                     # tuple is identical to the serial result.
                     for future in futures:
                         with span("sweep.collect"):
-                            chunk_reports, delta, worker_spans = future.result()
+                            payload, delta, worker_spans = future.result()
+                            # Vectorized workers ship column arrays; the
+                            # PowerReports materialize here, at the
+                            # collection boundary.
+                            if isinstance(payload, BatchResult):
+                                chunk_reports: Sequence[PowerReport] = (
+                                    payload.reports()
+                                )
+                            else:
+                                chunk_reports = payload  # type: ignore[assignment]
                             collected.extend(chunk_reports)
                             for report in chunk_reports:
                                 accumulator.add_report(report)
@@ -373,6 +419,7 @@ class SweepEngine:
                             self.cache_dir,
                             self.use_cache,
                             tracer is not None,
+                            self.vectorize,
                         )
                         for kernel in kernels
                     ]
@@ -505,6 +552,7 @@ class SweepEngine:
             "use_cache": self.use_cache,
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
             "chunk_size": self.chunk_size,
+            "vectorize": self.vectorize,
             "stats": self.stats.to_dict(),
         }
 

@@ -91,11 +91,16 @@ def evaluate_design(
         # memory *accesses* (including re-reads) pay the scratchpad port
         # energy.
         energy_scale = lib.energy_scale(design.node_nm, design.simplification)
+        energy_table = lib.op_energy_table()
         dynamic_nj = 0.0
         for op, count in sched.op_counts.items():
             if op in ("load", "store"):
                 continue  # charged via access counts below
-            dynamic_nj += lib.costs(op_class(op)).energy_nj * count
+            energy = energy_table.get(op)
+            if energy is None:
+                # Unknown op: keep op_class's InvalidDesignPointError.
+                energy = lib.costs(op_class(op)).energy_nj
+            dynamic_nj += energy * count
         dynamic_nj += lib.costs(OpClass.MEMORY).energy_nj * kernel.total_accesses
         dynamic_nj *= energy_scale
 

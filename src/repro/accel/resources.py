@@ -100,6 +100,7 @@ class ResourceLibrary:
     ):
         self._costs = dict(costs)
         self._scaling = scaling if scaling is not None else default_scaling_table()
+        self._op_energy_table: Dict[str, float] = {}
 
     @property
     def scaling(self) -> ScalingTable:
@@ -138,6 +139,21 @@ class ResourceLibrary:
     def latency_extra(self, simplification: int) -> int:
         """Extra pipeline cycles per op past the deep-pipelining knee."""
         return max(0, simplification - PIPELINE_KNEE)
+
+    def op_energy_table(self) -> Dict[str, float]:
+        """Reference energy per operation name (45nm, degree 1), cached.
+
+        Flattens the op -> class -> costs indirection into one dict lookup
+        so per-op energy summation over a schedule does no enum churn.
+        Values are exactly ``costs(op_class(op)).energy_nj``.
+        """
+        if not self._op_energy_table:
+            self._op_energy_table = {
+                op: self._costs[klass].energy_nj
+                for op, klass in _OP_CLASS.items()
+                if klass in self._costs
+            }
+        return self._op_energy_table
 
     def op_energy_nj(self, op: str, node_nm: float, simplification: int) -> float:
         """Energy of one *op* at *node* and *simplification* degree."""

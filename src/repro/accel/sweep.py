@@ -126,6 +126,15 @@ class ScheduleCache:
     def library(self) -> ResourceLibrary:
         return self._library
 
+    @property
+    def partition_cap(self) -> int:
+        """Smallest power of two >= the DFG size.
+
+        Partition factors beyond it provision every unit the graph can
+        demand, so all of them share one schedule.
+        """
+        return self._partition_cap
+
     def _store_fingerprints(self) -> Tuple[str, str]:
         if self._fingerprints is None:
             from repro.accel.cache import kernel_fingerprint, library_fingerprint
@@ -136,11 +145,38 @@ class ScheduleCache:
             )
         return self._fingerprints
 
+    def structural_key(self, design: DesignPoint) -> Tuple[int, int, int]:
+        """The ``(partition, fusion_window, latency_extra)`` of *design*.
+
+        These are the only design parameters a :class:`Schedule` depends
+        on; every design point sharing a key shares one schedule.
+        """
+        return (
+            min(design.partition, self._partition_cap),
+            self._library.fusion_window(design.node_nm, design.heterogeneity),
+            self._library.latency_extra(design.simplification),
+        )
+
     def get(self, design: DesignPoint) -> Schedule:
-        window = self._library.fusion_window(design.node_nm, design.heterogeneity)
-        extra = self._library.latency_extra(design.simplification)
-        partition = min(design.partition, self._partition_cap)
+        partition, window, extra = self.structural_key(design)
+        return self.get_structural(partition, window, extra)
+
+    def get_structural(
+        self,
+        partition: int,
+        window: int,
+        extra: int,
+        compute: Optional[Callable[[], Schedule]] = None,
+    ) -> Schedule:
+        """Schedule for one structural key (memo -> store -> compute).
+
+        *compute* overrides the scheduler invocation on a full miss — the
+        batch evaluator passes its amortized fast path here — and still
+        flows through the same timing, metrics and store-write plumbing.
+        """
+        partition = min(partition, self._partition_cap)
         key = (partition, window, extra)
+        fingerprints: Optional[Tuple[str, str]] = None
         with span("cache.lookup"):
             cached = self._cache.get(key)
             if cached is not None:
@@ -151,22 +187,25 @@ class ScheduleCache:
             metrics().counter("cache.memo.misses").inc()
             sched = None
             if self.store is not None:
-                kernel_fp, library_fp = self._store_fingerprints()
+                fingerprints = self._store_fingerprints()
                 sched = self.store.get(
-                    kernel_fp, library_fp, partition, window, extra
+                    fingerprints[0], fingerprints[1], partition, window, extra
                 )
         if sched is None:
             start = perf_counter()
             with span(
                 "schedule", partition=partition, window=window, extra=extra
             ):
-                sched = run_schedule(
-                    self._kernel.dfg,
-                    partition=partition,
-                    library=self._library,
-                    fusion_window=window,
-                    latency_extra=extra,
-                )
+                if compute is not None:
+                    sched = compute()
+                else:
+                    sched = run_schedule(
+                        self._kernel.dfg,
+                        partition=partition,
+                        library=self._library,
+                        fusion_window=window,
+                        latency_extra=extra,
+                    )
             elapsed = perf_counter() - start
             self.schedule_s += elapsed
             metrics().timer("schedule").observe(elapsed)
@@ -181,12 +220,27 @@ class ScheduleCache:
                 ),
             )
             if self.store is not None:
-                kernel_fp, library_fp = self._store_fingerprints()
+                # fingerprints were already bound on the lookup above; a
+                # miss must not recompute them.
                 self.store.put(
-                    kernel_fp, library_fp, partition, window, extra, sched
+                    fingerprints[0], fingerprints[1], partition, window, extra, sched
                 )
         self._cache[key] = sched
         return sched
+
+    def record_coalesced(self, count: int) -> None:
+        """Account *count* design points served by one deduplicated schedule.
+
+        The batch evaluator performs one real lookup per unique structure;
+        the remaining points of that structure are memo hits by definition,
+        recorded here so ``memo_hits + memo_misses`` still equals the number
+        of design points evaluated — keeping stats comparable with the
+        scalar path.
+        """
+        if count <= 0:
+            return
+        self.memo_hits += count
+        metrics().counter("cache.memo.hits").inc(count)
 
     def counters(self) -> Dict[str, float]:
         """Snapshot of all counters (memo + persistent store + timing)."""
@@ -471,6 +525,7 @@ def sweep(
     cache: Optional[ScheduleCache] = None,
     cache_dir=None,
     use_cache: Optional[bool] = None,
+    vectorize: bool = True,
 ) -> SweepResult:
     """Evaluate *kernel* over *designs* (default: the Table III grid).
 
@@ -484,6 +539,11 @@ def sweep(
     kernel; it cannot be combined with the engine options (``jobs``,
     ``cache_dir``, ``use_cache``) because each engine worker builds its
     own cache — the injected one would be silently ignored.
+
+    *vectorize* (default on) evaluates the grid through the batched numpy
+    path (:class:`repro.accel.batch.BatchEvaluator`); results are
+    bit-identical to the per-point scalar loop, which ``vectorize=False``
+    re-enables as the correctness oracle.
     """
     if jobs != 1 or cache_dir is not None or use_cache:
         if cache is not None:
@@ -499,6 +559,7 @@ def sweep(
             jobs=jobs,
             cache_dir=cache_dir,
             use_cache=True if use_cache is None else use_cache,
+            vectorize=vectorize,
         )
         return engine.sweep(kernel, designs, library)
 
@@ -509,10 +570,19 @@ def sweep(
     start = perf_counter()
     schedule_cache = cache if cache is not None else ScheduleCache(kernel, lib)
     before = schedule_cache.counters()
-    reports = tuple(
-        evaluate_design(kernel, design, lib, precomputed=schedule_cache.get(design))
-        for design in design_list
-    )
+    if vectorize:
+        from repro.accel.batch import BatchEvaluator
+
+        reports = BatchEvaluator(kernel, cache=schedule_cache).evaluate(
+            design_list
+        ).reports()
+    else:
+        reports = tuple(
+            evaluate_design(
+                kernel, design, lib, precomputed=schedule_cache.get(design)
+            )
+            for design in design_list
+        )
     elapsed = perf_counter() - start
     delta = {
         key: value - before[key]

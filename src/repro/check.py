@@ -20,8 +20,9 @@ Checks, by subsystem:
   is finite, never regresses under the achieved frontier (the clamp
   contract), and reports headroom >= 1.
 * **accel** — a ``jobs=1`` and a ``jobs=2`` engine sweep of the same tiny
-  grid are bit-identical, and the streaming Pareto accumulator agrees with
-  the batch reference.
+  grid are bit-identical, the streaming Pareto accumulator agrees with
+  the batch reference, and the vectorized batch evaluator reproduces the
+  per-point scalar oracle exactly.
 """
 
 from __future__ import annotations
@@ -341,6 +342,31 @@ def _check_pareto_equivalence() -> str:
     return f"streaming frontier == batch reference ({len(batch)} points)"
 
 
+def _check_vectorized_equivalence() -> str:
+    from repro.accel.batch import BatchEvaluator
+    from repro.accel.power import evaluate_design
+
+    kernel, grid = _tiny_sweep_inputs()
+    batch = BatchEvaluator(kernel)
+    reports = batch.evaluate(grid).reports()
+    scalar = tuple(
+        evaluate_design(kernel, design, batch.library) for design in grid
+    )
+    _ensure(
+        reports == scalar,
+        "vectorized batch evaluation disagrees with per-point evaluate_design",
+    )
+    looked = batch.cache.memo_hits + batch.cache.memo_misses
+    _ensure(
+        looked == len(grid),
+        f"batch memo accounting covers {looked} of {len(grid)} design points",
+    )
+    return (
+        f"vectorized == scalar over {len(grid)} design points "
+        f"({batch.cache.memo_misses} unique structures)"
+    )
+
+
 # -- driver -------------------------------------------------------------------
 
 CHECKS = (
@@ -355,6 +381,7 @@ CHECKS = (
     ("wall", "predict-clamp", _check_predict_clamp),
     ("accel", "engine-equivalence", _check_engine_equivalence),
     ("accel", "pareto-equivalence", _check_pareto_equivalence),
+    ("accel", "vectorized-equivalence", _check_vectorized_equivalence),
 )
 
 

@@ -77,7 +77,10 @@ def _dse_engine(args):
         cache_dir is not None or os.environ.get(ENV_CACHE_DIR) is not None
     )
     return SweepEngine(
-        jobs=getattr(args, "jobs", 1), cache_dir=cache_dir, use_cache=use_cache
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        vectorize=not getattr(args, "no_vectorize", False),
     )
 
 
@@ -93,6 +96,11 @@ def _add_dse_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent DSE cache even if a directory is set",
+    )
+    parser.add_argument(
+        "--no-vectorize", action="store_true",
+        help="evaluate sweeps through the per-point scalar oracle instead "
+        "of the batched numpy path (results are bit-identical)",
     )
     parser.add_argument(
         "--profile", action="store_true",

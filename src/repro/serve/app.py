@@ -136,6 +136,7 @@ class ServeApp:
             pass  # provenance is best-effort; serving must still come up
         self._kernels: Dict[str, Any] = {}
         self._schedule_caches: Dict[str, Any] = {}
+        self._batch_evaluators: Dict[str, Any] = {}
         self._kernel_lock = threading.Lock()
         self._artifact_cache = LruCache(64, name="artifact")
         self._response_cache = LruCache(config.response_cache, name="response")
@@ -221,6 +222,29 @@ class ServeApp:
                 cache = self.engine.schedule_cache(self.kernel(key), self.library)
                 self._schedule_caches[key] = cache
         return cache
+
+    def batch_evaluator(self, abbrev: str):
+        """Per-workload :class:`BatchEvaluator` behind batched ``/evaluate``.
+
+        Shares the workload's :meth:`schedule_cache`, so array-path and
+        scalar-path requests see one schedule memo; macro graphs and scale
+        tables amortize across every batch of the process lifetime.
+        """
+        key = abbrev.upper()
+        evaluator = self._batch_evaluators.get(key)
+        if evaluator is not None:
+            return evaluator
+        # Resolve dependencies before taking the lock (it is not reentrant).
+        kernel = self.kernel(key)
+        cache = self.schedule_cache(key)
+        from repro.accel.batch import BatchEvaluator
+
+        with self._kernel_lock:
+            evaluator = self._batch_evaluators.get(key)
+            if evaluator is None:
+                evaluator = BatchEvaluator(kernel, cache=cache)
+                self._batch_evaluators[key] = evaluator
+        return evaluator
 
     def study(self, name: str):
         """Resolve a case-study name; 400 with the valid names."""

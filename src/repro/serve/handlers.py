@@ -317,34 +317,46 @@ async def evaluate(app, request: Request) -> Dict[str, Any]:
 def compute_evaluate_batch(app, items: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
     """Blocking evaluation of a batch of design-point requests.
 
-    One schedule cache spans the whole batch, so design points sharing
-    structural parameters (partition, fusion window, pipeline latency)
-    schedule once — the vectorization micro-batching exists to exploit.
-    Each item's result is a pure function of that item, so the batch
-    returns exactly the sequential per-item results.
+    The batch is grouped by workload and each group runs through the
+    vectorized array path (:meth:`ServeApp.batch_evaluator`), which shares
+    the workload's schedule cache — design points with common structural
+    parameters (partition, fusion window, pipeline latency) schedule once,
+    and the per-point power math broadcasts as numpy columns.  Results are
+    bit-identical to per-item ``evaluate_design`` and are returned in
+    request order.
     """
     from repro.accel.design import DesignPoint
-    from repro.accel.power import evaluate_design
 
-    results: List[Dict[str, Any]] = []
+    designs: List[DesignPoint] = []
     for item in items:
-        kernel = app.kernel(item["workload"])
+        app.kernel(item["workload"])  # unknown workload -> 400 before math
         try:
-            design = DesignPoint(
-                node_nm=item["node_nm"],
-                partition=item["partition"],
-                simplification=item["simplification"],
-                heterogeneity=item["heterogeneity"],
+            designs.append(
+                DesignPoint(
+                    node_nm=item["node_nm"],
+                    partition=item["partition"],
+                    simplification=item["simplification"],
+                    heterogeneity=item["heterogeneity"],
+                )
             )
         except ReproError as exc:
             raise HttpError(400, str(exc))
-        cache = app.schedule_cache(item["workload"])
-        report = evaluate_design(
-            kernel, design, app.library, precomputed=cache.get(design)
-        )
+
+    groups: Dict[str, List[int]] = {}
+    for i, item in enumerate(items):
+        groups.setdefault(item["workload"].upper(), []).append(i)
+    reports: List[Any] = [None] * len(items)
+    for abbrev, indices in groups.items():
+        evaluator = app.batch_evaluator(abbrev)
+        batch = evaluator.evaluate([designs[i] for i in indices])
+        for i, report in zip(indices, batch.reports()):
+            reports[i] = report
+
+    results: List[Dict[str, Any]] = []
+    for design, report in zip(designs, reports):
         results.append(
             {
-                "workload": kernel.name,
+                "workload": report.kernel,
                 "design": {
                     "node_nm": design.node_nm,
                     "partition": design.partition,

@@ -1,0 +1,350 @@
+"""Tests for the vectorized batch evaluator (`repro.accel.batch`).
+
+The batch path's whole contract is *bit-identity* with the scalar oracle:
+for any kernel and any design grid, `BatchEvaluator.evaluate(...).reports()`
+must equal per-point `evaluate_design` exactly — same cycles, dynamic
+energy, leakage, clock, op counts, and therefore the same derived
+runtime/power/gain numbers.  These tests pin that contract with fixed
+grids, a hypothesis harness over random DFGs x random grids, the
+structural-dedup bookkeeping, and the cache/store integration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.batch import BatchEvaluator, MacroGraph, evaluate_batch
+from repro.accel.cache import ScheduleStore
+from repro.accel.design import DesignPoint
+from repro.accel.power import evaluate_design
+from repro.accel.resources import ResourceLibrary
+from repro.accel.scheduler import schedule as run_schedule
+from repro.accel.sweep import ScheduleCache, default_design_grid, sweep
+from repro.accel.trace import TracedKernel
+from repro.dfg.graph import Dfg, NodeKind
+from repro.dfg.transforms import dead_code_eliminate
+from repro.workloads import s3d, trd
+
+GRID = dict(
+    nodes=(45.0, 14.0, 5.0),
+    partitions=(1, 4, 16, 64, 1024),
+    simplifications=(1, 5, 9, 13),
+)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return trd.build(n=16)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    # Mixed heterogeneity exercises every fusion window the library emits.
+    return default_design_grid(**GRID) + default_design_grid(
+        heterogeneity=False, **GRID
+    )
+
+
+@pytest.fixture(scope="module")
+def scalar(kernel, grid):
+    lib = ResourceLibrary()
+    cache = ScheduleCache(kernel, lib)
+    return tuple(
+        evaluate_design(kernel, d, lib, precomputed=cache.get(d)) for d in grid
+    )
+
+
+class TestBitIdentity:
+    def test_reports_equal_scalar_oracle(self, kernel, grid, scalar):
+        reports = BatchEvaluator(kernel).evaluate(grid).reports()
+        assert reports == scalar
+
+    def test_derived_metrics_equal(self, kernel, grid, scalar):
+        # PowerReport equality covers the raw fields; the derived
+        # properties are pure functions of them, pinned here explicitly.
+        for batch, ref in zip(
+            BatchEvaluator(kernel).evaluate(grid).reports(), scalar
+        ):
+            assert batch.runtime_s == ref.runtime_s
+            assert batch.power_w == ref.power_w
+            assert batch.energy_nj == ref.energy_nj
+            assert batch.throughput_ops == ref.throughput_ops
+            assert batch.energy_efficiency == ref.energy_efficiency
+
+    def test_result_columns_match_reports(self, kernel, grid):
+        result = BatchEvaluator(kernel).evaluate(grid)
+        reports = result.reports()
+        assert len(result) == len(grid)
+        assert result.cycles.tolist() == [r.cycles for r in reports]
+        assert result.runtime_s().tolist() == [r.runtime_s for r in reports]
+
+    def test_module_level_helper(self, kernel, grid, scalar):
+        assert evaluate_batch(kernel, grid).reports() == scalar
+
+    def test_empty_grid(self, kernel):
+        result = BatchEvaluator(kernel).evaluate([])
+        assert len(result) == 0
+        assert result.reports() == ()
+        assert result.structures == 0
+
+    def test_sweep_vectorized_matches_scalar_path(self, kernel, grid):
+        vectorized = sweep(kernel, grid)
+        scalar = sweep(kernel, grid, vectorize=False)
+        assert vectorized.reports == scalar.reports
+        assert vectorized.stats.design_points == scalar.stats.design_points
+
+
+class TestStructuralDedup:
+    def test_structures_counts_unique_keys(self, kernel, grid):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        expected = {cache.structural_key(d) for d in grid}
+        result = BatchEvaluator(kernel).evaluate(grid)
+        assert result.structures == len(expected)
+        assert result.structures < len(grid)
+
+    def test_structural_key_caps_partition(self, kernel):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        small = DesignPoint(node_nm=45.0, partition=1, simplification=1)
+        huge = DesignPoint(node_nm=45.0, partition=524288, simplification=1)
+        capped = DesignPoint(
+            node_nm=45.0, partition=cache.partition_cap, simplification=1
+        )
+        assert cache.structural_key(huge) == cache.structural_key(capped)
+        assert cache.structural_key(small) != cache.structural_key(huge)
+
+    def test_structural_key_ignores_energy_knobs(self, kernel):
+        # Below the pipeline knee, simplification is energy-only; nodes
+        # only matter through the fusion window.
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        a = DesignPoint(node_nm=45.0, partition=16, simplification=1)
+        b = DesignPoint(node_nm=45.0, partition=16, simplification=5)
+        assert cache.structural_key(a) == cache.structural_key(b)
+
+    def test_memo_accounting_covers_every_point(self, kernel, grid):
+        evaluator = BatchEvaluator(kernel)
+        result = evaluator.evaluate(grid)
+        cache = evaluator.cache
+        assert cache.memo_hits + cache.memo_misses == len(grid)
+        assert cache.memo_misses == result.structures
+
+    def test_repeat_call_accounting_and_equality(self, kernel, grid):
+        evaluator = BatchEvaluator(kernel)
+        first = evaluator.evaluate(grid).reports()
+        cache = evaluator.cache
+        looked = cache.memo_hits + cache.memo_misses
+        again = evaluator.evaluate(grid[:7]).reports()
+        assert again == first[:7]
+        # Every point of the repeat call coalesced onto resolved structures.
+        assert cache.memo_hits + cache.memo_misses == looked + 7
+
+    def test_record_coalesced_counts_hits(self, kernel):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        cache.record_coalesced(5)
+        assert cache.memo_hits == 5
+        cache.record_coalesced(0)
+        cache.record_coalesced(-3)
+        assert cache.memo_hits == 5
+
+
+class TestMacroGraph:
+    @pytest.mark.parametrize("window", [1, 2, 4])
+    @pytest.mark.parametrize("partition", [1, 2, 7, 64, 4096])
+    @pytest.mark.parametrize("extra", [0, 4])
+    def test_matches_list_scheduler(self, kernel, window, partition, extra):
+        lib = ResourceLibrary()
+        fast = MacroGraph(kernel.dfg, lib, window).schedule(partition, extra)
+        reference = run_schedule(
+            kernel.dfg,
+            partition=partition,
+            library=lib,
+            fusion_window=window,
+            latency_extra=extra,
+        )
+        assert fast == reference
+
+    def test_saturation_boundary(self, kernel):
+        # Partitions straddling the saturation point (where the event loop
+        # hands over to the critical-path shortcut) must agree with the
+        # scheduler on both sides.
+        lib = ResourceLibrary()
+        graph = MacroGraph(kernel.dfg, lib, 2)
+        for partition in (
+            max(1, graph.saturation - 1),
+            graph.saturation,
+            graph.saturation + 1,
+        ):
+            assert graph.schedule(partition) == run_schedule(
+                kernel.dfg, partition=partition, library=lib, fusion_window=2
+            )
+
+    def test_rejects_bad_partition(self, kernel):
+        graph = MacroGraph(kernel.dfg, ResourceLibrary(), 2)
+        with pytest.raises(ValueError):
+            graph.schedule(0)
+
+
+class TestCacheIntegration:
+    def test_shared_cache_with_scalar_path(self, kernel, grid):
+        # A cache warmed by the scalar path serves the batch path and
+        # vice versa: same structural keys, same schedules.
+        lib = ResourceLibrary()
+        cache = ScheduleCache(kernel, lib)
+        scalar = tuple(
+            evaluate_design(kernel, d, lib, precomputed=cache.get(d))
+            for d in grid
+        )
+        evaluator = BatchEvaluator(kernel, cache=cache)
+        assert evaluator.evaluate(grid).reports() == scalar
+        # Every batch point was a memo hit on the warmed cache.
+        assert cache.memo_misses == len(
+            {cache.structural_key(d) for d in grid}
+        )
+
+    def test_warm_store_round_trip(self, tmp_path, kernel, grid):
+        lib = ResourceLibrary()
+        cold_cache = ScheduleCache(kernel, lib, store=ScheduleStore(tmp_path))
+        cold = BatchEvaluator(kernel, cache=cold_cache).evaluate(grid)
+        assert cold_cache.store.writes > 0
+
+        warm_cache = ScheduleCache(kernel, lib, store=ScheduleStore(tmp_path))
+        warm = BatchEvaluator(kernel, cache=warm_cache).evaluate(grid)
+        assert warm.reports() == cold.reports()
+        assert warm_cache.store.hits == warm.structures
+        assert warm_cache.schedule_s == 0.0  # every schedule came from disk
+
+    def test_store_fingerprints_computed_once_per_miss(self, tmp_path, kernel):
+        cache = ScheduleCache(kernel, ResourceLibrary(), store=ScheduleStore(tmp_path))
+        calls = []
+        original = type(cache)._store_fingerprints
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        type(cache)._store_fingerprints = counting
+        try:
+            cache.get(DesignPoint(node_nm=45.0, partition=4, simplification=1))
+        finally:
+            type(cache)._store_fingerprints = original
+        # One invocation covers both the store lookup and the store put of
+        # the same miss.
+        assert len(calls) == 1
+
+    def test_library_conflict_rejected(self, kernel):
+        cache = ScheduleCache(kernel, ResourceLibrary())
+        with pytest.raises(ValueError, match="library"):
+            BatchEvaluator(kernel, library=ResourceLibrary(), cache=cache)
+
+
+# -- hypothesis: random DFGs x random grids -----------------------------------
+
+OPS = ["add", "mul", "sub", "div", "exp", "min"]
+
+
+@st.composite
+def random_kernel(draw):
+    """A random traced kernel: layered DAG construction keeps it acyclic."""
+    n_inputs = draw(st.integers(min_value=1, max_value=3))
+    n_compute = draw(st.integers(min_value=1, max_value=14))
+    g = Dfg("random")
+    available = [g.add_input(f"in{i}") for i in range(n_inputs)]
+    for _ in range(n_compute):
+        n_operands = draw(
+            st.integers(min_value=1, max_value=min(3, len(available)))
+        )
+        operands = draw(
+            st.lists(
+                st.sampled_from(available),
+                min_size=n_operands,
+                max_size=n_operands,
+                unique=True,
+            )
+        )
+        available.append(g.add_compute(draw(st.sampled_from(OPS)), operands))
+    for nid in list(g.node_ids()):
+        node = g.node(nid)
+        if node.kind is NodeKind.COMPUTE and not g.successors(nid):
+            g.add_output(nid)
+    g = dead_code_eliminate(g)
+    reads = draw(st.integers(min_value=0, max_value=64))
+    writes = draw(st.integers(min_value=0, max_value=64))
+    return TracedKernel(
+        name=g.name, dfg=g, memory_reads=reads, memory_writes=writes
+    )
+
+
+@st.composite
+def random_grid(draw):
+    designs = draw(
+        st.lists(
+            st.builds(
+                DesignPoint,
+                node_nm=st.sampled_from([45.0, 22.0, 10.0, 5.0]),
+                partition=st.sampled_from([1, 2, 8, 64, 4096, 524288]),
+                simplification=st.integers(min_value=1, max_value=13),
+                heterogeneity=st.booleans(),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    return designs
+
+
+@given(kernel=random_kernel(), designs=random_grid())
+@settings(max_examples=60, deadline=None)
+def test_batch_matches_scalar_on_random_inputs(kernel, designs):
+    lib = ResourceLibrary()
+    cache = ScheduleCache(kernel, lib)
+    scalar = tuple(
+        evaluate_design(kernel, d, lib, precomputed=cache.get(d))
+        for d in designs
+    )
+    assert BatchEvaluator(kernel).evaluate(designs).reports() == scalar
+
+
+@given(kernel=random_kernel())
+@settings(max_examples=40, deadline=None)
+def test_macro_graph_matches_scheduler_on_random_dfgs(kernel):
+    lib = ResourceLibrary()
+    for window in (1, 3):
+        graph = MacroGraph(kernel.dfg, lib, window)
+        for partition in (1, 2, graph.saturation, 4096):
+            for extra in (0, 2):
+                assert graph.schedule(partition, extra) == run_schedule(
+                    kernel.dfg,
+                    partition=partition,
+                    library=lib,
+                    fusion_window=window,
+                    latency_extra=extra,
+                )
+
+
+class TestEngineVectorization:
+    def test_scalar_oracle_flag_matches(self, kernel, grid):
+        from repro.accel.engine import SweepEngine
+
+        vectorized = SweepEngine(jobs=1, use_cache=False).sweep(kernel, grid)
+        oracle = SweepEngine(jobs=1, use_cache=False, vectorize=False).sweep(
+            kernel, grid
+        )
+        assert vectorized.reports == oracle.reports
+
+    def test_parallel_vectorized_matches_serial(self, grid):
+        from repro.accel.engine import SweepEngine
+
+        kernel = s3d.build()
+        serial = SweepEngine(jobs=1, use_cache=False).sweep(kernel, grid)
+        parallel = SweepEngine(jobs=2, use_cache=False).sweep(kernel, grid)
+        assert parallel.reports == serial.reports
+        stats = parallel.stats
+        assert stats.memo_hits + stats.memo_misses == len(grid)
+
+    def test_provenance_records_vectorize(self):
+        from repro.accel.engine import SweepEngine
+
+        assert SweepEngine(jobs=1).provenance()["vectorize"] is True
+        assert (
+            SweepEngine(jobs=1, vectorize=False).provenance()["vectorize"]
+            is False
+        )
