@@ -8,10 +8,16 @@ measured **twice** — once with micro-batching on and once with it off —
 so each entry carries the batched-vs-unbatched throughput ratio the
 acceptance criterion tracks.
 
+A final phase repeats the mixed pattern against ``repro serve
+--workers N`` (the forking supervisor) for each worker count, recording
+p50/p95/p99 and throughput per count plus the max-vs-1 ``workers_speedup``
+— the horizontal-scaling curve.  The curve only rises with multiple CPU
+cores; on a single-core machine it honestly records ~1x.
+
 Usage::
 
     python benchmarks/serve_load.py --out-dir bench-results \
-        --clients 8 --requests 40
+        --clients 8 --requests 40 --worker-counts 1,2,4
 """
 
 from __future__ import annotations
@@ -25,10 +31,10 @@ import statistics
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.provenance.manifest import SCHEMA_VERSION
-from repro.serve import ServeConfig, ServerHandle
+from repro.serve import ServeConfig, ServerHandle, SupervisorHandle
 
 #: Design points the mixed-traffic phase cycles through (warmed up, so the
 #: phase measures steady-state request handling).
@@ -202,7 +208,7 @@ def with_server(
         port=0,
         batching=batching,
         response_cache=0,  # isolate batching: no response-level caching
-        workers=8,
+        threads=8,
     )
     handle = ServerHandle(config).start()
     try:
@@ -217,7 +223,47 @@ def with_server(
         handle.stop()
 
 
-def run(clients: int, requests: int) -> dict:
+def worker_scaling_phase(
+    clients: int, requests: int, counts: Sequence[int]
+) -> Dict[str, Any]:
+    """Mixed traffic against ``--workers N`` subprocesses for each count.
+
+    Count 1 is the plain single process (the CLI only starts a supervisor
+    past 1), so the recorded curve is exactly "what adding workers buys
+    over today's server".  Each run is warmed with one pass of the mixed
+    design points per worker so steady-state serving is measured, not
+    per-replica first-touch scheduling.
+    """
+    results: Dict[str, Any] = {}
+    for count in counts:
+        handle = SupervisorHandle(
+            workers=count, extra_args=("--response-cache", "0")
+        ).start()
+        try:
+            # With reuseport the kernel picks the worker per connection, so
+            # warm with `count` passes to touch every replica with high
+            # probability (supervisor workers warm-boot kernels from the
+            # snapshot already; this warms their schedule caches).
+            for _ in range(max(1, count)):
+                probe = Client(handle.port, "warmup")
+                for body in TRACE_WARMUP + EVALUATE_POINTS:
+                    probe.request("POST", "/evaluate", body, "warmup")
+                probe.close()
+            results[str(count)] = mixed_phase(handle.port, clients, requests)
+        finally:
+            code = handle.stop()
+            results[str(count)]["exit_code"] = code
+    baseline = results.get(str(min(counts)), {}).get("throughput_rps", 0.0)
+    top = results.get(str(max(counts)), {}).get("throughput_rps", 0.0)
+    return {
+        "counts": list(counts),
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "workers_speedup": top / baseline if baseline > 0 else float("nan"),
+    }
+
+
+def run(clients: int, requests: int, worker_counts: Sequence[int] = ()) -> dict:
     mixed = with_server(
         True,
         lambda port: mixed_phase(port, clients, requests),
@@ -234,19 +280,27 @@ def run(clients: int, requests: int) -> dict:
         if unbatched["throughput_rps"] > 0
         else float("nan")
     )
-    return {
+    entry = {
         "bench": "serve_load",
         "schema_version": SCHEMA_VERSION,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "commit": os.environ.get("GITHUB_SHA", "local"),
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "config": {"clients": clients, "requests_per_client": requests},
+        "config": {
+            "clients": clients,
+            "requests_per_client": requests,
+            "worker_counts": list(worker_counts),
+        },
         "mixed": mixed,
         "evaluate_batched": batched,
         "evaluate_unbatched": unbatched,
         "batched_speedup": ratio,
     }
+    if worker_counts:
+        entry["workers"] = worker_scaling_phase(clients, requests, worker_counts)
+        entry["workers_speedup"] = entry["workers"]["workers_speedup"]
+    return entry
 
 
 def main(argv=None) -> int:
@@ -263,20 +317,35 @@ def main(argv=None) -> int:
         "--requests", type=int, default=40,
         help="requests per client per phase (default: 40)",
     )
+    parser.add_argument(
+        "--worker-counts", default="1,2,4", metavar="N,N,...",
+        help="worker counts for the horizontal-scaling phase; empty "
+        "string skips it (default: 1,2,4)",
+    )
     args = parser.parse_args(argv)
+    counts = tuple(
+        int(part) for part in args.worker_counts.split(",") if part.strip()
+    )
 
-    entry = run(args.clients, args.requests)
+    entry = run(args.clients, args.requests, worker_counts=counts)
     label = entry["commit"][:12]
     args.out_dir.mkdir(parents=True, exist_ok=True)
     path = args.out_dir / f"BENCH_serve_load_{label}.json"
     with open(path, "w") as handle:
         json.dump(entry, handle, indent=2)
     mixed = entry["mixed"]
-    print(
+    line = (
         f"wrote {path}: {mixed['requests_ok']} requests at "
         f"{mixed['throughput_rps']:.1f} req/s "
-        f"(batched evaluate speedup {entry['batched_speedup']:.2f}x)"
+        f"(batched evaluate speedup {entry['batched_speedup']:.2f}x"
     )
+    if "workers_speedup" in entry:
+        top = max(entry["workers"]["results"], key=int)
+        line += (
+            f", {top}-worker mixed speedup {entry['workers_speedup']:.2f}x "
+            f"on {entry['workers']['cpu_count']} cpu(s)"
+        )
+    print(line + ")")
     return 0
 
 

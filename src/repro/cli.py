@@ -516,21 +516,28 @@ def _cmd_export(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.serve import ServeApp, ServeConfig
 
+    workers = max(1, args.workers)
     config = ServeConfig(
         host=args.host,
         port=args.port,
         jobs=args.jobs,
         cache_dir=getattr(args, "cache_dir", None),
         use_cache=not getattr(args, "no_cache", False)
-        and getattr(args, "cache_dir", None) is not None,
+        and (getattr(args, "cache_dir", None) is not None or workers > 1),
+        workers=workers,
         batching=not args.no_batching,
         batch_window_s=args.batch_window_ms / 1e3,
         batch_max=args.batch_max,
         response_cache=args.response_cache,
         rate_limit=args.rate_limit,
+        max_inflight=args.max_inflight,
         job_concurrency=args.job_concurrency,
         drain_timeout_s=args.drain_timeout,
     )
+    if workers > 1:
+        from repro.serve.supervisor import Supervisor
+
+        return Supervisor(config).run()
     return ServeApp(config).run()
 
 
@@ -680,8 +687,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU response-cache entries, 0 disables (default: 1024)",
     )
     serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="serve worker processes sharing the port; >1 starts a "
+        "supervisor that forks, restarts, and drains them (default: 1)",
+    )
+    serve.add_argument(
         "--rate-limit", type=float, default=0.0, metavar="RPS",
         help="per-client requests/second, 0 disables (default: off)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="per-worker in-flight request cap; past it requests are shed "
+        "with 503 + Retry-After, 0 disables (default: 64)",
     )
     serve.add_argument(
         "--job-concurrency", type=int, default=1, metavar="N",

@@ -3,18 +3,23 @@
 Started via ``repro serve``; loads the fitted CMOS model, case studies,
 and sweep engine once, then answers the paper's core queries over a
 stdlib-only asyncio HTTP server with micro-batching, background sweep
-jobs, rate limiting, Prometheus metrics, and provenance-stamped
-responses.  See ``docs/METHODOLOGY.md`` §12 for the endpoint reference.
+jobs, rate limiting, load shedding, Prometheus metrics, and
+provenance-stamped responses.  ``repro serve --workers N`` scales the
+same server across cores under a forking supervisor with a shared warm
+snapshot (see ``docs/METHODOLOGY.md`` §12 and §14).
 """
 
 from repro.serve.app import ServeApp, ServeConfig, ServerHandle
 from repro.serve.batching import LruCache, MicroBatcher
-from repro.serve.jobs import Job, JobQueue, QueueFullError, UnknownJobError
-from repro.serve.limits import RateLimiter
+from repro.serve.jobs import Job, JobQueue, QueueFullError, UnknownJobError, job_owner
+from repro.serve.limits import InflightGate, RateLimiter
 from repro.serve.router import HttpError, Request, Response, Router
+from repro.serve.snapshot import ServeSnapshot, build_snapshot, load_snapshot
+from repro.serve.supervisor import Supervisor, SupervisorHandle
 
 __all__ = [
     "HttpError",
+    "InflightGate",
     "Job",
     "JobQueue",
     "LruCache",
@@ -26,6 +31,12 @@ __all__ = [
     "Router",
     "ServeApp",
     "ServeConfig",
+    "ServeSnapshot",
     "ServerHandle",
+    "Supervisor",
+    "SupervisorHandle",
     "UnknownJobError",
+    "build_snapshot",
+    "job_owner",
+    "load_snapshot",
 ]

@@ -44,10 +44,11 @@ from repro.serve.batching import LruCache, MicroBatcher
 from repro.serve.handlers import (
     compute_evaluate_batch,
     compute_whatif,
+    register_internal_routes,
     register_routes,
 )
 from repro.serve.jobs import JobQueue
-from repro.serve.limits import RateLimiter
+from repro.serve.limits import InflightGate, RateLimiter
 from repro.serve.router import HttpError, Request, Response, Router
 
 __all__ = ["ServeApp", "ServeConfig", "ServerHandle"]
@@ -78,32 +79,49 @@ class ServeConfig:
     jobs: int = 1                  # sweep-engine worker processes
     cache_dir: Optional[str] = None
     use_cache: bool = False        # persistent schedule cache opt-in
-    workers: int = 4               # blocking-work thread pool size
+    threads: int = 4               # blocking-work thread pool size
+    workers: int = 1               # serve processes (>1 = supervised fork)
     batching: bool = True
     batch_window_s: float = 0.002
     batch_max: int = 64
     response_cache: int = 1024     # LRU entries; 0 disables
     rate_limit: float = 0.0        # requests/s per client; 0 disables
     rate_burst: Optional[float] = None
+    max_inflight: int = 64         # in-flight cap per worker; 0 disables
     job_concurrency: int = 1
     max_pending_jobs: int = 32
     drain_timeout_s: float = 10.0
+    # -- multi-worker plumbing (set by the supervisor, not by users) ----------
+    worker_index: Optional[int] = None
+    peer_ports: Optional[Dict[int, int]] = None   # worker index -> internal port
+    snapshot_path: Optional[str] = None           # pickled ServeSnapshot
 
 
 class ServeApp:
     """One serving process: loaded state + HTTP front end."""
 
-    def __init__(self, config: Optional[ServeConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        snapshot: Optional[Any] = None,
+    ):
         self.config = config if config is not None else ServeConfig()
         self.router = Router()
         register_routes(self.router)
+        self.internal_router = Router()
+        register_internal_routes(self.internal_router)
         self.started_unix = time.time()
         self.inflight = 0
         self.draining = False
         self._shutdown = None  # asyncio.Event, created on the serving loop
         self._server: Optional[asyncio.base_events.Server] = None
+        self._internal_server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._started = False
+        self._snapshot = snapshot      # injected ServeSnapshot (tests)
+        #: Pre-bound sockets handed over by the supervisor (fork path).
+        self.listen_sock: Optional[socket.socket] = None
+        self.internal_sock: Optional[socket.socket] = None
 
     # -- startup ---------------------------------------------------------------
 
@@ -115,9 +133,23 @@ class ServeApp:
         from repro.accel.resources import ResourceLibrary
         from repro.cmos.model import CmosPotentialModel
         from repro.provenance.manifest import SCHEMA_VERSION, RunLedger, capture
+        from repro.serve.snapshot import load_snapshot
 
         config = self.config
-        self.model = CmosPotentialModel.paper()
+        snapshot = self._snapshot
+        if snapshot is None and config.snapshot_path:
+            snapshot = load_snapshot(config.snapshot_path)
+            self._snapshot = snapshot
+        if snapshot is not None:
+            # Warm boot: the supervisor fitted/traced/built this state
+            # once; replicas (and crash restarts) skip the refit.
+            self.model = snapshot.model
+            self._studies = dict(snapshot.studies)
+            self._kernels = {k.upper(): v for k, v in snapshot.kernels.items()}
+        else:
+            self.model = CmosPotentialModel.paper()
+            self._studies = {}
+            self._kernels = {}
         self.library = ResourceLibrary()
         self.engine = SweepEngine(
             jobs=config.jobs,
@@ -125,7 +157,7 @@ class ServeApp:
             use_cache=config.use_cache,
         )
         self.executor = ThreadPoolExecutor(
-            max_workers=max(1, config.workers), thread_name_prefix="serve"
+            max_workers=max(1, config.threads), thread_name_prefix="serve"
         )
         self.schema_version = SCHEMA_VERSION
         self.manifest = capture("serve", argv=[])
@@ -134,12 +166,20 @@ class ServeApp:
             RunLedger().record(self.manifest)
         except OSError:
             pass  # provenance is best-effort; serving must still come up
-        self._kernels: Dict[str, Any] = {}
         self._schedule_caches: Dict[str, Any] = {}
         self._batch_evaluators: Dict[str, Any] = {}
         self._kernel_lock = threading.Lock()
         self._artifact_cache = LruCache(64, name="artifact")
+        if snapshot is not None:
+            for name, payload in snapshot.artifacts.items():
+                self._artifact_cache.put(name, payload)
         self._response_cache = LruCache(config.response_cache, name="response")
+        self.peers: Dict[int, int] = {
+            index: port
+            for index, port in (config.peer_ports or {}).items()
+            if index != config.worker_index
+        }
+        self.gate = InflightGate(config.max_inflight)
         self.evaluate_batcher = MicroBatcher(
             lambda items: compute_evaluate_batch(self, items),
             max_batch=config.batch_max,
@@ -159,6 +199,7 @@ class ServeApp:
             concurrency=config.job_concurrency,
             max_pending=config.max_pending_jobs,
             executor=self.executor,
+            worker_index=config.worker_index,
         )
         self.limiter = RateLimiter(config.rate_limit, config.rate_burst)
         self._started = True
@@ -166,9 +207,12 @@ class ServeApp:
             "serve.startup %s",
             kv(
                 run_id=self.manifest.run_id,
+                worker=config.worker_index,
                 jobs=config.jobs,
                 batching=config.batching,
                 rate_limit=config.rate_limit,
+                max_inflight=config.max_inflight,
+                warm_boot=snapshot is not None,
             ),
         )
 
@@ -254,7 +298,11 @@ class ServeApp:
             raise HttpError(
                 400, f"unknown study {name!r}", valid_studies=list(STUDIES)
             )
-        return _study_object(name, self.model)
+        study = self._studies.get(name)
+        if study is None:
+            study = _study_object(name, self.model)
+            self._studies[name] = study
+        return study
 
     def fast_subsets(
         self, full: bool
@@ -382,9 +430,23 @@ class ServeApp:
         registry = metrics()
         start = perf_counter()
         route_name = "unrouted"
+        router = self.internal_router if request.internal else self.router
+        gated = False
         try:
-            route, params = self.router.resolve(request.method, request.path)
+            route, params = router.resolve(request.method, request.path)
             route_name = route.name
+            if request.internal:
+                # Worker-to-worker traffic: no draining rejection, rate
+                # limit, or shedding — peers must always resolve jobs and
+                # metrics, even while this worker is under pressure.
+                payload = await route.handler(self, request, **params)
+                response = (
+                    payload
+                    if isinstance(payload, Response)
+                    else Response.json(payload)
+                )
+                registry.counter("serve.internal.requests").inc()
+                return response
             if self.draining and route_name not in OPS_ROUTES:
                 raise HttpError(
                     503, "server is draining", headers={"Connection": "close"}
@@ -399,6 +461,22 @@ class ServeApp:
                         headers={"Retry-After": f"{retry_after:.3f}"},
                         retry_after_s=retry_after,
                     )
+                if not self.gate.try_acquire():
+                    # Load shedding: saturated workers answer immediately
+                    # with an honest back-off instead of queueing without
+                    # bound behind work they have no capacity for.
+                    registry.counter("serve.shed").inc()
+                    retry_after = self.gate.retry_after_s(
+                        registry.timer("serve.latency_s").mean_s
+                    )
+                    raise HttpError(
+                        503,
+                        f"server saturated ({self.gate.inflight} requests "
+                        f"in flight, cap {self.gate.max_inflight})",
+                        headers={"Retry-After": f"{retry_after:.3f}"},
+                        retry_after_s=retry_after,
+                    )
+                gated = True
             self.inflight += 1
             registry.gauge("serve.inflight").set(self.inflight)
             try:
@@ -412,6 +490,10 @@ class ServeApp:
             else:
                 response = Response.json(self.envelope(payload))
         except HttpError as exc:
+            if request.internal:
+                return Response.json(
+                    exc.payload(), status=exc.status, headers=exc.headers
+                )
             response = Response.json(
                 self.envelope(exc.payload()), status=exc.status,
                 headers=exc.headers,
@@ -423,12 +505,19 @@ class ServeApp:
             )
         except Exception as exc:  # noqa: BLE001 - never kill the connection loop
             logger.exception("request.failed method=%s path=%s", request.method, request.path)
+            if request.internal:
+                return Response.json(
+                    {"error": f"internal error: {type(exc).__name__}"}, status=500
+                )
             response = Response.json(
                 self.envelope(
                     {"error": f"internal error: {type(exc).__name__}", "status": 500}
                 ),
                 status=500,
             )
+        finally:
+            if gated:
+                self.gate.release()
         elapsed = perf_counter() - start
         registry.counter("serve.requests").inc()
         registry.counter(f"serve.requests.{route_name}").inc()
@@ -447,10 +536,77 @@ class ServeApp:
         )
         return response
 
+    # -- worker-to-worker requests ----------------------------------------------
+
+    async def peer_request(
+        self,
+        worker_index: int,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        timeout_s: float = 10.0,
+    ) -> Tuple[int, Any]:
+        """One HTTP request to a peer worker's internal listener.
+
+        Returns ``(status, parsed_json_body)``.  Raises :class:`HttpError`
+        503 when the peer is unknown or unreachable (e.g. mid-restart
+        after a crash) — callers surface that as "job temporarily
+        unresolvable", which the supervisor heals within its backoff.
+        """
+        port = self.peers.get(worker_index)
+        if port is None:
+            raise HttpError(
+                503, f"no such worker {worker_index} (stale job id?)"
+            )
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.0\r\n"
+            f"Host: 127.0.0.1:{port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Content-Type: application/json\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection("127.0.0.1", port), timeout_s
+            )
+            try:
+                writer.write(head + payload)
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(-1), timeout_s)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            metrics().counter("serve.internal.peer_errors").inc()
+            raise HttpError(
+                503,
+                f"worker {worker_index} unreachable "
+                f"({type(exc).__name__}) — it may be restarting",
+                retry_after_s=1.0,
+            )
+        header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise HttpError(
+                503, f"worker {worker_index} sent a malformed response"
+            )
+        import json as _json
+
+        data = _json.loads(body_blob.decode("utf-8")) if body_blob.strip() else None
+        return status, data
+
     # -- the HTTP/1.1 protocol --------------------------------------------------
 
     async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        internal: bool = False,
     ) -> None:
         peer = writer.get_extra_info("peername")
         peer_host = peer[0] if isinstance(peer, tuple) else "local"
@@ -462,6 +618,7 @@ class ServeApp:
                 request, keep_alive = await self._read_request(reader, peer_host)
                 if request is None:
                     break
+                request.internal = internal
                 response = await self.dispatch(request)
                 close = (
                     not keep_alive
@@ -546,6 +703,8 @@ class ServeApp:
             f"X-Schema-Version: {self.schema_version}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
+        if self.config.worker_index is not None:
+            head.append(f"X-Worker: {self.config.worker_index}")
         for name, value in response.headers.items():
             if name.lower() != "connection":
                 head.append(f"{name}: {value}")
@@ -556,21 +715,45 @@ class ServeApp:
     # -- lifecycle ---------------------------------------------------------------
 
     async def start_server(self) -> Tuple[str, int]:
-        """Bind the listener and spawn job workers; returns (host, port)."""
+        """Bind the listener and spawn job workers; returns (host, port).
+
+        Under a supervisor the public and internal listening sockets were
+        bound before the fork (``listen_sock`` / ``internal_sock``) and
+        are adopted here instead of binding fresh ones — that is what
+        lets N workers share one port and keeps internal ports stable
+        across crash restarts.
+        """
         self.startup()
         self._shutdown = asyncio.Event()
         self.jobs.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            self.config.host,
-            self.config.port,
-            family=socket.AF_INET,
-        )
+        if self.listen_sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self.listen_sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.config.host,
+                self.config.port,
+                family=socket.AF_INET,
+            )
         sockname = self._server.sockets[0].getsockname()
         self.bound_port = sockname[1]
+        if self.internal_sock is not None:
+
+            async def handle_internal(reader, writer):
+                await self._handle_connection(reader, writer, internal=True)
+
+            self._internal_server = await asyncio.start_server(
+                handle_internal, sock=self.internal_sock
+            )
         logger.info(
             "serve.listening %s",
-            kv(host=self.config.host, port=self.bound_port),
+            kv(
+                host=self.config.host,
+                port=self.bound_port,
+                worker=self.config.worker_index,
+            ),
         )
         return self.config.host, self.bound_port
 
@@ -586,6 +769,9 @@ class ServeApp:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._internal_server is not None:
+            self._internal_server.close()
+            await self._internal_server.wait_closed()
         deadline = time.monotonic() + config.drain_timeout_s
         while self.inflight > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
@@ -620,9 +806,19 @@ class ServeApp:
     def run(self) -> int:
         """Blocking entry point used by ``repro serve``; exits 0 on drain."""
         self.startup()
+        if self.listen_sock is None:
+            # Bind before printing so ``--port 0`` announces the real
+            # ephemeral port (SupervisorHandle and operators parse it).
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.config.host, self.config.port))
+            sock.listen(128)
+            self.listen_sock = sock
+        port = self.listen_sock.getsockname()[1]
         print(
-            f"serving on http://{self.config.host}:{self.config.port} "
-            f"[run] {self.manifest.run_id}"
+            f"serving on http://{self.config.host}:{port} "
+            f"[run] {self.manifest.run_id}",
+            flush=True,
         )
         asyncio.run(self.serve_until_shutdown())
         print("drained, bye")

@@ -15,6 +15,7 @@ parity the drift comparator checks in the test suite and CI.
 
 from __future__ import annotations
 
+import os
 import platform
 import re
 import time
@@ -24,7 +25,12 @@ from repro.errors import ReproError
 from repro.serve.router import HttpError, Request, Response
 from repro.serve import jobs as jobmod
 
-__all__ = ["register_routes", "render_prometheus"]
+__all__ = [
+    "register_internal_routes",
+    "register_routes",
+    "render_prometheus",
+    "render_prometheus_multi",
+]
 
 
 # -- operational surface ------------------------------------------------------
@@ -32,14 +38,22 @@ __all__ = ["register_routes", "render_prometheus"]
 
 async def healthz(app, request: Request) -> Dict[str, Any]:
     counts = app.jobs.counts()
-    return {
+    payload: Dict[str, Any] = {
         "status": "draining" if app.draining else "ok",
         "uptime_s": time.time() - app.started_unix,
         "inflight_requests": app.inflight,
         "jobs": counts,
         "batching": app.config.batching,
         "workloads": app.workload_names(),
+        "inflight_cap": app.gate.max_inflight,
+        "shed_requests": app.gate.shed,
     }
+    if app.config.worker_index is not None:
+        # The replica answering this probe — CI's kill-and-restart check
+        # reads the pid here to target one worker and observe its
+        # replacement come up.
+        payload["worker"] = {"index": app.config.worker_index, "pid": os.getpid()}
+    return payload
 
 
 _PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
@@ -74,12 +88,82 @@ def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_prometheus_multi(
+    snapshots: Mapping[int, Mapping[str, Mapping[str, object]]]
+) -> str:
+    """Render per-worker snapshots with ``{worker="i"}`` series labels.
+
+    *snapshots* maps worker index to that worker's
+    :meth:`MetricsRegistry.snapshot`.  Each metric name gets one ``TYPE``
+    line and one labeled series per worker that reported it, so a single
+    ``/metrics`` scrape of any replica shows the whole fleet.
+    """
+    lines: List[str] = []
+    names = sorted({name for snap in snapshots.values() for name in snap})
+    for name in names:
+        prom = _prom_name(name)
+        kind = next(
+            snap[name].get("type")
+            for snap in snapshots.values()
+            if name in snap
+        )
+        if kind == "counter":
+            lines.append(f"# TYPE {prom} counter")
+            for worker in sorted(snapshots):
+                entry = snapshots[worker].get(name)
+                if entry is not None:
+                    lines.append(
+                        f'{prom}{{worker="{worker}"}} '
+                        f"{int(entry.get('value', 0))}"
+                    )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            for worker in sorted(snapshots):
+                entry = snapshots[worker].get(name)
+                if entry is not None:
+                    lines.append(
+                        f'{prom}{{worker="{worker}"}} '
+                        f"{float(entry.get('value', 0.0)):g}"
+                    )
+        elif kind == "timer":
+            lines.append(f"# TYPE {prom} summary")
+            for worker in sorted(snapshots):
+                entry = snapshots[worker].get(name)
+                if entry is not None:
+                    lines.append(
+                        f'{prom}_count{{worker="{worker}"}} '
+                        f"{int(entry.get('count', 0))}"
+                    )
+                    lines.append(
+                        f'{prom}_sum{{worker="{worker}"}} '
+                        f"{float(entry.get('total_s', 0.0)):.9g}"
+                    )
+    return "\n".join(lines) + "\n"
+
+
 async def metrics_text(app, request: Request) -> Response:
     from repro.obs.metrics import metrics
 
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
+    local = metrics().snapshot()
+    if app.config.worker_index is None or not app.peers:
+        # Single-process mode keeps the unlabeled format — existing
+        # dashboards and the CI smoke greps parse it as-is.
+        return Response.text(render_prometheus(local), content_type=content_type)
+    snapshots: Dict[int, Mapping[str, Mapping[str, object]]] = {
+        app.config.worker_index: local
+    }
+    for index in sorted(app.peers):
+        try:
+            status, data = await app.peer_request(
+                index, "GET", "/internal/metrics"
+            )
+        except HttpError:
+            continue  # peer mid-restart: report the workers we can reach
+        if status == 200 and isinstance(data, dict):
+            snapshots[int(data.get("worker", index))] = data.get("metrics", {})
     return Response.text(
-        render_prometheus(metrics().snapshot()),
-        content_type="text/plain; version=0.0.4; charset=utf-8",
+        render_prometheus_multi(snapshots), content_type=content_type
     )
 
 
@@ -448,10 +532,20 @@ async def sweeps_submit(app, request: Request) -> Any:
 
 
 async def sweeps_list(app, request: Request) -> Dict[str, Any]:
-    return {
-        "jobs": [job.to_dict(include_result=False) for job in app.jobs.jobs()],
-        "counts": app.jobs.counts(),
-    }
+    jobs = [job.to_dict(include_result=False) for job in app.jobs.jobs()]
+    counts = app.jobs.counts()
+    for index in sorted(app.peers):
+        try:
+            status, data = await app.peer_request(index, "GET", "/internal/jobs")
+        except HttpError:
+            continue  # peer mid-restart: list the jobs we can reach
+        if status != 200 or not isinstance(data, dict):
+            continue
+        jobs.extend(data.get("jobs") or [])
+        for state, count in (data.get("counts") or {}).items():
+            counts[state] = counts.get(state, 0) + int(count)
+    jobs.sort(key=lambda job: job.get("submitted_unix") or 0.0)
+    return {"jobs": jobs, "counts": counts}
 
 
 def _job_or_404(app, job_id: str):
@@ -465,12 +559,8 @@ def _job_or_404(app, job_id: str):
         )
 
 
-async def sweeps_get(app, request: Request, job_id: str) -> Dict[str, Any]:
-    job = _job_or_404(app, job_id)
-    return {"job": job.to_dict(include_result=True)}
-
-
-async def sweeps_cancel(app, request: Request, job_id: str) -> Any:
+def _cancel_or_409(app, job_id: str) -> Dict[str, Any]:
+    """Cancel a local queued job; 409 when it already left ``queued``."""
     job = _job_or_404(app, job_id)
     was = job.status
     job = app.jobs.cancel(job_id)
@@ -481,6 +571,83 @@ async def sweeps_cancel(app, request: Request, job_id: str) -> Any:
             status_now=job.status,
         )
     return {"job": job.to_dict(include_result=False)}
+
+
+async def _forward_job(app, method: str, job_id: str) -> Any:
+    """Route a job poll/cancel to the worker that owns *job_id*.
+
+    Returns ``None`` when the job is local (resolve it here); otherwise
+    the owning peer's payload, with peer-side errors re-raised so the
+    client sees the same 404/409 it would get from the owner directly.
+    """
+    owner = jobmod.job_owner(job_id)
+    if (
+        owner is None
+        or owner == app.config.worker_index
+        or owner not in app.peers
+    ):
+        return None
+    status, data = await app.peer_request(
+        owner, method, f"/internal/jobs/{job_id}"
+    )
+    payload = data if isinstance(data, dict) else {}
+    if status >= 400:
+        detail = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("error", "status")
+        }
+        raise HttpError(
+            status,
+            payload.get("error", f"worker {owner} returned {status}"),
+            **detail,
+        )
+    return payload
+
+
+async def sweeps_get(app, request: Request, job_id: str) -> Dict[str, Any]:
+    forwarded = await _forward_job(app, "GET", job_id)
+    if forwarded is not None:
+        return forwarded
+    job = _job_or_404(app, job_id)
+    return {"job": job.to_dict(include_result=True)}
+
+
+async def sweeps_cancel(app, request: Request, job_id: str) -> Any:
+    forwarded = await _forward_job(app, "DELETE", job_id)
+    if forwarded is not None:
+        return forwarded
+    return _cancel_or_409(app, job_id)
+
+
+# -- internal (worker-to-worker) surface --------------------------------------
+#
+# Served only on each worker's supervisor-owned loopback listener; raw
+# JSON (no provenance envelope) because the caller is a sibling replica,
+# not a client.
+
+
+async def internal_metrics(app, request: Request) -> Dict[str, Any]:
+    from repro.obs.metrics import metrics
+
+    return {"worker": app.config.worker_index, "metrics": metrics().snapshot()}
+
+
+async def internal_jobs(app, request: Request) -> Dict[str, Any]:
+    return {
+        "worker": app.config.worker_index,
+        "jobs": [job.to_dict(include_result=False) for job in app.jobs.jobs()],
+        "counts": app.jobs.counts(),
+    }
+
+
+async def internal_job(app, request: Request, job_id: str) -> Dict[str, Any]:
+    job = _job_or_404(app, job_id)
+    return {"job": job.to_dict(include_result=True)}
+
+
+async def internal_job_cancel(app, request: Request, job_id: str) -> Dict[str, Any]:
+    return _cancel_or_409(app, job_id)
 
 
 # -- registration -------------------------------------------------------------
@@ -503,3 +670,16 @@ def register_routes(router) -> None:
     router.add("GET", "/sweeps", sweeps_list, name="sweeps.list")
     router.add("GET", "/sweeps/{job_id}", sweeps_get, name="sweeps.get")
     router.add("DELETE", "/sweeps/{job_id}", sweeps_cancel, name="sweeps.cancel")
+
+
+def register_internal_routes(router) -> None:
+    """Install the worker-to-worker surface (internal listener only)."""
+    router.add("GET", "/internal/metrics", internal_metrics, name="internal.metrics")
+    router.add("GET", "/internal/jobs", internal_jobs, name="internal.jobs")
+    router.add("GET", "/internal/jobs/{job_id}", internal_job, name="internal.job")
+    router.add(
+        "DELETE",
+        "/internal/jobs/{job_id}",
+        internal_job_cancel,
+        name="internal.job.cancel",
+    )

@@ -20,6 +20,7 @@ entries so results stay pollable, then evicted oldest-first.
 from __future__ import annotations
 
 import asyncio
+import re
 import time
 import uuid
 from collections import OrderedDict
@@ -29,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.obs.log import get_logger, kv
 from repro.obs.metrics import metrics
 
-__all__ = ["Job", "JobQueue", "QueueFullError", "UnknownJobError"]
+__all__ = ["Job", "JobQueue", "QueueFullError", "UnknownJobError", "job_owner"]
 
 logger = get_logger("serve.jobs")
 
@@ -41,6 +42,20 @@ CANCELLED = "cancelled"
 
 #: States a job can no longer leave.
 SETTLED = (DONE, FAILED, CANCELLED)
+
+
+#: Job ids minted by a multi-worker queue: ``job-w<index>-<hex>``.
+_OWNED_ID = re.compile(r"^job-w(\d+)-")
+
+
+def job_owner(job_id: str) -> Optional[int]:
+    """The worker index encoded in *job_id*, or ``None`` (single-process id).
+
+    Multi-worker job ids carry their owning worker so any replica can
+    route ``GET /sweeps/{id}`` to the queue that holds the job.
+    """
+    found = _OWNED_ID.match(job_id)
+    return int(found.group(1)) if found is not None else None
 
 
 class QueueFullError(RuntimeError):
@@ -106,6 +121,10 @@ class JobQueue:
         Settled jobs retained for polling before eviction.
     executor:
         Where *runner* runs (``None`` = the loop's default executor).
+    worker_index:
+        When serving as one of N supervised workers, the replica index —
+        minted job ids become ``job-w<index>-<hex>`` so any worker can
+        resolve which queue owns a polled job (see :func:`job_owner`).
     """
 
     def __init__(
@@ -115,6 +134,7 @@ class JobQueue:
         max_pending: int = 32,
         history: int = 64,
         executor=None,
+        worker_index: Optional[int] = None,
     ):
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -123,6 +143,9 @@ class JobQueue:
         self.max_pending = int(max_pending)
         self.history = int(history)
         self.executor = executor
+        self.id_prefix = (
+            "job-" if worker_index is None else f"job-w{int(worker_index)}-"
+        )
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._queue: "asyncio.Queue[str]" = asyncio.Queue()
         self._workers: List[asyncio.Task] = []
@@ -145,7 +168,10 @@ class JobQueue:
         the workers are torn down.
         """
         self._closed = True
-        for job in self._jobs.values():
+        # Snapshot before iterating: _settle -> _evict may delete settled
+        # jobs from self._jobs once the history bound is exceeded, and
+        # mutating the dict mid-iteration raises RuntimeError.
+        for job in list(self._jobs.values()):
             if job.status == QUEUED:
                 self._settle(job, CANCELLED)
         if drain:
@@ -172,7 +198,11 @@ class JobQueue:
             raise QueueFullError(
                 f"job backlog is full ({backlog}/{self.max_pending} queued)"
             )
-        job = Job(job_id=f"job-{uuid.uuid4().hex[:12]}", kind=kind, params=params)
+        job = Job(
+            job_id=f"{self.id_prefix}{uuid.uuid4().hex[:12]}",
+            kind=kind,
+            params=params,
+        )
         self._jobs[job.job_id] = job
         self._queue.put_nowait(job.job_id)
         metrics().counter("serve.jobs.submitted").inc()
@@ -233,17 +263,19 @@ class JobQueue:
                     self.executor, self.runner, job.kind, dict(job.params)
                 )
             except asyncio.CancelledError:
-                self._running -= 1
                 self._settle(job, FAILED, error="server shut down mid-job")
                 raise
             except Exception as exc:  # noqa: BLE001 - job failure is data
-                self._running -= 1
                 self._settle(job, FAILED, error=f"{type(exc).__name__}: {exc}")
             else:
-                self._running -= 1
                 job.result = result
                 self._settle(job, DONE)
-            metrics().gauge("serve.jobs.running").set(self._running)
+            finally:
+                # In a finally so the CancelledError path (worker torn
+                # down mid-job) cannot leave the exported gauge stuck at
+                # its pre-cancel value.
+                self._running -= 1
+                metrics().gauge("serve.jobs.running").set(self._running)
 
     def _settle(self, job: Job, status: str, error: Optional[str] = None) -> None:
         job.status = status

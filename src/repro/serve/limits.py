@@ -1,17 +1,26 @@
-"""Per-client rate limiting for the serving layer.
+"""Admission control for the serving layer: rate limiting and load shedding.
 
-A classic token bucket per client key: each client accrues ``rate``
-tokens per second up to a ``burst`` ceiling, and every admitted request
-spends one token.  A drained bucket rejects the request and reports how
-long until the next token — surfaced to clients as an HTTP 429 with a
-``Retry-After`` header.
+Two independent gates sit in front of the request handlers:
 
-The limiter is synchronous and O(1) per decision; it runs on the event
-loop, so no locking is needed there, but a lock is kept so benchmarks and
-tests may drive it from plain threads too.  Buckets for idle clients are
-evicted once the table outgrows ``max_clients`` (full buckets are
-indistinguishable from brand-new ones, so eviction never grants extra
-tokens).
+* :class:`RateLimiter` — a classic token bucket per client key: each
+  client accrues ``rate`` tokens per second up to a ``burst`` ceiling,
+  and every admitted request spends one token.  A drained bucket rejects
+  the request and reports how long until the next token — surfaced to
+  clients as an HTTP 429 with a ``Retry-After`` header.
+
+* :class:`InflightGate` — a per-worker cap on concurrently executing
+  requests.  Past the cap the server *sheds* load: the request is
+  answered 503 + ``Retry-After`` immediately instead of queueing behind
+  work it has no capacity for, so overload degrades predictably (bounded
+  latency for admitted requests, an honest back-off hint for the rest).
+
+Both are synchronous and O(1) per decision; they run on the event loop,
+so no locking is needed there, but a lock is kept so benchmarks and
+tests may drive them from plain threads too.  Rate-limiter buckets for
+idle clients are evicted once the table outgrows ``max_clients`` —
+eviction only ever drops buckets that have refilled to ``burst``, which
+are indistinguishable from brand-new ones, so eviction never grants
+extra tokens.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ import threading
 import time
 from typing import Dict, Optional, Tuple
 
-__all__ = ["RateLimiter"]
+__all__ = ["InflightGate", "RateLimiter"]
 
 
 class _Bucket:
@@ -78,7 +87,7 @@ class RateLimiter:
             if bucket is None:
                 bucket = _Bucket(self.burst, stamp)
                 self._buckets[client] = bucket
-                self._evict(stamp)
+                self._evict(stamp, keep=client)
             else:
                 elapsed = max(0.0, stamp - bucket.updated_s)
                 bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
@@ -88,15 +97,92 @@ class RateLimiter:
                 return True, 0.0
             return False, (1.0 - bucket.tokens) / self.rate
 
-    def _evict(self, now: float) -> None:
-        """Drop the stalest buckets once the table outgrows its bound."""
+    def _evict(self, now: float, keep: Optional[str] = None) -> None:
+        """Drop stale buckets once the table outgrows its bound.
+
+        Only buckets that have *refilled to full* by ``now`` are dropped:
+        a full bucket is indistinguishable from the brand-new one the
+        client would get on return, so forgetting it never grants extra
+        tokens.  A drained bucket that went briefly idle is kept — the
+        old behaviour (evict least-recently-updated regardless of token
+        state) handed such clients a fresh ``burst`` on every table
+        churn, bypassing the limiter entirely.  The *keep* client (the
+        insertion that triggered this call) is never dropped: its bucket
+        is full right now but is about to spend, and evicting it would
+        grant a fresh burst per request while the table is overflowed.
+
+        ``max_clients`` is therefore a soft bound: buckets still owing
+        tokens survive an overflow, but each becomes evictable within
+        ``burst / rate`` seconds of going idle, so the table shrinks
+        back on the next insertion after that.
+        """
         overflow = len(self._buckets) - self.max_clients
         if overflow <= 0:
             return
         stale = sorted(self._buckets, key=lambda c: self._buckets[c].updated_s)
-        for client in stale[:overflow]:
-            del self._buckets[client]
+        for client in stale:
+            if overflow <= 0:
+                return
+            if client == keep:
+                continue
+            bucket = self._buckets[client]
+            refilled = bucket.tokens + max(0.0, now - bucket.updated_s) * self.rate
+            if refilled >= self.burst:
+                del self._buckets[client]
+                overflow -= 1
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._buckets)
+
+
+class InflightGate:
+    """Per-worker concurrency cap: admit up to ``max_inflight`` requests.
+
+    The serving layer acquires a slot before running a handler and
+    releases it afterwards.  When every slot is taken the request is shed
+    (HTTP 503) with a ``Retry-After`` hint derived from the recent mean
+    request latency — the honest estimate of when a slot frees up.
+
+    ``max_inflight <= 0`` disables the gate entirely.
+    """
+
+    def __init__(self, max_inflight: int):
+        self.max_inflight = int(max_inflight)
+        self._inflight = 0
+        self._shed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_inflight > 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected at the gate since startup."""
+        return self._shed
+
+    def try_acquire(self) -> bool:
+        """Take one slot; ``False`` (and a shed count) when saturated."""
+        if not self.enabled:
+            return True
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def retry_after_s(self, mean_latency_s: float) -> float:
+        """Back-off hint for a shed request (bounded to a sane range)."""
+        return min(5.0, max(0.05, mean_latency_s))

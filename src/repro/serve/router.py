@@ -69,6 +69,10 @@ class Request:
     headers: Dict[str, str]
     body: bytes
     client: str
+    #: True for worker-to-worker requests on the internal loopback
+    #: listener — resolved against the internal route table and exempt
+    #: from rate limiting, shedding, and the provenance envelope.
+    internal: bool = False
 
     @classmethod
     def parse_target(cls, target: str) -> Tuple[str, Dict[str, str]]:

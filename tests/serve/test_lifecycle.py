@@ -69,6 +69,49 @@ class TestRateLimiting:
             handle.stop()
 
 
+class TestAdmissionControl:
+    def test_saturated_worker_sheds_with_retry_after(self):
+        import asyncio
+        import threading
+
+        handle = make_server(max_inflight=1)
+        block = threading.Event()
+        try:
+            app = handle.app
+
+            async def slow(app_, request):
+                loop = asyncio.get_event_loop()
+                await loop.run_in_executor(None, block.wait, 30.0)
+                return {"ok": True}
+
+            app.router.add("GET", "/slow", slow, name="slow")
+            client = ServeClient(handle.port)
+            results = []
+            holder = threading.Thread(
+                target=lambda: results.append(client.get("/slow"))
+            )
+            holder.start()
+            wait_for(lambda: app.gate.inflight == 1)
+            # The only slot is held: the next request is shed, not queued.
+            status, payload, headers = client.get("/cmos/gains?node=5")
+            assert status == 503
+            assert headers.get("retry-after") is not None
+            assert "saturated" in payload["data"]["error"]
+            assert payload["data"]["retry_after_s"] > 0
+            # The operational surface is never shed...
+            status, health, _ = client.get("/healthz")
+            assert status == 200
+            assert health["data"]["shed_requests"] >= 1
+            # ...and releasing the slot admits new work again.
+            block.set()
+            holder.join(30.0)
+            assert results and results[0][0] == 200
+            assert client.get("/cmos/gains?node=5")[0] == 200
+        finally:
+            block.set()
+            handle.stop()
+
+
 class TestSweepJobs:
     @pytest.fixture(scope="class")
     def jobs_server(self):

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import pytest
 
 from repro.serve.batching import LruCache, MicroBatcher
-from repro.serve.handlers import render_prometheus
+from repro.serve.handlers import render_prometheus, render_prometheus_multi
 from repro.serve.jobs import (
     CANCELLED,
     DONE,
@@ -15,8 +16,9 @@ from repro.serve.jobs import (
     JobQueue,
     QueueFullError,
     UnknownJobError,
+    job_owner,
 )
-from repro.serve.limits import RateLimiter
+from repro.serve.limits import InflightGate, RateLimiter
 from repro.serve.router import HttpError, Request, Response, Router
 
 
@@ -124,6 +126,85 @@ class TestRateLimiter:
         assert limiter.allow("a", now=100.0)[0]
         assert limiter.allow("b", now=100.0)[0]
         assert not limiter.allow("a", now=100.0)[0]
+
+    def test_eviction_never_grants_free_burst(self):
+        """Regression: table churn used to hand drained clients a refill.
+
+        The old ``_evict`` dropped the least-recently-updated bucket
+        regardless of its token balance, so a client that spent its whole
+        burst and idled briefly came back to a brand-new full bucket.
+        """
+        limiter = RateLimiter(1.0, burst=2.0, max_clients=1)
+        assert limiter.allow("a", now=100.0)[0]
+        assert limiter.allow("a", now=100.0)[0]
+        assert not limiter.allow("a", now=100.0)[0]  # burst spent
+        # Another client arriving overflows the 1-bucket table — the
+        # churn that used to evict (and thereby reset) client "a".
+        assert limiter.allow("b", now=100.01)[0]
+        admitted, retry_after = limiter.allow("a", now=100.02)
+        assert not admitted  # old behaviour: a fresh burst right here
+        assert retry_after > 0
+
+    def test_eviction_drops_only_refilled_buckets(self):
+        limiter = RateLimiter(1.0, burst=2.0, max_clients=1)
+        assert limiter.allow("a", now=100.0)[0]  # leaves 1 token
+        # By now=103 client "a" has refilled to full: evictable, and the
+        # table shrinks back to its bound on the next insertion.
+        assert limiter.allow("b", now=103.0)[0]
+        assert len(limiter) == 1
+
+    def test_incoming_bucket_is_not_self_evicted(self):
+        """A new client's own (full) bucket must survive the overflow scan,
+        or an overflowed table would grant it a fresh burst per request."""
+        limiter = RateLimiter(1.0, burst=1.0, max_clients=0)
+        assert limiter.allow("a", now=100.0)[0]
+        assert not limiter.allow("a", now=100.0)[0]
+
+
+class TestInflightGate:
+    def test_disabled_when_cap_is_zero(self):
+        gate = InflightGate(0)
+        assert not gate.enabled
+        assert all(gate.try_acquire() for _ in range(100))
+        assert gate.inflight == 0
+
+    def test_acquire_release_and_shed_accounting(self):
+        gate = InflightGate(2)
+        assert gate.try_acquire()
+        assert gate.try_acquire()
+        assert not gate.try_acquire()  # saturated -> shed
+        assert gate.shed == 1
+        assert gate.inflight == 2
+        gate.release()
+        assert gate.try_acquire()  # a freed slot admits again
+        gate.release()
+        gate.release()
+        assert gate.inflight == 0
+
+    def test_retry_after_is_bounded(self):
+        gate = InflightGate(1)
+        assert gate.retry_after_s(0.0) == pytest.approx(0.05)
+        assert gate.retry_after_s(0.8) == pytest.approx(0.8)
+        assert gate.retry_after_s(120.0) == pytest.approx(5.0)
+
+
+class TestJobOwner:
+    def test_multi_worker_ids_carry_their_owner(self):
+        assert job_owner("job-w0-abc123") == 0
+        assert job_owner("job-w17-abc123") == 17
+
+    def test_single_process_ids_have_no_owner(self):
+        assert job_owner("job-abc123") is None
+        assert job_owner("not-a-job-id") is None
+
+    def test_queue_mints_owned_ids(self):
+        async def scenario():
+            queue = JobQueue(lambda k, p: None, worker_index=3)
+            return queue.submit("sweep", {})
+
+        job = asyncio.run(scenario())
+        assert job.job_id.startswith("job-w3-")
+        assert job_owner(job.job_id) == 3
 
 
 class TestMicroBatcher:
@@ -285,6 +366,64 @@ class TestJobQueue:
         with pytest.raises(UnknownJobError):
             queue.get(jobs[0].job_id)
 
+    def test_drain_with_exceeded_history_and_pending_jobs(self):
+        """Regression: ``close()`` used to iterate ``self._jobs`` live.
+
+        Cancelling a queued job settles it, settling runs ``_evict``, and
+        once the settled count tops ``history`` eviction deletes entries
+        from the dict being iterated — the old code raised
+        ``RuntimeError: dictionary changed size during iteration`` on
+        exactly this drain.
+        """
+
+        async def scenario():
+            # Workers never started: submissions stay queued.
+            queue = JobQueue(lambda k, p: None, max_pending=100, history=2)
+            settled = [queue.submit("sweep", {}) for _ in range(2)]
+            for job in settled:
+                queue.cancel(job.job_id)  # history now exactly full
+            pending = [queue.submit("sweep", {}) for _ in range(4)]
+            await queue.close()  # each cancel here evicts an older entry
+            return queue, pending
+
+        queue, pending = run(scenario())
+        assert all(
+            job.status == CANCELLED for job in pending
+        )  # every queued job was settled by the drain
+        assert len(queue.jobs()) == 2  # history bound still holds
+
+    def test_running_gauge_resets_when_worker_cancelled_mid_job(self):
+        """Regression: the shutdown path left ``serve.jobs.running`` stale.
+
+        The worker's CancelledError branch re-raised before the post-try
+        gauge update ran, so a drain that tore down a mid-job worker
+        exported a non-zero running count forever.
+        """
+        from repro.obs.metrics import metrics, reset_metrics
+
+        reset_metrics()
+        release = threading.Event()
+
+        def runner(kind, params):
+            release.wait(10.0)
+            return None
+
+        async def scenario():
+            queue = JobQueue(runner)
+            queue.start()
+            job = queue.submit("sweep", {})
+            while queue.active == 0:
+                await asyncio.sleep(0.005)
+            assert metrics().snapshot()["serve.jobs.running"]["value"] == 1
+            # No drain budget: the worker task is cancelled mid-job.
+            await queue.close(drain=False, timeout_s=0.0)
+            release.set()  # let the executor thread finish
+            return queue.get(job.job_id)
+
+        job = run(scenario())
+        assert job.status == FAILED
+        assert metrics().snapshot()["serve.jobs.running"]["value"] == 0
+
 
 class TestPrometheusRendering:
     def test_renders_all_instrument_kinds(self):
@@ -306,6 +445,29 @@ class TestPrometheusRendering:
             {"serve.requests.cmos.gains": {"type": "counter", "value": 1}}
         )
         assert "repro_serve_requests_cmos_gains 1" in text
+
+    def test_multi_worker_rendering_labels_each_series(self):
+        text = render_prometheus_multi(
+            {
+                0: {
+                    "serve.requests": {"type": "counter", "value": 7},
+                    "serve.latency_s": {"type": "timer", "count": 3, "total_s": 0.5},
+                },
+                1: {
+                    "serve.requests": {"type": "counter", "value": 5},
+                    "serve.inflight": {"type": "gauge", "value": 2.0},
+                },
+            }
+        )
+        # One TYPE line per metric, one labeled series per reporting worker.
+        assert text.count("# TYPE repro_serve_requests counter") == 1
+        assert 'repro_serve_requests{worker="0"} 7' in text
+        assert 'repro_serve_requests{worker="1"} 5' in text
+        assert 'repro_serve_inflight{worker="1"} 2' in text
+        assert 'repro_serve_latency_s_count{worker="0"} 3' in text
+        assert 'repro_serve_latency_s_sum{worker="0"} 0.5' in text
+        # Workers that never touched a metric contribute no series for it.
+        assert 'repro_serve_inflight{worker="0"}' not in text
 
     def test_response_reason_phrases(self):
         assert Response.json({}, status=429).reason == "Too Many Requests"
