@@ -200,6 +200,41 @@ def run_phase(port: int, clients: int, worker) -> Dict[str, Any]:
     }
 
 
+def telemetry_sample(port: int) -> Dict[str, Any]:
+    """The server's own view of the load it just took.
+
+    Scrapes the ``serve.latency_s`` histogram family from ``/metrics``
+    and the slowest retained flight-recorder rows from ``/debug/slow``,
+    so each entry records what the always-on telemetry measured server-
+    side next to the client-side percentiles.  (The acceptance gate
+    holds client-side mixed p50 with telemetry on against the
+    pre-histogram baseline — telemetry must stay cheap enough to never
+    turn off.)
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    headers = {"X-Client-Id": "bench-telemetry"}
+    try:
+        conn.request("GET", "/debug/slow?n=5", headers=headers)
+        payload = json.loads(conn.getresponse().read())
+        slowest = [
+            {key: row.get(key) for key in ("route", "status", "duration_s", "trace_id")}
+            for row in payload["data"]["requests"]
+        ]
+        conn.request("GET", "/metrics", headers=headers)
+        text = conn.getresponse().read().decode()
+    finally:
+        conn.close()
+    histogram: Dict[str, Any] = {"buckets": 0}
+    for line in text.splitlines():
+        if line.startswith("repro_serve_latency_s_sum "):
+            histogram["sum_s"] = float(line.split()[-1])
+        elif line.startswith("repro_serve_latency_s_count "):
+            histogram["count"] = int(line.split()[-1])
+        elif line.startswith("repro_serve_latency_s_bucket{"):
+            histogram["buckets"] += 1
+    return {"histogram": histogram, "slowest": slowest}
+
+
 def with_server(
     batching: bool, fn, warm: Tuple[dict, ...] = TRACE_WARMUP
 ) -> Dict[str, Any]:
@@ -264,11 +299,12 @@ def worker_scaling_phase(
 
 
 def run(clients: int, requests: int, worker_counts: Sequence[int] = ()) -> dict:
-    mixed = with_server(
-        True,
-        lambda port: mixed_phase(port, clients, requests),
-        warm=TRACE_WARMUP + EVALUATE_POINTS,
-    )
+    def mixed_with_telemetry(port: int) -> Dict[str, Any]:
+        result = mixed_phase(port, clients, requests)
+        result["telemetry"] = telemetry_sample(port)
+        return result
+
+    mixed = with_server(True, mixed_with_telemetry, warm=TRACE_WARMUP + EVALUATE_POINTS)
     batched = with_server(
         True, lambda port: evaluate_phase(port, clients, requests)
     )

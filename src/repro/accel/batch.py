@@ -521,7 +521,7 @@ class BatchEvaluator:
             registry = metrics()
             registry.counter("batch.points").inc(n)
             registry.counter("batch.structures").inc(n_structs)
-            registry.timer("batch.evaluate_s").observe(perf_counter() - start)
+            registry.histogram("batch.evaluate_s").observe(perf_counter() - start)
             return BatchResult(
                 kernel=self.kernel.name,
                 designs=design_list,

@@ -580,9 +580,9 @@ class SweepEngine:
         registry.counter("engine.cache_hits").inc(stats.cache_hits)
         registry.counter("engine.cache_misses").inc(stats.cache_misses)
         registry.gauge("engine.jobs").set(stats.jobs)
-        registry.timer("engine.elapsed_s").observe(stats.elapsed_s)
-        registry.timer("engine.schedule_s").observe(stats.schedule_s)
-        registry.timer("engine.evaluate_s").observe(stats.evaluate_s)
+        registry.histogram("engine.elapsed_s").observe(stats.elapsed_s)
+        registry.histogram("engine.schedule_s").observe(stats.schedule_s)
+        registry.histogram("engine.evaluate_s").observe(stats.evaluate_s)
 
 
 def _log_stats(stats: SweepStats) -> Dict[str, object]:

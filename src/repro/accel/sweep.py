@@ -208,7 +208,7 @@ class ScheduleCache:
                     )
             elapsed = perf_counter() - start
             self.schedule_s += elapsed
-            metrics().timer("schedule").observe(elapsed)
+            metrics().histogram("schedule").observe(elapsed)
             logger.debug(
                 "schedule.computed %s",
                 kv(

@@ -231,7 +231,10 @@ def _cmd_stats(args) -> int:
             file=sys.stderr,
         )
         return 1
-    if getattr(args, "json", False):
+    fmt = getattr(args, "format", None) or (
+        "json" if getattr(args, "json", False) else "table"
+    )
+    if fmt == "json":
         print(json.dumps(payload, indent=2))
         return 0
     print(f"=== metrics snapshot ({path}) ===")
@@ -241,6 +244,66 @@ def _cmd_stats(args) -> int:
         print(f"run:      {payload['run_id']}")
     print(MetricsRegistry().render(payload.get("metrics", {})))
     return 0
+
+
+def _cmd_tail(args) -> int:
+    """Live view of a serve fleet's flight recorder (``/debug/requests``).
+
+    Polls the fleet-merged debug endpoint and prints each request record
+    once (dedup by trace id + start + worker), newest last — a
+    ``tail -f`` for HTTP traffic.  ``--slow`` switches to the slowest
+    retained requests instead of the newest.
+    """
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    endpoint = "/debug/slow" if args.slow else "/debug/requests"
+    url = f"{base}{endpoint}?n={max(1, args.count)}"
+    seen: set = set()
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=10.0) as resp:
+                    payload = json.load(resp)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"error: {url} unreachable ({exc})", file=sys.stderr)
+                if args.once:
+                    return 1
+                time.sleep(args.interval)
+                continue
+            rows = (payload.get("data") or {}).get("requests") or []
+            for row in rows:
+                key = (
+                    row.get("trace_id"),
+                    row.get("start_unix"),
+                    row.get("worker"),
+                    row.get("internal"),
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                worker = row.get("worker")
+                stamp = time.strftime(
+                    "%H:%M:%S", time.localtime(float(row.get("start_unix") or 0.0))
+                )
+                print(
+                    f"{stamp} "
+                    f"{1e3 * float(row.get('duration_s') or 0.0):9.2f}ms "
+                    f"{row.get('status', '?'):>3} "
+                    f"{('w' + str(worker)) if worker is not None else '-':>3} "
+                    f"{row.get('method', '?'):<6} {row.get('path', '?')} "
+                    f"trace={row.get('trace_id')}"
+                    + (" [internal]" if row.get("internal") else ""),
+                    flush=True,
+                )
+            if args.once:
+                return 0
+            if len(seen) > 100_000:
+                seen.clear()  # bound memory over a very long tail
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_report(args) -> int:
@@ -533,6 +596,7 @@ def _cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
         job_concurrency=args.job_concurrency,
         drain_timeout_s=args.drain_timeout,
+        flight_recorder=args.flight_recorder,
     )
     if workers > 1:
         from repro.serve.supervisor import Supervisor
@@ -630,9 +694,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the metrics snapshot persisted by the last DSE-backed run",
     )
     stats.add_argument(
-        "--json", action="store_true", help="print the raw snapshot as JSON"
+        "--json", action="store_true",
+        help="print the raw snapshot as JSON (alias for --format json)",
+    )
+    stats.add_argument(
+        "--format", choices=("table", "json"), default=None,
+        help="output format (default: table)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    tail = sub.add_parser(
+        "tail",
+        help="live view of a running server's recent requests "
+        "(polls /debug/requests)",
+    )
+    tail.add_argument(
+        "--url", default="http://127.0.0.1:8080", metavar="URL",
+        help="server base URL (default: http://127.0.0.1:8080)",
+    )
+    tail.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="poll interval in seconds (default: 2)",
+    )
+    tail.add_argument(
+        "--count", type=int, default=50, metavar="N",
+        help="records fetched per poll (default: 50)",
+    )
+    tail.add_argument(
+        "--slow", action="store_true",
+        help="show the slowest retained requests (/debug/slow) instead "
+        "of the newest",
+    )
+    tail.add_argument(
+        "--once", action="store_true", help="poll once and exit"
+    )
+    tail.set_defaults(func=_cmd_tail)
 
     export = sub.add_parser("export", help="write every artifact as JSON")
     export.add_argument("--out", default="artifacts", help="output directory")
@@ -707,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--drain-timeout", type=float, default=10.0, metavar="S",
         help="graceful-drain budget on SIGTERM (default: 10s)",
+    )
+    serve.add_argument(
+        "--flight-recorder", type=int, default=256, metavar="N",
+        help="request records retained per worker for /debug/requests "
+        "and `repro tail` (default: 256)",
     )
     serve.set_defaults(func=_cmd_serve)
 

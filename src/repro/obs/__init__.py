@@ -24,20 +24,38 @@ is a reusable no-op, metrics are plain in-process integers, and loggers
 propagate to whatever the host application configured.
 """
 
-from repro.obs.log import configure_logging, get_logger, kv
-from repro.obs.metrics import MetricsRegistry, metrics, reset_metrics
-from repro.obs.trace import Span, Tracer, get_tracer, set_tracer, span
+from repro.obs.log import configure_logging, get_logger, kv, set_log_run_id
+from repro.obs.metrics import Histogram, MetricsRegistry, metrics, reset_metrics
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    new_trace_id,
+    parse_traceparent,
+    set_tracer,
+    span,
+    trace_id_from_headers,
+    trace_scope,
+)
 
 __all__ = [
+    "Histogram",
     "MetricsRegistry",
     "Span",
     "Tracer",
     "configure_logging",
+    "current_trace_id",
     "get_logger",
     "get_tracer",
     "kv",
     "metrics",
+    "new_trace_id",
+    "parse_traceparent",
     "reset_metrics",
+    "set_log_run_id",
     "set_tracer",
     "span",
+    "trace_id_from_headers",
+    "trace_scope",
 ]

@@ -10,6 +10,11 @@ Nothing is emitted until a handler is attached: :func:`configure_logging`
 is called exactly once by the CLI, mapping ``-v`` to INFO and ``-vv`` to
 DEBUG on the ``repro`` root logger.  Library code never configures
 handlers itself, so embedding applications keep full control.
+
+Lines emitted while a request trace id is bound (:func:`trace_scope`)
+carry a trailing `` trace_id=<id>`` so logs correlate with the flight
+recorder and `/debug/trace/{id}` (METHODOLOGY §15); a server additionally
+calls :func:`set_log_run_id` once at startup so every line names the run.
 """
 
 from __future__ import annotations
@@ -18,11 +23,40 @@ import logging
 import sys
 from typing import IO, Optional
 
-__all__ = ["configure_logging", "get_logger", "kv"]
+__all__ = ["configure_logging", "get_logger", "kv", "set_log_run_id"]
 
 ROOT_LOGGER = "repro"
 
-_FORMAT = "%(relativeCreated)8.1fms %(levelname)-7s %(name)s %(message)s"
+_FORMAT = "%(relativeCreated)8.1fms %(levelname)-7s %(name)s %(message)s%(obs_context)s"
+
+_RUN_ID: Optional[str] = None
+
+
+def set_log_run_id(run_id: Optional[str]) -> None:
+    """Attach *run_id* to every subsequent log line (``None`` detaches)."""
+    global _RUN_ID
+    _RUN_ID = run_id
+
+
+class _ContextFilter(logging.Filter):
+    """Stamp ``record.obs_context`` with the bound trace id and run id.
+
+    A Filter rather than a Formatter so the fields exist on the record
+    (greppable by downstream handlers too), and so lines outside any
+    request context stay byte-identical to the old format.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        from repro.obs.trace import current_trace_id
+
+        parts = []
+        trace_id = current_trace_id()
+        if trace_id:
+            parts.append(f"trace_id={trace_id}")
+        if _RUN_ID:
+            parts.append(f"run_id={_RUN_ID}")
+        record.obs_context = " " + " ".join(parts) if parts else ""
+        return True
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -67,6 +101,7 @@ def configure_logging(
     root.setLevel(level)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(_ContextFilter())
     handler.set_name("repro-obs")
     for existing in list(root.handlers):
         if existing.get_name() == "repro-obs":

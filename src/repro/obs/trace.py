@@ -16,19 +16,41 @@ and the parent :meth:`Tracer.absorb`\\ s them.
 :meth:`Tracer.export_chrome` writes the Chrome trace-event format
 (``{"traceEvents": [...]}``, one complete ``"ph": "X"`` event per span,
 microsecond units) understood by Perfetto and ``chrome://tracing``.
+
+Request tracing (METHODOLOGY §15) rides on top: :func:`trace_scope`
+binds a trace id in a :class:`contextvars.ContextVar`, every span
+finished inside the scope is stamped with it, and
+:meth:`Tracer.take` pulls one trace's spans back out so the serve layer
+can ship them across worker processes and stitch a multi-hop request
+into a single timeline.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
+import re
 import threading
 import time
+import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Deque, Dict, Iterable, List, Optional, Union
 
-__all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "span"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_trace_id",
+    "get_tracer",
+    "new_trace_id",
+    "parse_traceparent",
+    "set_tracer",
+    "span",
+    "trace_id_from_headers",
+    "trace_scope",
+]
 
 AttrValue = Union[str, int, float, bool]
 
@@ -50,6 +72,7 @@ class Span:
     tid: int
     depth: int
     attrs: Dict[str, AttrValue] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     @property
     def end_s(self) -> float:
@@ -94,6 +117,7 @@ class _ActiveSpan:
                 tid=threading.get_ident(),
                 depth=len(stack),
                 attrs=self._attrs,
+                trace_id=current_trace_id(),
             )
         )
         return False
@@ -114,17 +138,99 @@ class _NoopSpan:
 _NOOP = _NoopSpan()
 
 
+# -- trace ids ----------------------------------------------------------------
+#
+# A trace id names one end-to-end request across processes.  The serve
+# layer honors an incoming W3C ``traceparent`` header (or a bare
+# ``X-Trace-Id``), mints an id otherwise, and binds it here so every span
+# finished while handling the request — including inside executor threads,
+# provided the caller copies the context — carries the id.
+
+_TRACE_ID: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+_TRACEPARENT_RE = re.compile(
+    r"^[0-9a-f]{2}-([0-9a-f]{32})-[0-9a-f]{16}-[0-9a-f]{2}$"
+)
+_TRACE_ID_RE = re.compile(r"^[0-9a-zA-Z_.-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """Mint a 32-hex trace id (the W3C trace-id width)."""
+    return uuid.uuid4().hex
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound in this context, or ``None`` outside a request."""
+    return _TRACE_ID.get()
+
+
+def parse_traceparent(value: str) -> Optional[str]:
+    """The 32-hex trace-id field of a W3C ``traceparent`` header, if valid."""
+    match = _TRACEPARENT_RE.match(value.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group(1)
+    return None if trace_id == "0" * 32 else trace_id
+
+
+def trace_id_from_headers(headers: Dict[str, str]) -> Optional[str]:
+    """Extract a trace id from lower-cased *headers*, if one was sent.
+
+    ``traceparent`` wins over ``x-trace-id``; a malformed value is treated
+    as absent (the caller mints a fresh id) rather than rejected.
+    """
+    parent = headers.get("traceparent")
+    if parent:
+        parsed = parse_traceparent(parent)
+        if parsed:
+            return parsed
+    bare = headers.get("x-trace-id", "").strip()
+    if bare and _TRACE_ID_RE.match(bare):
+        return bare
+    return None
+
+
+class trace_scope:
+    """Bind *trace_id* for the dynamic extent of a ``with`` body.
+
+    Re-entrant and exception-safe; ``trace_scope(None)`` explicitly
+    clears the binding (a background worker starting unrelated work).
+    """
+
+    __slots__ = ("_trace_id", "_token")
+
+    def __init__(self, trace_id: Optional[str]):
+        self._trace_id = trace_id
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[str]:
+        self._token = _TRACE_ID.set(self._trace_id)
+        return self._trace_id
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _TRACE_ID.reset(self._token)
+            self._token = None
+        return False
+
+
 class Tracer:
     """Collects finished spans; safe for concurrent threads.
 
     One tracer lives in the parent process (installed by the CLI when
-    ``--profile`` or ``--trace-out`` is given); each worker process
-    installs its own and the engine merges the workers' spans back with
-    :meth:`absorb`.
+    ``--profile`` or ``--trace-out`` is given, or by a long-running
+    server at startup); each worker process installs its own and the
+    engine merges the workers' spans back with :meth:`absorb`.
+
+    ``max_spans`` bounds the buffer for long-running servers: once full,
+    the oldest spans are evicted.  The default (``None``) keeps every
+    span, which is what one-shot CLI profiling wants.
     """
 
-    def __init__(self) -> None:
-        self._spans: List[Span] = []
+    def __init__(self, max_spans: Optional[int] = None) -> None:
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
         self._local = threading.local()
         self._lock = threading.Lock()
 
@@ -153,9 +259,24 @@ class Tracer:
     def drain(self) -> List[Span]:
         """Remove and return every finished span (worker → parent shipping)."""
         with self._lock:
-            drained = self._spans
-            self._spans = []
+            drained = list(self._spans)
+            self._spans.clear()
         return drained
+
+    def take(self, trace_id: str) -> List[Span]:
+        """Remove and return the spans stamped with *trace_id*.
+
+        The serve layer calls this at the end of each request to move the
+        request's spans into its flight recorder, so the shared ring stays
+        small and a trace survives even after the tracer evicts.
+        """
+        with self._lock:
+            taken = [s for s in self._spans if s.trace_id == trace_id]
+            if taken:
+                kept = [s for s in self._spans if s.trace_id != trace_id]
+                self._spans.clear()
+                self._spans.extend(kept)
+        return taken
 
     @property
     def spans(self) -> List[Span]:
@@ -180,6 +301,9 @@ class Tracer:
         epoch = min(s.start_s for s in spans)
         events: List[Dict[str, object]] = []
         for s in sorted(spans, key=lambda s: s.start_s):
+            args = dict(s.attrs)
+            if s.trace_id:
+                args["trace_id"] = s.trace_id
             events.append(
                 {
                     "name": s.name,
@@ -189,7 +313,7 @@ class Tracer:
                     "dur": s.duration_s * 1e6,
                     "pid": s.pid,
                     "tid": s.tid,
-                    "args": dict(s.attrs),
+                    "args": args,
                 }
             )
         return events

@@ -11,6 +11,7 @@ snapshot (see ``docs/METHODOLOGY.md`` §12 and §14).
 
 from repro.serve.app import ServeApp, ServeConfig, ServerHandle
 from repro.serve.batching import LruCache, MicroBatcher
+from repro.serve.debug import FlightRecorder, RequestRecord
 from repro.serve.jobs import Job, JobQueue, QueueFullError, UnknownJobError, job_owner
 from repro.serve.limits import InflightGate, RateLimiter
 from repro.serve.router import HttpError, Request, Response, Router
@@ -18,9 +19,11 @@ from repro.serve.snapshot import ServeSnapshot, build_snapshot, load_snapshot
 from repro.serve.supervisor import Supervisor, SupervisorHandle
 
 __all__ = [
+    "FlightRecorder",
     "HttpError",
     "InflightGate",
     "Job",
+    "RequestRecord",
     "JobQueue",
     "LruCache",
     "MicroBatcher",

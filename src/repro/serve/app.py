@@ -27,6 +27,7 @@ process exits 0.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import signal
 import socket
 import threading
@@ -37,10 +38,20 @@ from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError, ValidationError
-from repro.obs.log import get_logger, kv
+from repro.obs.log import get_logger, kv, set_log_run_id
 from repro.obs.metrics import metrics
-from repro.obs.trace import span
+from repro.obs.trace import (
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    span,
+    trace_id_from_headers,
+    trace_scope,
+)
 from repro.serve.batching import LruCache, MicroBatcher
+from repro.serve.debug import FlightRecorder
 from repro.serve.handlers import (
     compute_evaluate_batch,
     compute_whatif,
@@ -66,8 +77,21 @@ MAX_BODY_BYTES = 1024 * 1024
 IDLE_TIMEOUT_S = 30.0
 
 #: Routes exempt from rate limiting and drain rejection (operators must
-#: always be able to probe a draining or overloaded server).
-OPS_ROUTES = ("healthz", "metrics", "version")
+#: always be able to probe a draining or overloaded server — the debug
+#: surface exists precisely for overloaded servers).
+OPS_ROUTES = (
+    "healthz",
+    "metrics",
+    "version",
+    "debug.requests",
+    "debug.slow",
+    "debug.trace",
+)
+
+#: Spans a long-running server's tracer retains before evicting oldest.
+#: Each request's spans are moved into the flight recorder as the request
+#: finishes, so this ring only holds in-flight and orphaned spans.
+TRACER_RING = 8192
 
 
 @dataclass
@@ -91,6 +115,7 @@ class ServeConfig:
     job_concurrency: int = 1
     max_pending_jobs: int = 32
     drain_timeout_s: float = 10.0
+    flight_recorder: int = 256     # request records retained per worker
     # -- multi-worker plumbing (set by the supervisor, not by users) ----------
     worker_index: Optional[int] = None
     peer_ports: Optional[Dict[int, int]] = None   # worker index -> internal port
@@ -166,6 +191,14 @@ class ServeApp:
             RunLedger().record(self.manifest)
         except OSError:
             pass  # provenance is best-effort; serving must still come up
+        self.recorder = FlightRecorder(max(1, config.flight_recorder))
+        # Request tracing is always on for a server: spans feed the
+        # flight recorder.  A CLI-installed tracer (--profile) is kept;
+        # otherwise install a bounded ring and restore on drain.
+        self._installed_tracer = get_tracer() is None
+        if self._installed_tracer:
+            set_tracer(Tracer(max_spans=TRACER_RING))
+        set_log_run_id(self.manifest.run_id)
         self._schedule_caches: Dict[str, Any] = {}
         self._batch_evaluators: Dict[str, Any] = {}
         self._kernel_lock = threading.Lock()
@@ -219,9 +252,15 @@ class ServeApp:
     # -- state accessors used by handlers --------------------------------------
 
     async def run_blocking(self, fn: Callable[[], Any]) -> Any:
-        """Run blocking *fn* on the app's thread pool."""
+        """Run blocking *fn* on the app's thread pool.
+
+        The caller's context is copied into the worker thread —
+        ``run_in_executor`` does not do that by itself — so spans opened
+        inside *fn* keep the request's trace id.
+        """
         loop = asyncio.get_event_loop()
-        return await loop.run_in_executor(self.executor, fn)
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(self.executor, lambda: ctx.run(fn))
 
     def workload_names(self) -> List[str]:
         from repro.workloads import WORKLOADS
@@ -370,7 +409,39 @@ class ServeApp:
     # -- background sweep jobs -------------------------------------------------
 
     def _run_job(self, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
-        """Blocking job body; runs on the thread pool, engine fans out."""
+        """Blocking job body; runs on the thread pool, engine fans out.
+
+        The queue binds the job's trace id (captured at submission)
+        around this call, so the job's spans — and a flight-recorder
+        record of the job itself — join the submitting request's trace.
+        """
+        start_unix = time.time()
+        start = perf_counter()
+        status = 500
+        try:
+            with span("serve.job", kind=kind):
+                result = self._run_job_body(kind, params)
+            status = 200
+            return result
+        finally:
+            trace_id = current_trace_id()
+            recorder = getattr(self, "recorder", None)
+            if trace_id is not None and recorder is not None:
+                tracer = get_tracer()
+                recorder.record(
+                    trace_id=trace_id,
+                    route=f"job.{kind}",
+                    method="JOB",
+                    path=f"/sweeps#{kind}",
+                    status=status,
+                    duration_s=perf_counter() - start,
+                    start_unix=start_unix,
+                    client="jobqueue",
+                    worker=self.config.worker_index,
+                    spans=tracer.take(trace_id) if tracer is not None else (),
+                )
+
+    def _run_job_body(self, kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
         if kind != "sweep":
             raise ValidationError(f"unknown job kind {kind!r}")
         from repro.accel.design import SWEEP_NODES
@@ -426,7 +497,44 @@ class ServeApp:
     # -- request dispatch -------------------------------------------------------
 
     async def dispatch(self, request: Request) -> Response:
-        """Route one request and produce its response (never raises)."""
+        """Route one request and produce its response (never raises).
+
+        The whole exchange runs under a trace scope: the id comes from an
+        incoming ``traceparent``/``X-Trace-Id`` header (so a client — or
+        a sibling worker forwarding over the loopback — stitches its hops
+        into one trace) or is minted here, and goes back out as
+        ``X-Trace-Id``.  When the request finishes, its spans move from
+        the tracer into the flight recorder as one request record.
+        """
+        trace_id = request.trace_id or trace_id_from_headers(request.headers)
+        if trace_id is None:
+            trace_id = new_trace_id()
+        request.trace_id = trace_id
+        start_unix = time.time()
+        start = perf_counter()
+        with trace_scope(trace_id):
+            response, route_name = await self._dispatch_routed(request)
+        response.headers.setdefault("X-Trace-Id", trace_id)
+        recorder = getattr(self, "recorder", None)
+        if recorder is not None:
+            tracer = get_tracer()
+            recorder.record(
+                trace_id=trace_id,
+                route=route_name,
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                duration_s=perf_counter() - start,
+                start_unix=start_unix,
+                client=request.client,
+                worker=self.config.worker_index,
+                internal=request.internal,
+                spans=tracer.take(trace_id) if tracer is not None else (),
+            )
+        return response
+
+    async def _dispatch_routed(self, request: Request) -> Tuple[Response, str]:
+        """Resolve, guard, and run one request; returns (response, route)."""
         registry = metrics()
         start = perf_counter()
         route_name = "unrouted"
@@ -439,14 +547,17 @@ class ServeApp:
                 # Worker-to-worker traffic: no draining rejection, rate
                 # limit, or shedding — peers must always resolve jobs and
                 # metrics, even while this worker is under pressure.
-                payload = await route.handler(self, request, **params)
+                with span(
+                    "serve.internal", route=route_name, method=request.method
+                ):
+                    payload = await route.handler(self, request, **params)
                 response = (
                     payload
                     if isinstance(payload, Response)
                     else Response.json(payload)
                 )
                 registry.counter("serve.internal.requests").inc()
-                return response
+                return response, route_name
             if self.draining and route_name not in OPS_ROUTES:
                 raise HttpError(
                     503, "server is draining", headers={"Connection": "close"}
@@ -467,7 +578,7 @@ class ServeApp:
                     # bound behind work they have no capacity for.
                     registry.counter("serve.shed").inc()
                     retry_after = self.gate.retry_after_s(
-                        registry.timer("serve.latency_s").mean_s
+                        registry.histogram("serve.latency_s").mean_s
                     )
                     raise HttpError(
                         503,
@@ -491,8 +602,11 @@ class ServeApp:
                 response = Response.json(self.envelope(payload))
         except HttpError as exc:
             if request.internal:
-                return Response.json(
-                    exc.payload(), status=exc.status, headers=exc.headers
+                return (
+                    Response.json(
+                        exc.payload(), status=exc.status, headers=exc.headers
+                    ),
+                    route_name,
                 )
             response = Response.json(
                 self.envelope(exc.payload()), status=exc.status,
@@ -506,8 +620,12 @@ class ServeApp:
         except Exception as exc:  # noqa: BLE001 - never kill the connection loop
             logger.exception("request.failed method=%s path=%s", request.method, request.path)
             if request.internal:
-                return Response.json(
-                    {"error": f"internal error: {type(exc).__name__}"}, status=500
+                return (
+                    Response.json(
+                        {"error": f"internal error: {type(exc).__name__}"},
+                        status=500,
+                    ),
+                    route_name,
                 )
             response = Response.json(
                 self.envelope(
@@ -522,8 +640,8 @@ class ServeApp:
         registry.counter("serve.requests").inc()
         registry.counter(f"serve.requests.{route_name}").inc()
         registry.counter(f"serve.responses.{response.status // 100}xx").inc()
-        registry.timer("serve.latency_s").observe(elapsed)
-        registry.timer(f"serve.latency_s.{route_name}").observe(elapsed)
+        registry.histogram("serve.latency_s").observe(elapsed)
+        registry.histogram(f"serve.latency_s.{route_name}").observe(elapsed)
         logger.info(
             "request %s",
             kv(
@@ -534,7 +652,7 @@ class ServeApp:
                 client=request.client,
             ),
         )
-        return response
+        return response, route_name
 
     # -- worker-to-worker requests ----------------------------------------------
 
@@ -559,26 +677,32 @@ class ServeApp:
                 503, f"no such worker {worker_index} (stale job id?)"
             )
         payload = body or b""
+        trace_id = current_trace_id()
+        trace_header = (
+            f"X-Trace-Id: {trace_id}\r\n" if trace_id is not None else ""
+        )
         head = (
             f"{method} {path} HTTP/1.0\r\n"
             f"Host: 127.0.0.1:{port}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{trace_header}"
             "Content-Type: application/json\r\n\r\n"
         ).encode("latin-1")
         try:
-            reader, writer = await asyncio.wait_for(
-                asyncio.open_connection("127.0.0.1", port), timeout_s
-            )
-            try:
-                writer.write(head + payload)
-                await writer.drain()
-                raw = await asyncio.wait_for(reader.read(-1), timeout_s)
-            finally:
-                writer.close()
+            with span("serve.peer", worker=worker_index, path=path):
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection("127.0.0.1", port), timeout_s
+                )
                 try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
+                    writer.write(head + payload)
+                    await writer.drain()
+                    raw = await asyncio.wait_for(reader.read(-1), timeout_s)
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
         except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
             metrics().counter("serve.internal.peer_errors").inc()
             raise HttpError(
@@ -783,6 +907,10 @@ class ServeApp:
             await asyncio.gather(*self._connections, return_exceptions=True)
         await self.jobs.close(drain=True, timeout_s=config.drain_timeout_s)
         self.executor.shutdown(wait=True)
+        if getattr(self, "_installed_tracer", False):
+            set_tracer(None)
+            self._installed_tracer = False
+        set_log_run_id(None)
         logger.info(
             "serve.drained %s",
             kv(inflight=self.inflight, uptime_s=time.time() - self.started_unix),

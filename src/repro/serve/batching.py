@@ -170,7 +170,9 @@ class MicroBatcher:
         items = [item for _, item, _ in batch]
         loop = asyncio.get_event_loop()
         try:
-            with span(f"serve.batch.{self.name}", items=len(items)):
+            with span(f"serve.batch.{self.name}", items=len(items)), registry.histogram(
+                f"serve.batch.{self.name}.flush_s"
+            ).time():
                 results = await loop.run_in_executor(
                     self.executor, self._run_batch, items
                 )

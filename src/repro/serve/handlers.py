@@ -63,12 +63,39 @@ def _prom_name(name: str) -> str:
     return "repro_" + _PROM_BAD.sub("_", name)
 
 
+def _histogram_series(entry: Mapping[str, object]) -> List[tuple]:
+    """A histogram snapshot entry as cumulative ``(le, count)`` pairs.
+
+    Only the sparse buckets actually hit are emitted (plus the mandatory
+    ``+Inf`` terminator), with ``le`` set to each log-linear bucket's
+    upper bound — cumulative counts, as the Prometheus histogram contract
+    requires, so ``_bucket{le="+Inf"}`` always equals ``_count``.
+    """
+    import math
+
+    from repro.obs.metrics import bucket_bounds
+
+    buckets = entry.get("buckets") or {}
+    pairs = sorted((int(k), int(v)) for k, v in buckets.items())  # type: ignore[union-attr]
+    cumulative = 0
+    series: List[tuple] = []
+    for index, count in pairs:
+        cumulative += count
+        upper = bucket_bounds(index)[1]
+        le = "+Inf" if math.isinf(upper) else f"{upper:.9g}"
+        series.append((le, cumulative))
+    if not series or series[-1][0] != "+Inf":
+        series.append(("+Inf", cumulative))
+    return series
+
+
 def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
 
     Counters and gauges map directly; timers become summaries with
-    ``_count`` and ``_sum`` series, the convention scrape pipelines
-    expect for accumulated-duration instruments.
+    ``_count`` and ``_sum`` series; histograms become proper histogram
+    families with cumulative ``_bucket{le="..."}`` series over the
+    log-linear bucket bounds plus ``_sum`` and ``_count``.
     """
     lines: List[str] = []
     for name in sorted(snapshot):
@@ -85,6 +112,12 @@ def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:
             lines.append(f"# TYPE {prom} summary")
             lines.append(f"{prom}_count {int(entry.get('count', 0))}")
             lines.append(f"{prom}_sum {float(entry.get('total_s', 0.0)):.9g}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            for le, cumulative in _histogram_series(entry):
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{prom}_sum {float(entry.get('sum', 0.0)):.9g}")
+            lines.append(f"{prom}_count {int(entry.get('count', 0))}")
     return "\n".join(lines) + "\n"
 
 
@@ -138,6 +171,25 @@ def render_prometheus_multi(
                         f'{prom}_sum{{worker="{worker}"}} '
                         f"{float(entry.get('total_s', 0.0)):.9g}"
                     )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            for worker in sorted(snapshots):
+                entry = snapshots[worker].get(name)
+                if entry is None:
+                    continue
+                for le, cumulative in _histogram_series(entry):
+                    lines.append(
+                        f'{prom}_bucket{{worker="{worker}",le="{le}"}} '
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f'{prom}_sum{{worker="{worker}"}} '
+                    f"{float(entry.get('sum', 0.0)):.9g}"
+                )
+                lines.append(
+                    f'{prom}_count{{worker="{worker}"}} '
+                    f"{int(entry.get('count', 0))}"
+                )
     return "\n".join(lines) + "\n"
 
 
@@ -165,6 +217,99 @@ async def metrics_text(app, request: Request) -> Response:
     return Response.text(
         render_prometheus_multi(snapshots), content_type=content_type
     )
+
+
+# -- flight recorder (debug surface) ------------------------------------------
+#
+# Ops-exempt like /metrics: an overloaded or draining server is exactly
+# when operators need the recorder.  Fleet-merged like /sweeps — any
+# replica answers for the whole fleet, skipping peers mid-restart.
+
+
+def _bounded_n(request: Request, default: int, cap: int = 1000) -> int:
+    n = request.param_int("n", default)
+    if n is None or n < 1:
+        raise HttpError(400, f"query parameter n={n!r} must be >= 1")
+    return min(n, cap)
+
+
+async def _peer_debug_rows(app, path: str, key: str) -> List[Dict[str, Any]]:
+    """Gather one debug listing from every reachable peer."""
+    rows: List[Dict[str, Any]] = []
+    for index in sorted(app.peers):
+        try:
+            status, data = await app.peer_request(index, "GET", path)
+        except HttpError:
+            continue  # peer mid-restart: report the workers we can reach
+        if status == 200 and isinstance(data, dict):
+            rows.extend(data.get(key) or [])
+    return rows
+
+
+async def debug_requests(app, request: Request) -> Dict[str, Any]:
+    """The newest ``n`` request records across the fleet (oldest first)."""
+    n = _bounded_n(request, 50)
+    rows = [r.to_dict() for r in app.recorder.tail(n)]
+    if app.config.worker_index is not None and app.peers:
+        rows.extend(
+            await _peer_debug_rows(
+                app, f"/internal/debug/requests?n={n}", "requests"
+            )
+        )
+    rows.sort(key=lambda r: float(r.get("start_unix") or 0.0))
+    return {
+        "requests": rows[-n:],
+        "capacity": app.recorder.capacity,
+        "recorded": len(app.recorder),
+    }
+
+
+async def debug_slow(app, request: Request) -> Dict[str, Any]:
+    """The ``n`` slowest retained records across the fleet, slowest first."""
+    n = _bounded_n(request, 20)
+    rows = [r.to_dict() for r in app.recorder.slowest(n)]
+    if app.config.worker_index is not None and app.peers:
+        rows.extend(
+            await _peer_debug_rows(app, f"/internal/debug/slow?n={n}", "requests")
+        )
+    rows.sort(key=lambda r: float(r.get("duration_s") or 0.0), reverse=True)
+    return {"requests": rows[:n]}
+
+
+async def debug_trace(app, request: Request, trace_id: str) -> Dict[str, Any]:
+    """Every retained record of one trace, stitched across the fleet.
+
+    The response carries the raw records (each with its spans) plus a
+    ready Chrome trace (``chrome_trace`` key) with per-worker process
+    tracks and flow arrows over the loopback hops — save it to a file and
+    open it in Perfetto.
+    """
+    from repro.serve.debug import chrome_trace
+
+    records = [r.to_dict() for r in app.recorder.trace(trace_id)]
+    if app.config.worker_index is not None and app.peers:
+        records.extend(
+            await _peer_debug_rows(
+                app, f"/internal/debug/trace/{trace_id}", "records"
+            )
+        )
+    if not records:
+        raise HttpError(
+            404,
+            f"no records for trace {trace_id!r} (the flight recorder keeps "
+            f"the newest {app.recorder.capacity} requests per worker)",
+        )
+    records.sort(key=lambda r: float(r.get("start_unix") or 0.0))
+    workers = sorted(
+        {r.get("worker") for r in records if r.get("worker") is not None}
+    )
+    return {
+        "trace_id": trace_id,
+        "records": records,
+        "span_count": sum(len(r.get("spans") or []) for r in records),
+        "workers": workers,
+        "chrome_trace": chrome_trace(trace_id, records),
+    }
 
 
 async def version(app, request: Request) -> Dict[str, Any]:
@@ -650,6 +795,31 @@ async def internal_job_cancel(app, request: Request, job_id: str) -> Dict[str, A
     return _cancel_or_409(app, job_id)
 
 
+async def internal_debug_requests(app, request: Request) -> Dict[str, Any]:
+    n = _bounded_n(request, 50)
+    return {
+        "worker": app.config.worker_index,
+        "requests": [r.to_dict() for r in app.recorder.tail(n)],
+    }
+
+
+async def internal_debug_slow(app, request: Request) -> Dict[str, Any]:
+    n = _bounded_n(request, 20)
+    return {
+        "worker": app.config.worker_index,
+        "requests": [r.to_dict() for r in app.recorder.slowest(n)],
+    }
+
+
+async def internal_debug_trace(
+    app, request: Request, trace_id: str
+) -> Dict[str, Any]:
+    return {
+        "worker": app.config.worker_index,
+        "records": [r.to_dict() for r in app.recorder.trace(trace_id)],
+    }
+
+
 # -- registration -------------------------------------------------------------
 
 
@@ -658,6 +828,9 @@ def register_routes(router) -> None:
     router.add("GET", "/healthz", healthz, name="healthz")
     router.add("GET", "/metrics", metrics_text, name="metrics")
     router.add("GET", "/version", version, name="version")
+    router.add("GET", "/debug/requests", debug_requests, name="debug.requests")
+    router.add("GET", "/debug/slow", debug_slow, name="debug.slow")
+    router.add("GET", "/debug/trace/{trace_id}", debug_trace, name="debug.trace")
     router.add("GET", "/artifacts", artifacts_index, name="artifacts")
     router.add("GET", "/artifacts/{name}", artifact, name="artifact")
     router.add("GET", "/cmos/gains", cmos_gains, name="cmos.gains")
@@ -682,4 +855,22 @@ def register_internal_routes(router) -> None:
         "/internal/jobs/{job_id}",
         internal_job_cancel,
         name="internal.job.cancel",
+    )
+    router.add(
+        "GET",
+        "/internal/debug/requests",
+        internal_debug_requests,
+        name="internal.debug.requests",
+    )
+    router.add(
+        "GET",
+        "/internal/debug/slow",
+        internal_debug_slow,
+        name="internal.debug.slow",
+    )
+    router.add(
+        "GET",
+        "/internal/debug/trace/{trace_id}",
+        internal_debug_trace,
+        name="internal.debug.trace",
     )

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.log import get_logger, kv
 from repro.obs.metrics import metrics
+from repro.obs.trace import current_trace_id, trace_scope
 
 __all__ = ["Job", "JobQueue", "QueueFullError", "UnknownJobError", "job_owner"]
 
@@ -79,6 +80,9 @@ class Job:
     finished_unix: Optional[float] = None
     result: Optional[Any] = None
     error: Optional[str] = None
+    #: Trace id of the submitting request — execution runs under it, so a
+    #: job's spans and flight-recorder record join the submitter's trace.
+    trace_id: Optional[str] = None
 
     @property
     def settled(self) -> bool:
@@ -94,6 +98,7 @@ class Job:
             "started_unix": self.started_unix,
             "finished_unix": self.finished_unix,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
         if include_result:
             payload["result"] = self.result
@@ -202,6 +207,7 @@ class JobQueue:
             job_id=f"{self.id_prefix}{uuid.uuid4().hex[:12]}",
             kind=kind,
             params=params,
+            trace_id=current_trace_id(),
         )
         self._jobs[job.job_id] = job
         self._queue.put_nowait(job.job_id)
@@ -258,10 +264,15 @@ class JobQueue:
             job.started_unix = time.time()
             self._running += 1
             metrics().gauge("serve.jobs.running").set(self._running)
+
+            def run(job: Job = job) -> Any:
+                # Bind the submitter's trace id in the executor thread
+                # (run_in_executor does not carry contextvars across).
+                with trace_scope(job.trace_id):
+                    return self.runner(job.kind, dict(job.params))
+
             try:
-                result = await loop.run_in_executor(
-                    self.executor, self.runner, job.kind, dict(job.params)
-                )
+                result = await loop.run_in_executor(self.executor, run)
             except asyncio.CancelledError:
                 self._settle(job, FAILED, error="server shut down mid-job")
                 raise
@@ -283,6 +294,8 @@ class JobQueue:
         job.finished_unix = time.time()
         metrics().counter(f"serve.jobs.{status}").inc()
         elapsed = job.finished_unix - (job.started_unix or job.submitted_unix)
+        if job.started_unix is not None:
+            metrics().histogram("serve.jobs.duration_s").observe(elapsed)
         logger.info(
             "job.settled %s",
             kv(job_id=job.job_id, status=status, elapsed_s=elapsed),

@@ -73,6 +73,10 @@ class Request:
     #: listener — resolved against the internal route table and exempt
     #: from rate limiting, shedding, and the provenance envelope.
     internal: bool = False
+    #: The request's trace id — honored from an incoming ``traceparent``
+    #: / ``X-Trace-Id`` header or minted by the app at dispatch, and
+    #: echoed back as ``X-Trace-Id``.
+    trace_id: Optional[str] = None
 
     @classmethod
     def parse_target(cls, target: str) -> Tuple[str, Dict[str, str]]:
@@ -109,6 +113,18 @@ class Request:
             return float(raw)
         except ValueError:
             raise HttpError(400, f"query parameter {name}={raw!r} is not a number")
+
+    def param_int(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """A query parameter as int; 400 on a malformed value."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(
+                400, f"query parameter {name}={raw!r} is not an integer"
+            )
 
 
 @dataclass

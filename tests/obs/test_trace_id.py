@@ -1,0 +1,165 @@
+"""Trace-id plumbing: header parsing, context binding, span stamping."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.log import configure_logging, set_log_run_id
+from repro.obs.trace import (
+    Tracer,
+    current_trace_id,
+    new_trace_id,
+    parse_traceparent,
+    set_tracer,
+    span,
+    trace_id_from_headers,
+    trace_scope,
+)
+
+TRACE32 = "0af7651916cd43dd8448eb211c80319c"
+
+
+class TestParseTraceparent:
+    def test_valid(self):
+        value = f"00-{TRACE32}-b7ad6b7169203331-01"
+        assert parse_traceparent(value) == TRACE32
+
+    def test_rejects_all_zero_trace_id(self):
+        assert parse_traceparent(f"00-{'0' * 32}-b7ad6b7169203331-01") is None
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "garbage",
+            f"00-{TRACE32}-b7ad6b7169203331",  # missing flags
+            f"00-{TRACE32[:-1]}-b7ad6b7169203331-01",  # short trace id
+            f"zz-{TRACE32}-b7ad6b7169203331-01",  # bad version
+        ],
+    )
+    def test_rejects_malformed(self, value):
+        assert parse_traceparent(value) is None
+
+
+class TestTraceIdFromHeaders:
+    def test_traceparent_wins_over_x_trace_id(self):
+        headers = {
+            "traceparent": f"00-{TRACE32}-b7ad6b7169203331-01",
+            "x-trace-id": "other-id",
+        }
+        assert trace_id_from_headers(headers) == TRACE32
+
+    def test_bare_x_trace_id(self):
+        assert trace_id_from_headers({"x-trace-id": "req-42.a"}) == "req-42.a"
+
+    def test_malformed_values_are_absent(self):
+        assert trace_id_from_headers({"traceparent": "nope"}) is None
+        assert trace_id_from_headers({"x-trace-id": "has space"}) is None
+        assert trace_id_from_headers({"x-trace-id": "x" * 65}) is None
+        assert trace_id_from_headers({}) is None
+
+
+class TestTraceScope:
+    def test_binds_and_restores(self):
+        assert current_trace_id() is None
+        with trace_scope("abc"):
+            assert current_trace_id() == "abc"
+            with trace_scope("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "abc"
+        assert current_trace_id() is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace_scope("abc"):
+                raise RuntimeError("boom")
+        assert current_trace_id() is None
+
+    def test_none_scope_is_a_no_op_binding(self):
+        with trace_scope("outer"):
+            with trace_scope(None):
+                assert current_trace_id() is None
+            assert current_trace_id() == "outer"
+
+    def test_new_trace_id_is_32_hex_and_unique(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert a != b
+        for tid in (a, b):
+            assert len(tid) == 32
+            int(tid, 16)
+
+
+class TestSpanStamping:
+    def test_span_carries_bound_trace_id(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with trace_scope("tid-1"):
+            with span("work"):
+                pass
+        with span("untraced"):
+            pass
+        spans = tracer.drain()
+        assert [s.trace_id for s in spans] == ["tid-1", None]
+
+    def test_take_removes_only_matching_spans(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with trace_scope("keep"):
+            with span("a"):
+                pass
+        with trace_scope("taken"):
+            with span("b"):
+                pass
+            with span("c"):
+                pass
+        taken = tracer.take("taken")
+        assert sorted(s.name for s in taken) == ["b", "c"]
+        assert [s.name for s in tracer.drain()] == ["a"]
+
+    def test_bounded_ring_evicts_oldest(self):
+        tracer = Tracer(max_spans=3)
+        set_tracer(tracer)
+        for i in range(5):
+            with span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.drain()] == ["s2", "s3", "s4"]
+
+    def test_chrome_events_include_trace_id(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with trace_scope("tid-9"):
+            with span("work"):
+                pass
+        events = tracer.chrome_events()
+        assert events[0]["args"]["trace_id"] == "tid-9"
+
+
+class TestLogContextFilter:
+    def _capture(self, message: str) -> str:
+        root = configure_logging(verbosity=1)
+        handler = next(
+            h for h in root.handlers if h.get_name() == "repro-obs"
+        )
+        record = logging.getLogger("repro.test").makeRecord(
+            "repro.test", logging.INFO, __file__, 1, message, (), None
+        )
+        for f in handler.filters:
+            f.filter(record)
+        return handler.format(record)
+
+    def test_plain_log_has_no_context_suffix(self):
+        set_log_run_id(None)
+        line = self._capture("hello")
+        assert "trace_id=" not in line and "run_id=" not in line
+
+    def test_trace_and_run_ids_are_appended(self):
+        set_log_run_id("run-7")
+        try:
+            with trace_scope("tid-3"):
+                line = self._capture("hello")
+        finally:
+            set_log_run_id(None)
+        assert "trace_id=tid-3" in line
+        assert "run_id=run-7" in line

@@ -31,13 +31,14 @@ class ServeClient:
         target: str,
         body: Optional[Any] = None,
         raw: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any, Dict[str, str]]:
         conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=120)
         try:
             payload = json.dumps(body).encode() if body is not None else None
             conn.request(
                 method, target, body=payload,
-                headers={"X-Client-Id": self.client_id},
+                headers={"X-Client-Id": self.client_id, **(headers or {})},
             )
             response = conn.getresponse()
             content = response.read()

@@ -255,6 +255,75 @@ class TestRestart:
         assert new_pid != victim_pid
 
 
+class TestStitchedTrace:
+    """One injected trace id stitches a request across both workers."""
+
+    TRACE = "aaaabbbbccccddddeeeeffff00001111"
+    HEADERS = {"traceparent": f"00-{TRACE}-b7ad6b7169203331-01"}
+
+    def test_cross_worker_request_is_one_trace(self, cluster_client):
+        status, payload, headers = cluster_client.post(
+            "/sweeps", SMALL_SWEEP, headers=self.HEADERS
+        )
+        assert status == 202
+        assert headers["x-trace-id"] == self.TRACE
+        job = payload["data"]["job"]
+        assert job["trace_id"] == self.TRACE
+        owner = job_owner(job["job_id"])
+
+        # Poll under the same trace until the job settles AND at least one
+        # poll has landed on the non-owning worker — that poll resolves the
+        # job over the internal loopback, creating the cross-worker hop.
+        state = {"crossed": False}
+
+        def settled_and_crossed():
+            st, body, hdrs = cluster_client.get(
+                f"/sweeps/{job['job_id']}", headers=self.HEADERS
+            )
+            assert st == 200
+            assert hdrs["x-trace-id"] == self.TRACE
+            if int(hdrs["x-worker"]) != owner:
+                state["crossed"] = True
+            got = body["data"]["job"]
+            done = got["status"] in ("done", "failed")
+            return got if done and state["crossed"] else None
+
+        final = wait_for(settled_and_crossed, timeout_s=120.0)
+        assert final["status"] == "done"
+
+        # Whichever worker answers, the fleet-merged view shows records
+        # from BOTH sides of the hop under the one trace id.
+        status, payload, _ = cluster_client.get(f"/debug/trace/{self.TRACE}")
+        assert status == 200
+        data = payload["data"]
+        assert data["trace_id"] == self.TRACE
+        assert data["workers"] == [0, 1]
+        assert data["span_count"] >= 2
+        routes = {r["route"] for r in data["records"]}
+        assert "sweeps.submit" in routes
+        assert "sweeps.get" in routes
+        assert "job.sweep" in routes  # the background execution itself
+        assert any(r["internal"] for r in data["records"])
+
+        # The Chrome export stitches the processes with flow arrows.
+        events = data["chrome_trace"]["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"X", "M", "s", "f"} <= phases
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert len(pids) >= 2  # spans from two worker processes
+
+    def test_fleet_debug_requests_sees_both_workers(self, cluster_client):
+        for _ in range(6):
+            cluster_client.get("/healthz")
+        status, payload, _ = cluster_client.get("/debug/requests?n=200")
+        assert status == 200
+        workers = {
+            r["worker"] for r in payload["data"]["requests"]
+            if r["worker"] is not None
+        }
+        assert workers == {0, 1}
+
+
 class TestShutdown:
     def test_sigterm_drains_every_worker_and_exits_zero(self, cluster):
         # Must run last in this module: it tears the shared cluster down.
