@@ -23,6 +23,11 @@ Checks, by subsystem:
   grid are bit-identical, the streaming Pareto accumulator agrees with
   the batch reference, and the vectorized batch evaluator reproduces the
   per-point scalar oracle exactly.
+* **tech** — every registered technology backend produces finite,
+  monotone-in-node density/TDP scaling surfaces, the ``cmos`` backend is
+  bit-identical to the legacy ``CmosPotentialModel.paper()`` path, and
+  every non-CMOS backend yields finite wall-shift deltas.  ``repro check
+  --tech NAME`` restricts the per-backend checks to one backend.
 """
 
 from __future__ import annotations
@@ -367,6 +372,123 @@ def _check_vectorized_equivalence() -> str:
     )
 
 
+# -- tech ---------------------------------------------------------------------
+
+
+def _tech_backends(tech: Optional[str]):
+    from repro.tech import backend_names, get_backend
+
+    names = [tech] if tech else backend_names()
+    return [get_backend(name) for name in names]
+
+
+def _check_tech_surfaces(tech: Optional[str] = None) -> str:
+    import math
+
+    checked = []
+    for backend in _tech_backends(tech):
+        # Surfaces iterate SURFACE_NODES oldest-to-newest, so values must
+        # rise monotonically as the node shrinks.
+        density = list(backend.density_surface().values())
+        _ensure(
+            all(math.isfinite(v) and v > 0 for v in density),
+            f"{backend.name}: density surface not finite/positive",
+        )
+        _ensure(
+            all(b > a for a, b in zip(density, density[1:])),
+            f"{backend.name}: density surface not strictly increasing in node",
+        )
+        tdp = list(backend.tdp_surface().values())
+        _ensure(
+            all(math.isfinite(v) and v > 0 for v in tdp),
+            f"{backend.name}: TDP surface not finite/positive",
+        )
+        # Era budget laws are a step function across nodes: non-strict.
+        _ensure(
+            all(b >= a for a, b in zip(tdp, tdp[1:])),
+            f"{backend.name}: TDP surface not monotone in node",
+        )
+        for node, point in backend.frequency_energy_surface().items():
+            _ensure(
+                all(math.isfinite(v) and v > 0 for v in point.values()),
+                f"{backend.name}: device point at {node}nm not finite/positive",
+            )
+        checked.append(backend.name)
+    return (
+        f"{len(checked)} backend(s) ({', '.join(checked)}): density/TDP "
+        "surfaces finite and monotone in node"
+    )
+
+
+def _check_tech_cmos_identity(tech: Optional[str] = None) -> str:
+    from repro.cmos.model import CmosPotentialModel
+    from repro.tech import get_backend
+
+    backend_model = get_backend("cmos").model()
+    legacy = CmosPotentialModel.paper()
+    count = 0
+    for node in (45.0, 28.0, 16.0, 7.0, 5.0):
+        for area in (10.0, 100.0, 600.0):
+            for tdp, cap_mode in (
+                (None, "analytic"),
+                (5.0, "analytic"),
+                (100.0, "analytic"),
+                (5.0, "empirical"),
+                (100.0, "empirical"),
+            ):
+                ours = backend_model.evaluate(
+                    node, 1000.0, area_mm2=area, tdp_w=tdp, cap_mode=cap_mode
+                )
+                theirs = legacy.evaluate(
+                    node, 1000.0, area_mm2=area, tdp_w=tdp, cap_mode=cap_mode
+                )
+                _ensure(
+                    ours == theirs,
+                    f"cmos backend diverges from legacy model at node={node}, "
+                    f"area={area}, tdp={tdp}, cap_mode={cap_mode}",
+                )
+                count += 1
+    return (
+        f"cmos backend bit-identical to CmosPotentialModel.paper() over "
+        f"{count} evaluations"
+    )
+
+
+def _check_tech_wall_shift(tech: Optional[str] = None) -> str:
+    import math
+
+    from repro.tech.scenarios import delta_payload
+
+    names = [
+        backend.name
+        for backend in _tech_backends(tech)
+        if backend.name != "cmos"
+    ]
+    for name in names:
+        payload = delta_payload(name)
+        rows = payload["rows"]
+        _ensure(
+            len(rows) == 8,
+            f"{name}: expected 8 wall-delta rows (4 domains x 2 metrics), "
+            f"got {len(rows)}",
+        )
+        for row in rows:
+            for key in (
+                "physical_limit_ratio",
+                "projected_log_ratio",
+                "projected_linear_ratio",
+            ):
+                value = row[key]
+                _ensure(
+                    math.isfinite(value) and value > 0,
+                    f"{name}: {row['domain']}/{row['metric']} {key} not "
+                    f"finite/positive: {value!r}",
+                )
+    if not names:
+        return "no non-CMOS backend selected; nothing to diff"
+    return f"finite wall-shift deltas for {', '.join(names)}"
+
+
 # -- driver -------------------------------------------------------------------
 
 CHECKS = (
@@ -382,11 +504,21 @@ CHECKS = (
     ("accel", "engine-equivalence", _check_engine_equivalence),
     ("accel", "pareto-equivalence", _check_pareto_equivalence),
     ("accel", "vectorized-equivalence", _check_vectorized_equivalence),
+    ("tech", "surfaces-monotone", _check_tech_surfaces),
+    ("tech", "cmos-bit-identical", _check_tech_cmos_identity),
+    ("tech", "wall-shift-finite", _check_tech_wall_shift),
 )
 
 
-def run_checks(subsystems: Optional[List[str]] = None) -> List[CheckResult]:
-    """Run the self-diagnostics, optionally restricted to *subsystems*."""
+def run_checks(
+    subsystems: Optional[List[str]] = None,
+    tech: Optional[str] = None,
+) -> List[CheckResult]:
+    """Run the self-diagnostics, optionally restricted to *subsystems*.
+
+    *tech* restricts the per-backend ``tech`` checks to one registered
+    technology backend (they cover every backend by default).
+    """
     known = sorted({subsystem for subsystem, _, _ in CHECKS})
     if subsystems:
         unknown = sorted(set(subsystems) - set(known))
@@ -394,11 +526,18 @@ def run_checks(subsystems: Optional[List[str]] = None) -> List[CheckResult]:
             raise SelfCheckError(
                 f"unknown subsystem(s) {unknown}; known: {known}"
             )
+    if tech is not None:
+        from repro.tech import get_backend
+
+        get_backend(tech)  # fail fast with the valid-name listing
     results: List[CheckResult] = []
     for subsystem, name, fn in CHECKS:
         if subsystems and subsystem not in subsystems:
             continue
-        _run(results, subsystem, name, fn)
+        if subsystem == "tech":
+            _run(results, subsystem, name, lambda fn=fn: fn(tech))
+        else:
+            _run(results, subsystem, name, fn)
     return results
 
 

@@ -57,6 +57,13 @@ EXIT_ERROR = 2
 
 
 def _model(args) -> CmosPotentialModel:
+    tech = getattr(args, "tech", None)
+    if tech and tech != "cmos":
+        from repro.tech import get_backend
+
+        return get_backend(tech).model()
+    # The legacy path, untouched: `--tech cmos` (or no --tech) evaluates
+    # bit-identically to every release before technology backends existed.
     if getattr(args, "refit", False):
         return CmosPotentialModel.reference()
     return CmosPotentialModel.paper()
@@ -81,6 +88,17 @@ def _dse_engine(args):
         cache_dir=cache_dir,
         use_cache=use_cache,
         vectorize=not getattr(args, "no_vectorize", False),
+    )
+
+
+def _add_tech_option(parser: argparse.ArgumentParser) -> None:
+    """``--tech``: evaluate under a registered technology backend."""
+    parser.add_argument(
+        "--tech",
+        default=None,
+        metavar="TECH",
+        help="technology backend to evaluate under (cmos, finfet, tfet, "
+        "chiplet; default: cmos — bit-identical to omitting the flag)",
     )
 
 
@@ -186,7 +204,10 @@ def _capture_manifest(args, command: str):
 
     try:
         return capture(
-            command, argv=getattr(args, "_argv", None), model=_model(args)
+            command,
+            argv=getattr(args, "_argv", None),
+            model=_model(args),
+            tech=getattr(args, "tech", None),
         )
     except Exception:  # noqa: BLE001 - provenance must never break the run
         return None
@@ -507,15 +528,39 @@ def _plot_body(args, engine_box) -> int:
         from repro.wall import accelerator_wall, upper_frontier
         from repro.wall.limits import _limits
 
+        tech = getattr(args, "tech", None)
+        backend = None
+        if tech and tech != "cmos":
+            from repro.tech import get_backend
+
+            backend = get_backend(tech)
         for domain in _limits():
-            report = accelerator_wall(domain, model)
+            row = _limits()[domain]
+            if backend is not None:
+                # Scenario stance: history stays CMOS, the limit chip is
+                # built under the selected backend.
+                history_model = CmosPotentialModel.paper()
+                report = accelerator_wall(
+                    domain,
+                    history_model,
+                    "performance",
+                    limits_row=backend.wall_limits(row),
+                    limit_model=backend.model(),
+                )
+                title = f"Fig 15: {domain} [{backend.name}]"
+            else:
+                history_model = model
+                report = accelerator_wall(domain, model)
+                title = f"Fig 15: {domain}"
             # Reconstruct the scatter the report was fitted on.
-            study = _limits()[domain].study_factory()
-            series = study.performance_series(model)
+            study = row.study_factory()
+            series = study.performance_series(history_model)
             base = study.chips[0].metric(study.performance_metric)
             points = [(p.physical, p.gain * base) for p in series]
             frontier = upper_frontier(points)
-            print(plot_frontier(points, frontier, f"Fig 15: {domain}"))
+            print(plot_frontier(points, frontier, title))
+            if backend is not None:
+                print(report.describe())
             print()
     else:  # pragma: no cover - argparse choices prevent this
         raise ValueError(name)
@@ -538,7 +583,7 @@ def _cmd_check(args) -> int:
     from repro.obs.metrics import metrics
 
     manifest = _capture_manifest(args, "check")
-    results = run_checks(args.subsystem or None)
+    results = run_checks(args.subsystem or None, tech=getattr(args, "tech", None))
     print(render_results(results))
     if manifest is not None:
         manifest.checks = [result.to_dict() for result in results]
@@ -566,6 +611,7 @@ def _cmd_export(args) -> int:
             names=names,
             engine=engine,
             manifest=manifest,
+            tech=getattr(args, "tech", None),
         )
         for name, path in paths.items():
             print(f"wrote {path}")
@@ -675,9 +721,10 @@ def build_parser() -> argparse.ArgumentParser:
         "subsystem",
         nargs="*",
         metavar="SUBSYSTEM",
-        help="restrict to these subsystems: cmos, csr, wall, accel "
+        help="restrict to these subsystems: cmos, csr, wall, accel, tech "
         "(default: all)",
     )
+    _add_tech_option(check)
     check.set_defaults(func=_cmd_check)
 
     plot = sub.add_parser("plot", help="render a figure as an ASCII plot")
@@ -686,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--full-grid", action="store_true",
         help="fig13: sweep the full Table III grid through the engine (slow)",
     )
+    _add_tech_option(plot)
     _add_dse_options(plot)
     plot.set_defaults(func=_cmd_plot)
 
@@ -738,8 +786,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument(
         "--only", default=None, metavar="NAMES",
-        help="comma-separated artifact subset (e.g. fig13,table5)",
+        help="comma-separated artifact subset (e.g. fig13,table5, or "
+        "per-tech names like fig15_16_tfet)",
     )
+    _add_tech_option(export)
     _add_dse_options(export)
     export.set_defaults(func=_cmd_export)
 

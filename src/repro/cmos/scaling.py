@@ -116,6 +116,50 @@ class ScalingTable:
         """Anchor nodes, oldest (largest) last."""
         return tuple(sorted(self._nodes, reverse=True))
 
+    @property
+    def anchors(self) -> Dict[float, Tuple[float, float, float, float]]:
+        """A copy of the raw anchor rows (node -> (vdd, f, C, leak))."""
+        return {node: tuple(self._anchors[node]) for node in self._nodes}
+
+    def scaled(
+        self,
+        vdd_scale: float = 1.0,
+        frequency_scale: float = 1.0,
+        capacitance_scale: float = 1.0,
+        leakage_scale: float = 1.0,
+    ) -> "ScalingTable":
+        """A derived table with every anchor column uniformly rescaled.
+
+        Technology backends (:mod:`repro.tech`) use this to express a
+        device technology's published operating point (lower VDD, steeper
+        subthreshold slope, different drive current) through the same
+        Fig 3a table.  Note that the potential model consumes this table
+        only in *ratio* form (node vs. 45nm reference), where uniform
+        scales cancel — the derived table changes the absolute device
+        surfaces reported per backend, while the power-side effect on chip
+        gains enters through the :class:`~repro.cmos.gains.GainsConfig`
+        reference densities.
+        """
+        for label, scale in (
+            ("vdd", vdd_scale),
+            ("frequency", frequency_scale),
+            ("capacitance", capacitance_scale),
+            ("leakage", leakage_scale),
+        ):
+            if not (math.isfinite(scale) and scale > 0):
+                raise ValueError(f"non-positive {label} scale {scale!r}")
+        return ScalingTable(
+            {
+                node: (
+                    vdd * vdd_scale,
+                    freq * frequency_scale,
+                    cap * capacitance_scale,
+                    leak * leakage_scale,
+                )
+                for node, (vdd, freq, cap, leak) in self._anchors.items()
+            }
+        )
+
     def scaling(self, node: "float | str") -> DeviceScaling:
         """Scaling factors for *node*, interpolating between anchors."""
         value = parse_node(node)

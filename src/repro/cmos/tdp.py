@@ -111,6 +111,35 @@ class TdpModel:
         """Active transistor budget for a chip at *node*, *TDP*, *frequency*."""
         return self.era_fit(node).active_transistors(tdp_w, frequency_mhz)
 
+    def scaled(
+        self, coefficient_scale: float = 1.0, exponent_delta: float = 0.0
+    ) -> "TdpModel":
+        """A derived model with every era law re-parameterised.
+
+        Used by :mod:`repro.tech` backends: a device technology whose
+        switches draw ``s`` times less dynamic power sustains ``1/s`` times
+        more active transistors inside the same TDP envelope, which is a
+        uniform coefficient scale on the Fig 3c era laws; *exponent_delta*
+        shifts how strongly power density flattens the budget curve.  Fit
+        provenance (r2, n_points) is cleared on the derived rows.
+        """
+        if not (math.isfinite(coefficient_scale) and coefficient_scale > 0):
+            raise FitError(
+                f"non-positive TDP-law coefficient scale {coefficient_scale!r}"
+            )
+        if not math.isfinite(exponent_delta):
+            raise FitError(f"non-finite TDP-law exponent delta {exponent_delta!r}")
+        return TdpModel(
+            [
+                TdpFit(
+                    era=fit.era,
+                    coefficient=fit.coefficient * coefficient_scale,
+                    exponent=fit.exponent + exponent_delta,
+                )
+                for fit in self._fits
+            ]
+        )
+
     def describe(self) -> str:
         return "\n".join(fit.describe() for fit in self._fits)
 

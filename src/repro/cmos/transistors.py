@@ -69,6 +69,29 @@ class TransistorCountFit:
         node = parse_node(node_nm)
         return self.density_for(transistors) * node * node
 
+    def scaled(
+        self, coefficient_scale: float = 1.0, exponent_delta: float = 0.0
+    ) -> "TransistorCountFit":
+        """A derived fit with the law re-parameterised.
+
+        Technology backends (:mod:`repro.tech`) express alternative device
+        technologies through the *same* Fig 3b machinery by scaling the
+        fitted coefficient (areal density multiplier at the reference
+        density factor) and shifting the exponent (how design complexity
+        erodes density for large dice).  The fit provenance fields are
+        cleared: a perturbed law is a scenario parameter, not a fit.
+        """
+        if not (math.isfinite(coefficient_scale) and coefficient_scale > 0):
+            raise FitError(
+                f"non-positive density coefficient scale {coefficient_scale!r}"
+            )
+        if not math.isfinite(exponent_delta):
+            raise FitError(f"non-finite density exponent delta {exponent_delta!r}")
+        return TransistorCountFit(
+            coefficient=self.coefficient * coefficient_scale,
+            exponent=self.exponent + exponent_delta,
+        )
+
     def describe(self) -> str:
         """Human-readable fit equation, matching the Fig 3b annotation."""
         return (

@@ -81,6 +81,20 @@ class CsrSeries:
         """(physical, gain) pairs — the scatter behind Figs 15/16."""
         return [(p.physical, p.gain) for p in self.points]
 
+    def to_rows(self) -> List[dict]:
+        """JSON-friendly per-chip rows (used by export and scenario payloads)."""
+        return [
+            {
+                "name": p.name,
+                "node_nm": p.node_nm,
+                "year": p.year,
+                "gain": p.gain,
+                "physical": p.physical,
+                "csr": p.csr,
+            }
+            for p in self.points
+        ]
+
 
 def compute_csr_series(
     chips: Sequence[Tuple[ChipSpec, float]],

@@ -32,6 +32,8 @@ from repro.provenance.manifest import SCHEMA_VERSION, RunManifest
 __all__ = [
     "DEFAULT_TOLERANCE",
     "GOLDEN_ARTIFACTS",
+    "GOLDEN_PREFIXES",
+    "is_golden_artifact",
     "DriftReport",
     "PerfFlag",
     "QuantityDrift",
@@ -59,6 +61,21 @@ GOLDEN_ARTIFACTS: Tuple[str, ...] = (
     "fig14",
     "fig15_16",
 )
+
+#: Per-technology artifact families (dynamic names — one per registered
+#: backend) whose scalars also join the golden set, so backend outputs
+#: are drift-pinned exactly like the base ``cmos`` numbers.
+GOLDEN_PREFIXES: Tuple[str, ...] = (
+    "fig15_16_",
+    "table5_",
+    "csr_",
+    "tech_",
+)
+
+
+def is_golden_artifact(name: str) -> bool:
+    """Whether *name*'s scalars belong in the golden-number set."""
+    return name in GOLDEN_ARTIFACTS or name.startswith(GOLDEN_PREFIXES)
 
 
 @dataclass(frozen=True)
@@ -127,11 +144,12 @@ def golden_numbers(payloads: Mapping[str, object]) -> Dict[str, float]:
     """Golden scalars of the artifacts present in *payloads*.
 
     *payloads* maps artifact name (``"fig13"``) to its JSON-able payload;
-    artifacts outside :data:`GOLDEN_ARTIFACTS` are ignored.
+    artifacts outside :data:`GOLDEN_ARTIFACTS` (or the per-technology
+    :data:`GOLDEN_PREFIXES` families) are ignored.
     """
     numbers: Dict[str, float] = {}
-    for name in GOLDEN_ARTIFACTS:
-        if name in payloads:
+    for name in sorted(payloads):
+        if is_golden_artifact(name):
             numbers.update(flatten_scalars(payloads[name], name))
     return numbers
 

@@ -265,12 +265,27 @@ def capture(
     command: str,
     argv: Optional[Sequence[str]] = None,
     model=None,
+    tech: Optional[str] = None,
 ) -> RunManifest:
     """Start a manifest for *command*: mint a run id, record identity.
 
     *model* is the :class:`CmosPotentialModel` the run evaluates with
     (default: the paper model) — only its parameter hash is recorded.
+
+    *tech* is the technology backend the run evaluates under (default
+    ``cmos``); the backend's name and its parameter content-hash are
+    recorded in ``config_hashes`` so two runs can be compared at the
+    backend-parameter level, not just by name.
     """
+    tech_name = tech if tech is not None else "cmos"
+    try:
+        from repro.tech import get_backend
+
+        tech_hash = get_backend(tech_name).param_hash()
+    except Exception:
+        # An unknown backend name should fail at evaluation time with a
+        # real error listing, not while stamping provenance.
+        tech_hash = "unavailable"
     now = time.time()
     try:
         import numpy
@@ -292,7 +307,11 @@ def capture(
             "platform": platform.platform(),
             "machine": platform.machine(),
         },
-        config_hashes={"cmos_model": model_fingerprint(model)},
+        config_hashes={
+            "cmos_model": model_fingerprint(model),
+            "tech_backend": tech_name,
+            "tech_params": tech_hash,
+        },
         input_hashes=input_fingerprints(),
     )
 

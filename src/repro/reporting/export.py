@@ -59,18 +59,70 @@ def _table2_payload():
     }
 
 
-def artifact_builders(
+def tech_artifact_builders(tech: str) -> Dict[str, Callable[[], object]]:
+    """Name -> builder for the per-technology artifact family of *tech*.
+
+    Five artifacts per registered backend: the re-run Figs 15-16 wall
+    projections (``fig15_16_<tech>``), the effective Table V envelope
+    (``table5_<tech>``), the per-study CSR decomposition
+    (``csr_<tech>``), the full scenario payload (``tech_<tech>``), and
+    the cross-tech delta vs. the ``cmos`` oracle
+    (``tech_delta_<tech>``).
+    """
+    from repro.tech import scenarios
+
+    return {
+        f"fig15_16_{tech}": lambda: figures.fig15_16_tech_projections(tech),
+        f"table5_{tech}": lambda: scenarios.table5_rows(tech),
+        f"csr_{tech}": lambda: scenarios.csr_rows(tech),
+        f"tech_{tech}": lambda: scenarios.scenario_payload(tech),
+        f"tech_delta_{tech}": lambda: scenarios.delta_payload(tech),
+    }
+
+
+def artifact_registry(
     model: Optional[CmosPotentialModel] = None,
     fast: bool = True,
     engine=None,
 ) -> Dict[str, Callable[[], object]]:
-    """Name -> builder for every exportable artifact.
+    """The single registry of every resolvable artifact name.
+
+    Base paper artifacts plus the per-technology families of every
+    registered backend (``cmos`` excluded — its per-tech numbers *are*
+    the base ``fig15_16``/``table5`` artifacts).  ``--only`` selections
+    and unknown-name error listings resolve against this registry.
+    """
+    from repro.tech import backend_names
+
+    registry = artifact_builders(model, fast, engine=engine)
+    for tech in backend_names():
+        if tech != "cmos":
+            registry.update(tech_artifact_builders(tech))
+    return registry
+
+
+def artifact_builders(
+    model: Optional[CmosPotentialModel] = None,
+    fast: bool = True,
+    engine=None,
+    tech: Optional[str] = None,
+) -> Dict[str, Callable[[], object]]:
+    """Name -> builder for the default export set of one technology.
+
+    With *tech* ``None`` or ``"cmos"`` this is the base paper artifact
+    set, unchanged — ``repro export --tech cmos`` stays bit-identical to
+    a plain ``repro export``.  Any other registered backend selects that
+    technology's artifact family (see :func:`tech_artifact_builders`).
 
     With ``fast=True`` the DSE artifacts (Figs 13-14) use a representative
     Table III sub-grid; ``fast=False`` runs the full sweep ranges.
     *engine* (a :class:`repro.accel.engine.SweepEngine`) runs those two
     artifacts sharded across worker processes with the persistent cache.
     """
+    if tech is not None and tech != "cmos":
+        from repro.tech import get_backend
+
+        return tech_artifact_builders(get_backend(tech).name)
     cmos = model if model is not None else CmosPotentialModel.paper()
     if fast:
         partitions = (1, 4, 16, 64, 256, 1024)
@@ -179,6 +231,16 @@ def export_artifact(
     )[name]
 
 
+def export_tech_artifacts(
+    tech: str,
+    directory: PathLike,
+    manifest=None,
+    ledger=None,
+) -> Dict[str, Path]:
+    """Export one backend's full per-technology artifact family."""
+    return export_all(directory, manifest=manifest, ledger=ledger, tech=tech)
+
+
 def export_all(
     directory: PathLike,
     model: Optional[CmosPotentialModel] = None,
@@ -187,8 +249,16 @@ def export_all(
     engine=None,
     manifest=None,
     ledger=None,
+    tech: Optional[str] = None,
 ) -> Dict[str, Path]:
     """Regenerate and write every (or the named) artifacts.
+
+    *tech* selects the default artifact set: ``None``/``"cmos"`` exports
+    the base paper artifacts (bit-identical either way), any other
+    registered backend exports that technology's per-tech family.
+    Explicit *names* always resolve against the full
+    :func:`artifact_registry`, so e.g. ``--only fig15_16_tfet`` works
+    without ``--tech``.
 
     *manifest* is the run's :class:`~repro.provenance.manifest.RunManifest`
     (one is captured if not given); it is completed with the export's
@@ -199,18 +269,21 @@ def export_all(
     """
     from repro.provenance.manifest import RunLedger, capture
 
-    builders = artifact_builders(model, fast, engine=engine)
-    selected = list(names) if names is not None else sorted(builders)
+    registry = artifact_registry(model, fast, engine=engine)
+    if names is not None:
+        selected = list(names)
+    else:
+        selected = sorted(artifact_builders(model, fast, engine=engine, tech=tech))
     if not selected:
         # e.g. `--only ,` — an accidentally empty selection should not
         # silently export nothing.
         raise ValidationError(
             "no artifacts selected; valid names: "
-            + ", ".join(sorted(builders))
+            + ", ".join(sorted(registry))
         )
     if manifest is None:
-        manifest = capture("export", model=model)
-    payloads = _build_payloads(selected, builders)
+        manifest = capture("export", model=model, tech=tech)
+    payloads = _build_payloads(selected, registry)
     _finish_manifest(manifest, payloads, engine)
     paths = _write_artifacts(payloads, Path(directory), manifest)
     try:

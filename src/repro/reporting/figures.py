@@ -306,3 +306,16 @@ def fig15_16_projections(
         }
         for report in wall_report_all_domains(_model(model))
     ]
+
+
+def fig15_16_tech_projections(tech: str) -> List[Dict[str, object]]:
+    """Figs 15-16 re-run with the limit chip built under technology *tech*.
+
+    History (the measured scatter and the frontier fits) stays CMOS;
+    see :mod:`repro.tech.scenarios` for the modeling stance.  For
+    ``tech="cmos"`` the rows are bit-identical to
+    :func:`fig15_16_projections`.
+    """
+    from repro.tech.scenarios import wall_projection_rows
+
+    return wall_projection_rows(tech)

@@ -171,6 +171,11 @@ class ServeApp:
             self.model = snapshot.model
             self._studies = dict(snapshot.studies)
             self._kernels = {k.upper(): v for k, v in snapshot.kernels.items()}
+            from repro.tech import backend_names, get_backend
+
+            for name, tech_model in getattr(snapshot, "tech_models", {}).items():
+                if name in backend_names():
+                    get_backend(name).prime(tech_model)
         else:
             self.model = CmosPotentialModel.paper()
             self._studies = {}
@@ -352,25 +357,44 @@ class ServeApp:
         return FAST_PARTITIONS, FAST_SIMPLIFICATIONS
 
     def artifact_names(self) -> List[str]:
-        from repro.reporting.export import artifact_builders
+        from repro.reporting.export import artifact_registry
 
-        return sorted(artifact_builders(self.model, fast=True))
+        return sorted(artifact_registry(self.model, fast=True))
+
+    def tech_backend(self, name: str):
+        """Resolve a technology backend name; 400 with the valid names."""
+        from repro.tech import backend_names, get_backend
+
+        try:
+            return get_backend(name)
+        except ReproError:
+            raise HttpError(
+                400,
+                f"unknown technology {name!r}",
+                valid_technologies=backend_names(),
+            )
+
+    def tech_model(self, name: str):
+        """The fitted potential model of backend *name* (snapshot-primed)."""
+        return self.tech_backend(name).model()
 
     async def artifact_payload(self, name: str) -> Any:
         """One export artifact's payload, built lazily and LRU-cached.
 
         The payload goes through the same builder and ``_jsonable``
         coercion as ``repro export``, so endpoint responses are golden-
-        parity with exported artifact files.
+        parity with exported artifact files.  Per-technology artifacts
+        (``fig15_16_tfet``, ``tech_delta_chiplet``, ...) resolve through
+        the same registry as ``export --only``.
         """
-        from repro.reporting.export import _jsonable, artifact_builders
+        from repro.reporting.export import _jsonable, artifact_registry
 
         hit, value = self._artifact_cache.get(name)
         if hit:
             return value
 
         def build() -> Any:
-            builders = artifact_builders(self.model, fast=True, engine=self.engine)
+            builders = artifact_registry(self.model, fast=True, engine=self.engine)
             try:
                 builder = builders[name]
             except KeyError:

@@ -334,6 +334,28 @@ async def artifact(app, request: Request, name: str) -> Any:
     return await app.artifact_payload(name)
 
 
+# -- technology backends ("does the wall move?") -------------------------------
+
+
+def _tech_param(app, request: Request):
+    """The validated ``?tech=`` backend, or ``None`` when absent/cmos.
+
+    ``None`` keeps the legacy CMOS code path (and the response shape)
+    byte-identical to a request without the parameter.
+    """
+    name = request.query.get("tech")
+    if name is None or name == "cmos":
+        return None
+    return app.tech_backend(name)
+
+
+async def tech_index(app, request: Request) -> Dict[str, Any]:
+    """Every registered technology backend with parameters and hashes."""
+    from repro.tech import backend_index
+
+    return {"technologies": backend_index(), "baseline": "cmos"}
+
+
 # -- CMOS model queries (Fig 3) -----------------------------------------------
 
 
@@ -343,7 +365,9 @@ async def cmos_gains(app, request: Request) -> Dict[str, Any]:
     Query parameters: ``node`` (required), ``frequency_mhz`` (default
     1000), ``area_mm2`` (default 100), ``tdp_w`` (optional — omitting it
     means an unconstrained power envelope), ``baseline_node`` (default
-    45) for the normalisation corner.
+    45) for the normalisation corner, ``tech`` (optional — evaluate both
+    chips under a registered technology backend's model instead of the
+    fitted CMOS one; the response then carries a ``tech`` key).
     """
     node = request.param_float("node")
     if node is None:
@@ -352,13 +376,17 @@ async def cmos_gains(app, request: Request) -> Dict[str, Any]:
     area = request.param_float("area_mm2", 100.0)
     tdp = request.param_float("tdp_w", None)
     baseline_node = request.param_float("baseline_node", 45.0)
+    backend = _tech_param(app, request)
 
     def compute() -> Dict[str, Any]:
-        gains = app.model.evaluate(node, frequency, area_mm2=area, tdp_w=tdp)
-        base = app.model.evaluate(
+        model = app.model if backend is None else backend.model()
+        gains = model.evaluate(node, frequency, area_mm2=area, tdp_w=tdp)
+        base = model.evaluate(
             baseline_node, frequency, area_mm2=area, tdp_w=tdp
         )
+        extra = {} if backend is None else {"tech": backend.name}
         return {
+            **extra,
             "node_nm": gains.node_nm,
             "baseline_node_nm": base.node_nm,
             "frequency_mhz": frequency,
@@ -381,12 +409,22 @@ async def cmos_gains(app, request: Request) -> Dict[str, Any]:
 
 
 async def csr_study(app, request: Request, study: str) -> Dict[str, Any]:
-    """One case study's baseline-normalised CSR series and summary."""
+    """One case study's baseline-normalised CSR series and summary.
+
+    ``?tech=<backend>`` re-decomposes the series under that technology's
+    potential model (the counterfactual "what if these chips had been
+    built in tech T"); without it the fitted CMOS model is used and the
+    response is unchanged from earlier schema versions.
+    """
     obj = app.study(study)
+    backend = _tech_param(app, request)
 
     def compute() -> Dict[str, Any]:
-        series = obj.performance_series(app.model)
+        model = app.model if backend is None else backend.model()
+        series = obj.performance_series(model)
+        extra = {} if backend is None else {"tech": backend.name}
         return {
+            **extra,
             "study": obj.name,
             "metric": series.metric,
             "baseline": series.baseline_name,
@@ -401,7 +439,7 @@ async def csr_study(app, request: Request, study: str) -> Dict[str, Any]:
                 }
                 for p in series
             ],
-            "summary": obj.summary(app.model),
+            "summary": obj.summary(model),
         }
 
     return await app.run_blocking(compute)
@@ -411,8 +449,21 @@ async def csr_study(app, request: Request, study: str) -> Dict[str, Any]:
 
 
 async def wall_projections(app, request: Request) -> Any:
-    """The Figs 15-16 projections — identical to the fig15_16 artifact."""
-    return await app.artifact_payload("fig15_16")
+    """The Figs 15-16 projections — identical to the fig15_16 artifact.
+
+    ``?tech=<backend>`` serves that technology's re-run projections
+    instead (identical to the exported ``fig15_16_<backend>`` artifact),
+    wrapped with the backend's name so responses are self-describing.
+    """
+    backend = _tech_param(app, request)
+    if backend is None:
+        return await app.artifact_payload("fig15_16")
+    projections = await app.artifact_payload(f"fig15_16_{backend.name}")
+    return {
+        "tech": backend.name,
+        "baseline": "cmos",
+        "projections": projections,
+    }
 
 
 async def wall_whatif(app, request: Request) -> Dict[str, Any]:
@@ -833,6 +884,7 @@ def register_routes(router) -> None:
     router.add("GET", "/debug/trace/{trace_id}", debug_trace, name="debug.trace")
     router.add("GET", "/artifacts", artifacts_index, name="artifacts")
     router.add("GET", "/artifacts/{name}", artifact, name="artifact")
+    router.add("GET", "/tech", tech_index, name="tech")
     router.add("GET", "/cmos/gains", cmos_gains, name="cmos.gains")
     router.add("GET", "/csr/{study}", csr_study, name="csr.study")
     router.add("GET", "/wall/projections", wall_projections, name="wall.projections")

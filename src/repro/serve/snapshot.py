@@ -37,7 +37,7 @@ logger = get_logger("serve.snapshot")
 
 #: Bumped whenever the snapshot layout changes; a version-mismatched file
 #: is rejected at load time and the worker boots cold instead.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 #: Workloads whose kernels are pre-traced into the snapshot (the full
 #: served set — tracing is the dominant per-workload startup cost).
@@ -57,6 +57,7 @@ class ServeSnapshot:
     studies: Dict[str, Any] = field(default_factory=dict)   # name -> study
     kernels: Dict[str, Any] = field(default_factory=dict)   # ABBREV -> kernel
     artifacts: Dict[str, Any] = field(default_factory=dict)  # name -> payload
+    tech_models: Dict[str, Any] = field(default_factory=dict)  # tech -> model
     created_unix: float = field(default_factory=time.time)
     version: int = SNAPSHOT_VERSION
 
@@ -66,6 +67,7 @@ def build_snapshot(model: Optional[Any] = None) -> ServeSnapshot:
     from repro.cli import STUDIES, _study_object
     from repro.cmos.model import CmosPotentialModel
     from repro.reporting.export import _jsonable, artifact_builders
+    from repro.tech import backend_names, get_backend
     from repro.workloads import get_workload
 
     with span("serve.snapshot.build"):
@@ -81,8 +83,15 @@ def build_snapshot(model: Optional[Any] = None) -> ServeSnapshot:
             for name in SNAPSHOT_ARTIFACTS
             if name in builders
         }
+        # Fit every registered backend's potential model once, so warm
+        # replicas answer ``?tech=`` requests without refitting.
+        tech_models = {name: get_backend(name).model() for name in backend_names()}
     return ServeSnapshot(
-        model=model, studies=studies, kernels=kernels, artifacts=artifacts
+        model=model,
+        studies=studies,
+        kernels=kernels,
+        artifacts=artifacts,
+        tech_models=tech_models,
     )
 
 
@@ -94,7 +103,7 @@ def save_snapshot(snapshot: ServeSnapshot, path: os.PathLike) -> Path:
     studies.  Only a model that itself cannot pickle is fatal.
     """
     path = Path(path)
-    for section in ("studies", "kernels", "artifacts"):
+    for section in ("studies", "kernels", "artifacts", "tech_models"):
         table = getattr(snapshot, section)
         for key in list(table):
             try:

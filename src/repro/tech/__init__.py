@@ -1,0 +1,64 @@
+"""Pluggable technology backends for the accelerator-wall model.
+
+Importing this package registers the built-in backends:
+
+``cmos``
+    The paper's planar-CMOS model, bit-identical to
+    ``CmosPotentialModel.paper()`` — the scalar oracle.
+``finfet``
+    Tri-gate devices (Intel 22nm disclosures / Lumos FinFET-hp corner).
+``tfet``
+    Steep-slope tunneling FETs (Lumos BCE device corners).
+``chiplet``
+    Monad-style reticle-escape disaggregation over a base technology.
+
+See :mod:`repro.tech.base` for the backend protocol and registry and
+:mod:`repro.tech.scenarios` for the "does the wall move?" engine.
+"""
+
+from __future__ import annotations
+
+from repro.tech.base import (
+    TechBackend,
+    TechMetadata,
+    backend_index,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.tech.carbon import CarbonParams, CarbonReport, backend_carbon, carbon_footprint
+from repro.tech.chiplet import ChipletBackend, ChipletPotentialModel, chiplet_backend
+from repro.tech.cmos import CmosBackend, cmos_backend
+from repro.tech.device import DerivedDeviceBackend, DeviceParams, derived_backend
+from repro.tech.finfet import finfet_backend
+from repro.tech.tfet import tfet_backend
+
+__all__ = [
+    "TechBackend",
+    "TechMetadata",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "backend_index",
+    "CarbonParams",
+    "CarbonReport",
+    "carbon_footprint",
+    "backend_carbon",
+    "CmosBackend",
+    "cmos_backend",
+    "DeviceParams",
+    "DerivedDeviceBackend",
+    "derived_backend",
+    "ChipletBackend",
+    "ChipletPotentialModel",
+    "chiplet_backend",
+    "finfet_backend",
+    "tfet_backend",
+]
+
+# Built-in registrations (idempotent across re-imports because module
+# code runs once; `replace=True` keeps interactive reloads painless).
+register_backend(cmos_backend(), replace=True)
+register_backend(finfet_backend(), replace=True)
+register_backend(tfet_backend(), replace=True)
+register_backend(chiplet_backend(), replace=True)

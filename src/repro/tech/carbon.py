@@ -1,0 +1,165 @@
+"""Carbon overlay: embodied + operational gCO2e for any tech backend.
+
+Follows the Sustainable-Hardware-Specialization / ACT accounting split:
+
+* **Embodied** carbon is manufacturing: die area times a per-node fab
+  intensity (gCO2e per good mm^2 — smaller nodes need more EUV/multi-
+  patterning passes, modeled as a power law in the node ratio),
+  amortised over die yield, plus a packaging adder per extra chiplet.
+* **Operational** carbon is lifetime electricity: average draw times
+  lifetime hours times the grid intensity.
+
+The overlay is computable for *any* backend because it consumes only
+(area, node, power, die count, die yield) — quantities every backend's
+model already produces.  Invariants the fuzz suite pins: every
+component is non-negative and the total is exactly their sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from repro.cmos.scaling import REFERENCE_NODE
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tech.base import TechBackend
+
+__all__ = ["CarbonParams", "CarbonReport", "carbon_footprint", "backend_carbon"]
+
+
+@dataclass(frozen=True)
+class CarbonParams:
+    """Accounting assumptions for the carbon overlay."""
+
+    #: Fab intensity at the 45nm reference node, gCO2e per mm^2 of good
+    #: silicon (ACT-class estimates put advanced logic at 1-2 kg/cm^2;
+    #: older nodes are far cheaper — 10 g/mm^2 ~= 1 kg/cm^2 at 45nm).
+    fab_intensity_gco2e_per_mm2: float = 10.0
+    #: Fab intensity grows as ``(45 / node)^exponent`` toward newer nodes.
+    fab_intensity_exponent: float = 0.4
+    #: Grid carbon intensity, gCO2e per kWh (world average ~475).
+    grid_intensity_gco2e_per_kwh: float = 475.0
+    #: Service lifetime in powered hours (3 years continuous).
+    lifetime_hours: float = 3 * 8760.0
+    #: Average utilisation of the power envelope over the lifetime.
+    utilization: float = 0.5
+    #: Embodied adder per extra chiplet (substrate, interposer, SerDes).
+    packaging_overhead_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fab_intensity_gco2e_per_mm2",
+            "grid_intensity_gco2e_per_kwh",
+            "lifetime_hours",
+        ):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value > 0):
+                raise ValidationError(f"{name} must be positive, got {value!r}")
+        if not (0.0 <= self.utilization <= 1.0):
+            raise ValidationError(
+                f"utilization must be in [0, 1], got {self.utilization!r}"
+            )
+        if self.packaging_overhead_fraction < 0:
+            raise ValidationError(
+                "packaging_overhead_fraction must be >= 0, got "
+                f"{self.packaging_overhead_fraction!r}"
+            )
+
+    def fab_intensity(self, node_nm: float) -> float:
+        """gCO2e per good mm^2 at *node* (reference intensity power law)."""
+        if not (math.isfinite(node_nm) and node_nm > 0):
+            raise ValidationError(f"node must be positive, got {node_nm!r}")
+        return self.fab_intensity_gco2e_per_mm2 * (
+            REFERENCE_NODE / node_nm
+        ) ** self.fab_intensity_exponent
+
+
+@dataclass(frozen=True)
+class CarbonReport:
+    """Lifetime gCO2e decomposition for one chip-equivalent."""
+
+    node_nm: float
+    area_mm2: float
+    power_w: float
+    die_count: int
+    die_yield: float
+    embodied_gco2e: float
+    operational_gco2e: float
+
+    @property
+    def total_gco2e(self) -> float:
+        return self.embodied_gco2e + self.operational_gco2e
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "node_nm": self.node_nm,
+            "area_mm2": self.area_mm2,
+            "power_w": self.power_w,
+            "die_count": float(self.die_count),
+            "die_yield": self.die_yield,
+            "embodied_gco2e": self.embodied_gco2e,
+            "operational_gco2e": self.operational_gco2e,
+            "total_gco2e": self.total_gco2e,
+        }
+
+
+def carbon_footprint(
+    area_mm2: float,
+    node_nm: float,
+    power_w: float,
+    params: CarbonParams = CarbonParams(),
+    die_count: int = 1,
+    die_yield: float = 1.0,
+) -> CarbonReport:
+    """Lifetime carbon for one chip-equivalent of *area* at *node*."""
+    if not (math.isfinite(area_mm2) and area_mm2 > 0):
+        raise ValidationError(f"area must be positive, got {area_mm2!r}")
+    if not (math.isfinite(power_w) and power_w >= 0):
+        raise ValidationError(f"power must be non-negative, got {power_w!r}")
+    if die_count < 1:
+        raise ValidationError(f"die count must be >= 1, got {die_count!r}")
+    if not (0.0 < die_yield <= 1.0):
+        raise ValidationError(f"die yield must be in (0, 1], got {die_yield!r}")
+    packaging = 1.0 + params.packaging_overhead_fraction * (die_count - 1)
+    embodied = area_mm2 * params.fab_intensity(node_nm) / die_yield * packaging
+    operational = (
+        power_w
+        * params.utilization
+        * params.lifetime_hours
+        / 1000.0  # Wh -> kWh
+        * params.grid_intensity_gco2e_per_kwh
+    )
+    return CarbonReport(
+        node_nm=float(node_nm),
+        area_mm2=float(area_mm2),
+        power_w=float(power_w),
+        die_count=int(die_count),
+        die_yield=float(die_yield),
+        embodied_gco2e=embodied,
+        operational_gco2e=operational,
+    )
+
+
+def backend_carbon(
+    backend: "TechBackend",
+    node_nm: float,
+    area_mm2: float,
+    power_w: float,
+    params: CarbonParams = CarbonParams(),
+) -> CarbonReport:
+    """Carbon for a chip built under *backend* (die split and yield aware)."""
+    die_count = backend.die_count(area_mm2)
+    per_die = area_mm2 / die_count
+    die_yield_fn = getattr(backend, "die_yield", None)
+    die_yield = die_yield_fn(per_die) if callable(die_yield_fn) else 1.0
+    return carbon_footprint(
+        area_mm2,
+        node_nm,
+        power_w,
+        params=params,
+        die_count=die_count,
+        die_yield=die_yield,
+    )

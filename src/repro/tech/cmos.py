@@ -1,0 +1,47 @@
+"""The default ``cmos`` backend — the paper model, bit-identical.
+
+This backend *is* the scalar oracle: :meth:`build_model` returns
+``CmosPotentialModel.paper()`` with no re-parameterisation whatsoever,
+so every number produced through the ``cmos`` backend is bit-identical
+to the legacy direct-model path (``repro check`` pins this, and the
+golden-drift comparator keeps it pinned across commits).  Cross-tech
+deltas in :mod:`repro.tech.scenarios` are measured against it.
+"""
+
+from __future__ import annotations
+
+from repro.cmos.model import CmosPotentialModel
+from repro.tech.base import TechBackend, TechMetadata
+
+__all__ = ["CmosBackend", "cmos_backend"]
+
+
+class CmosBackend(TechBackend):
+    """Planar/bulk CMOS exactly as the paper fits it."""
+
+    def build_model(self) -> CmosPotentialModel:
+        return CmosPotentialModel.paper()
+
+
+def cmos_backend() -> CmosBackend:
+    return CmosBackend(
+        TechMetadata(
+            name="cmos",
+            display_name="Planar CMOS (paper baseline)",
+            description=(
+                "The paper's published potential model: Fig 3b density law "
+                "TC(D) = 4.99e9 * D^0.877, Fig 3c per-era TDP budget fits, "
+                "and the Stillmaker & Baas + IRDS-2017 device scaling table."
+            ),
+            source=(
+                "Fuchs & Wentzlaff, 'The Accelerator Wall: Limits of Chip "
+                "Specialization', HPCA 2019 (Figs 3a-3c, Table V)"
+            ),
+            parameters={
+                "density_coefficient": 4.99e9,
+                "density_exponent": 0.877,
+                "reference_node_nm": 45.0,
+                "final_node_nm": 5.0,
+            },
+        )
+    )

@@ -1,0 +1,135 @@
+"""Derived device backends: new transistors through the same fit machinery.
+
+A :class:`DeviceParams` set captures how one device technology differs
+from the paper's planar-CMOS calibration as multiplicative knobs on the
+published Fig 3a/3b/3c laws:
+
+* ``dynamic_energy_scale`` / ``leakage_scale`` — per-switch ``C*VDD^2``
+  energy and per-device static power relative to bulk CMOS at the same
+  node.  These enter the gains model through the
+  :class:`~repro.cmos.gains.GainsConfig` *reference power densities*
+  (the 45nm/25mm^2/1GHz calibration chip re-evaluated under the new
+  devices), because the model consumes the device table only in ratio
+  form where uniform scales cancel.
+* ``frequency_scale`` / ``vdd_scale`` — achievable clock and supply at
+  iso-node.  Frequency also derates the Table V limit-chip clock via
+  :meth:`~DerivedDeviceBackend.wall_limits`.
+* ``density_coefficient_scale`` / ``density_exponent_delta`` — Fig 3b
+  areal-density law adjustments.
+* ``tdp_coefficient_scale`` / ``tdp_exponent_delta`` — Fig 3c budget-law
+  adjustments; to first order a device drawing ``s``x less dynamic power
+  sustains ``1/s``x more active transistors per watt, so the coefficient
+  scale is normally ``1 / dynamic_energy_scale``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Union
+
+from repro.cmos.gains import GainsConfig
+from repro.cmos.model import CmosPotentialModel
+from repro.cmos.scaling import default_scaling_table
+from repro.cmos.tdp import paper_tdp_model
+from repro.cmos.transistors import PAPER_DENSITY_FIT
+from repro.errors import ValidationError
+from repro.tech.base import TechBackend, TechMetadata
+from repro.wall.limits import DomainLimits
+
+__all__ = ["DeviceParams", "DerivedDeviceBackend", "derived_backend"]
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Multiplicative device knobs relative to the paper's planar CMOS."""
+
+    dynamic_energy_scale: float = 1.0
+    leakage_scale: float = 1.0
+    frequency_scale: float = 1.0
+    vdd_scale: float = 1.0
+    density_coefficient_scale: float = 1.0
+    density_exponent_delta: float = 0.0
+    tdp_coefficient_scale: float = 1.0
+    tdp_exponent_delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if not math.isfinite(value):
+                raise ValidationError(f"non-finite device knob {spec.name}={value!r}")
+            if not spec.name.endswith("_delta") and value <= 0:
+                raise ValidationError(
+                    f"device knob {spec.name} must be positive, got {value!r}"
+                )
+
+    def as_mapping(self) -> Dict[str, Union[float, int, str]]:
+        """The knob set as a plain dict (metadata / content hashing)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class DerivedDeviceBackend(TechBackend):
+    """A backend whose model is the paper machinery under scaled laws."""
+
+    def __init__(self, metadata: TechMetadata, params: DeviceParams):
+        super().__init__(metadata)
+        self._params = params
+
+    @property
+    def params(self) -> DeviceParams:
+        return self._params
+
+    def build_model(self) -> CmosPotentialModel:
+        p = self._params
+        density = PAPER_DENSITY_FIT.scaled(
+            p.density_coefficient_scale, p.density_exponent_delta
+        )
+        tdp = paper_tdp_model().scaled(p.tdp_coefficient_scale, p.tdp_exponent_delta)
+        scaling = default_scaling_table().scaled(
+            vdd_scale=p.vdd_scale,
+            frequency_scale=p.frequency_scale,
+            capacitance_scale=p.dynamic_energy_scale / p.vdd_scale**2,
+            leakage_scale=p.leakage_scale,
+        )
+        base = GainsConfig()
+        config = replace(
+            base,
+            ref_dynamic_density_w_mm2=(
+                base.ref_dynamic_density_w_mm2 * p.dynamic_energy_scale
+            ),
+            ref_leakage_density_w_mm2=(
+                base.ref_leakage_density_w_mm2 * p.leakage_scale
+            ),
+        )
+        return CmosPotentialModel(
+            density_fit=density,
+            tdp_model=tdp,
+            scaling=scaling,
+            gains_config=config,
+        )
+
+    def wall_limits(self, row: DomainLimits) -> DomainLimits:
+        """Derate the Table V clock by the device's achievable frequency."""
+        if self._params.frequency_scale == 1.0:
+            return row
+        return replace(
+            row, frequency_mhz=row.frequency_mhz * self._params.frequency_scale
+        )
+
+
+def derived_backend(
+    name: str,
+    display_name: str,
+    description: str,
+    source: str,
+    params: DeviceParams,
+) -> DerivedDeviceBackend:
+    """Build a :class:`DerivedDeviceBackend` with params in its metadata."""
+    metadata = TechMetadata(
+        name=name,
+        display_name=display_name,
+        description=description,
+        source=source,
+        parameters=params.as_mapping(),
+    )
+    return DerivedDeviceBackend(metadata, params)

@@ -1,0 +1,52 @@
+"""The ``finfet`` backend: tri-gate devices, better everything in moderation.
+
+Parameter provenance: Intel's 22nm tri-gate disclosures (Auth et al.,
+VLSI 2012) and the FinFET-hp corner of the Lumos dark-silicon
+framework.  Relative to planar bulk at iso-node, tri-gate devices are
+reported ~18-37% faster at low voltage, or alternatively cut active
+power roughly in half at iso-performance (we encode the mid-point:
+1.18x clock with 0.55x energy per switch at ~0.9x VDD), with an
+order-of-magnitude better subthreshold leakage from the wrapped gate
+(we use a conservative 0.35x).  Density is taken as unchanged — the fin
+pitch roughly tracks the planar metal pitch at these nodes.
+
+The net scenario effect: both walls move outward modestly — the
+performance wall by the larger TDP-constrained active budget times the
+faster clock, the efficiency wall by roughly the energy ratio.
+"""
+
+from __future__ import annotations
+
+from repro.tech.device import DerivedDeviceBackend, DeviceParams, derived_backend
+
+__all__ = ["finfet_backend"]
+
+#: Tri-gate : planar energy-per-switch ratio at iso-node.
+_DYNAMIC_ENERGY_RATIO = 0.55
+
+
+def finfet_backend() -> DerivedDeviceBackend:
+    params = DeviceParams(
+        dynamic_energy_scale=_DYNAMIC_ENERGY_RATIO,
+        leakage_scale=0.35,
+        frequency_scale=1.18,
+        vdd_scale=0.9,
+        density_coefficient_scale=1.0,
+        density_exponent_delta=0.0,
+        tdp_coefficient_scale=1.0 / _DYNAMIC_ENERGY_RATIO,
+        tdp_exponent_delta=0.0,
+    )
+    return derived_backend(
+        name="finfet",
+        display_name="FinFET / tri-gate",
+        description=(
+            "Tri-gate devices: ~1.8x lower switching energy, ~3x lower "
+            "leakage, and ~1.18x clock at iso-node, expressed as scaled "
+            "Fig 3a/3c laws over the paper's fit machinery."
+        ),
+        source=(
+            "Intel 22nm tri-gate disclosures (Auth et al., VLSI 2012); "
+            "Lumos dark-silicon framework FinFET-hp corner"
+        ),
+        params=params,
+    )

@@ -1,0 +1,59 @@
+"""The ``tfet`` backend: tunneling FETs trade clock for energy.
+
+Parameter provenance: the inter-band tunneling FET corner of the Lumos
+dark-silicon framework (Wang & Skadron, following the UVA/Penn State
+homo-junction TFET device studies), which tabulates TFET cores against
+high-performance bulk CMOS at the same node: relative performance
+``1.21 / 1.65`` (TFETs cannot reach CMOS drive current at nominal VDD)
+and relative dynamic power ``0.206 / 2.965`` (steep sub-60mV/dec
+subthreshold slope lets VDD drop to ~0.3V).  The energy-per-switch
+ratio is dynamic-power / frequency; leakage collapses by ~20x for the
+same steep-slope reason.  Density is taken as unchanged — TFET layouts
+are CMOS-like.
+
+The net scenario effect: the performance wall barely moves (slower
+devices offset the bigger active budget), while the energy-efficiency
+wall jumps by roughly the inverse energy ratio.
+"""
+
+from __future__ import annotations
+
+from repro.tech.device import DerivedDeviceBackend, DeviceParams, derived_backend
+
+__all__ = ["tfet_backend"]
+
+#: TFET : CMOS-HP clock ratio at iso-node (Lumos BCE table).
+_PERF_RATIO = 1.21 / 1.65
+#: TFET : CMOS-HP dynamic-power ratio at iso-node (Lumos BCE table).
+_DYNAMIC_POWER_RATIO = 0.206 / 2.965
+#: Energy per switch = power / frequency.
+_DYNAMIC_ENERGY_RATIO = _DYNAMIC_POWER_RATIO / _PERF_RATIO
+
+
+def tfet_backend() -> DerivedDeviceBackend:
+    params = DeviceParams(
+        dynamic_energy_scale=_DYNAMIC_ENERGY_RATIO,
+        leakage_scale=0.05,
+        frequency_scale=_PERF_RATIO,
+        vdd_scale=0.47,  # ~0.3V vs the 0.64V-class bulk nominal
+        density_coefficient_scale=1.0,
+        density_exponent_delta=0.0,
+        # s-times-lower switching energy sustains 1/s-times more active
+        # transistors inside the same Fig 3c TDP envelope.
+        tdp_coefficient_scale=1.0 / _DYNAMIC_ENERGY_RATIO,
+        tdp_exponent_delta=0.0,
+    )
+    return derived_backend(
+        name="tfet",
+        display_name="Tunneling FET (steep slope)",
+        description=(
+            "Inter-band tunneling FETs: ~10x lower switching energy and "
+            "~20x lower leakage at ~0.73x clock, expressed as scaled "
+            "Fig 3a/3c laws over the paper's fit machinery."
+        ),
+        source=(
+            "Lumos dark-silicon framework BCE device corners "
+            "(homo-junction TFET vs. bulk CMOS-HP at iso-node)"
+        ),
+        params=params,
+    )

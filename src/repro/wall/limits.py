@@ -154,12 +154,26 @@ def accelerator_wall(
     domain: str,
     model: Optional[CmosPotentialModel] = None,
     metric: str = "performance",
+    limits_row: Optional[DomainLimits] = None,
+    limit_model: Optional[CmosPotentialModel] = None,
 ) -> WallReport:
     """Project the accelerator wall for one domain (Figs 15-16).
 
     *metric* is ``"performance"`` or ``"efficiency"``.  Performance limits
     use the domain's largest die; energy-efficiency limits use the smallest
     (the Section III insight that small chips favour efficiency).
+
+    *limits_row* replaces the Table V envelope for the limit-chip
+    evaluation (technology backends use this to, e.g., lift the die-size
+    ceiling for chiplet disaggregation or derate the clock for TFETs);
+    the historical scatter and its frontier fits always come from the
+    measured chips and are unaffected.
+
+    *limit_model* evaluates the limit chip under a different potential
+    model than the historical baseline — the "what if the wall chip used
+    technology T while history stays CMOS" question asked by
+    :mod:`repro.tech.scenarios` (the same perturb-only-the-limit pattern
+    as :mod:`repro.wall.sensitivity`).
     """
     limits = _limits()
     try:
@@ -168,6 +182,13 @@ def accelerator_wall(
         raise ProjectionError(
             f"unknown domain {domain!r}; known: {sorted(limits)}"
         ) from None
+    if limits_row is not None:
+        if limits_row.domain != domain:
+            raise ProjectionError(
+                f"limits override is for domain {limits_row.domain!r}, "
+                f"not {domain!r}"
+            )
+        row = limits_row
     cmos = model if model is not None else CmosPotentialModel.paper()
     study = row.study_factory()
 
@@ -189,7 +210,8 @@ def accelerator_wall(
     # (physical capability, gain in measured units) scatter.
     points = [(p.physical, p.gain * base_measured) for p in series]
 
-    limit_gains = cmos.evaluate(
+    limit_cmos = limit_model if limit_model is not None else cmos
+    limit_gains = limit_cmos.evaluate(
         FINAL_NODE,
         row.frequency_mhz,
         area_mm2=die,
@@ -215,11 +237,19 @@ def accelerator_wall(
 
 def wall_report_all_domains(
     model: Optional[CmosPotentialModel] = None,
+    limits_overrides: Optional[Dict[str, DomainLimits]] = None,
 ) -> List[WallReport]:
-    """Figs 15 + 16: both metrics for all four Table V domains."""
+    """Figs 15 + 16: both metrics for all four Table V domains.
+
+    *limits_overrides* maps domain name to a replacement Table V row for
+    the limit-chip evaluation (see :func:`accelerator_wall`).
+    """
     cmos = model if model is not None else CmosPotentialModel.paper()
+    overrides = limits_overrides or {}
     reports = []
     for domain in _limits():
         for metric in ("performance", "efficiency"):
-            reports.append(accelerator_wall(domain, cmos, metric))
+            reports.append(
+                accelerator_wall(domain, cmos, metric, overrides.get(domain))
+            )
     return reports

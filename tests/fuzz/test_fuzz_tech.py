@@ -1,0 +1,132 @@
+"""Property-based fuzzing of the technology backends and carbon overlay.
+
+Contract: wall projections respond monotonically to the device knobs
+that grow transistor budgets (density coefficient, TDP coefficient),
+derived-backend surfaces stay finite and physical under any plausible
+parameter perturbation, and the carbon metric is non-negative with a
+total that is *exactly* embodied + operational.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tech import DeviceParams, carbon_footprint, derived_backend
+from repro.tech.base import SURFACE_NODES
+from repro.tech.carbon import CarbonParams
+from repro.wall.limits import _limits, accelerator_wall
+
+scales = st.floats(min_value=0.25, max_value=4.0)
+small_deltas = st.floats(min_value=-0.05, max_value=0.05)
+
+
+def _backend(params: DeviceParams):
+    return derived_backend("fuzzdev", "Fuzz device", "fuzz", "fuzz", params)
+
+
+def _limit(domain: str, params: DeviceParams) -> float:
+    backend = _backend(params)
+    report = accelerator_wall(
+        domain,
+        None,
+        "performance",
+        limits_row=backend.wall_limits(_limits()[domain]),
+        limit_model=backend.model(),
+    )
+    return report.physical_limit
+
+
+class TestWallMonotonicity:
+    @given(st.tuples(scales, scales))
+    @settings(max_examples=20, deadline=None)
+    def test_denser_devices_never_lower_an_uncapped_wall(self, pair):
+        # video_decoding has no TDP cap: potential scales exactly with
+        # the density-law coefficient, so the wall must follow it.
+        low, high = sorted(pair)
+        limit_low = _limit(
+            "video_decoding", DeviceParams(density_coefficient_scale=low)
+        )
+        limit_high = _limit(
+            "video_decoding", DeviceParams(density_coefficient_scale=high)
+        )
+        assert limit_high >= limit_low * (1 - 1e-9)
+        if high > low:
+            assert math.isclose(limit_high / limit_low, high / low, rel_tol=1e-6)
+
+    @given(st.tuples(scales, scales))
+    @settings(max_examples=15, deadline=None)
+    def test_bigger_power_budgets_never_lower_a_capped_wall(self, pair):
+        # bitcoin_mining is TDP-capped: a device sustaining more active
+        # transistors per watt can only move the wall outward.
+        low, high = sorted(pair)
+        limit_low = _limit("bitcoin_mining", DeviceParams(tdp_coefficient_scale=low))
+        limit_high = _limit("bitcoin_mining", DeviceParams(tdp_coefficient_scale=high))
+        assert limit_high >= limit_low * (1 - 1e-9)
+
+
+class TestSurfaceSanity:
+    @given(scales, scales, scales, small_deltas)
+    @settings(max_examples=30, deadline=None)
+    def test_perturbed_surfaces_stay_finite_and_monotone(
+        self, energy, leakage, density, exponent_delta
+    ):
+        backend = _backend(
+            DeviceParams(
+                dynamic_energy_scale=energy,
+                leakage_scale=leakage,
+                density_coefficient_scale=density,
+                density_exponent_delta=exponent_delta,
+            )
+        )
+        surface = backend.density_surface()
+        values = [surface[node] for node in SURFACE_NODES]
+        assert all(math.isfinite(v) and v > 0 for v in values)
+        assert values == sorted(values)
+        tdp = backend.tdp_surface()
+        assert all(math.isfinite(v) and v > 0 for v in tdp.values())
+
+
+class TestCarbonInvariants:
+    areas = st.floats(min_value=1.0, max_value=5e3)
+    nodes = st.sampled_from([45.0, 28.0, 16.0, 7.0, 5.0])
+    powers = st.floats(min_value=0.0, max_value=5e3)
+    yields = st.floats(min_value=1e-3, max_value=1.0)
+    dies = st.integers(min_value=1, max_value=8)
+
+    @given(areas, nodes, powers, yields, dies)
+    @settings(max_examples=100)
+    def test_non_negative_and_exactly_additive(
+        self, area, node, power, die_yield, die_count
+    ):
+        report = carbon_footprint(
+            area, node, power, die_count=die_count, die_yield=die_yield
+        )
+        assert report.embodied_gco2e >= 0
+        assert report.operational_gco2e >= 0
+        assert math.isfinite(report.total_gco2e)
+        # Exact, not approximate: the total IS the sum.
+        assert report.total_gco2e == (
+            report.embodied_gco2e + report.operational_gco2e
+        )
+
+    @given(areas, nodes, st.tuples(powers, powers))
+    @settings(max_examples=50)
+    def test_operational_monotone_in_power(self, area, node, pair):
+        low, high = sorted(pair)
+        assert (
+            carbon_footprint(area, node, high).operational_gco2e
+            >= carbon_footprint(area, node, low).operational_gco2e
+        )
+
+    @given(areas, nodes, powers, st.floats(min_value=0.0, max_value=0.5), dies)
+    @settings(max_examples=50)
+    def test_packaging_adder_linear_in_extra_dies(
+        self, area, node, power, overhead, die_count
+    ):
+        params = CarbonParams(packaging_overhead_fraction=overhead)
+        base = carbon_footprint(area, node, power, params, die_count=1)
+        split = carbon_footprint(area, node, power, params, die_count=die_count)
+        expected = 1.0 + overhead * (die_count - 1)
+        assert math.isclose(
+            split.embodied_gco2e, base.embodied_gco2e * expected, rel_tol=1e-9
+        )

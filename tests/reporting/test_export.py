@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.provenance.manifest import SCHEMA_VERSION
-from repro.reporting.export import artifact_builders, export_all, export_artifact
+from repro.reporting.export import (
+    artifact_builders,
+    artifact_registry,
+    export_all,
+    export_artifact,
+    tech_artifact_builders,
+)
 
 
 def _load(path):
@@ -50,6 +56,81 @@ class TestExport:
         nested = tmp_path / "a" / "b"
         path = export_artifact("table1", nested, paper_model)
         assert path.parent == nested
+
+
+class TestTechArtifacts:
+    """Per-technology artifact families resolve through the one registry."""
+
+    def test_registry_extends_builders_with_tech_families(self):
+        from repro.tech import backend_names
+
+        registry = set(artifact_registry())
+        assert set(artifact_builders()) <= registry
+        for tech in backend_names():
+            if tech == "cmos":
+                continue
+            assert set(tech_artifact_builders(tech)) <= registry
+        # cmos's per-tech numbers ARE the base artifacts: no duplicates.
+        assert "fig15_16_cmos" not in registry
+
+    def test_tech_family_has_five_artifacts(self):
+        assert set(tech_artifact_builders("tfet")) == {
+            "fig15_16_tfet",
+            "table5_tfet",
+            "csr_tfet",
+            "tech_tfet",
+            "tech_delta_tfet",
+        }
+
+    def test_only_per_tech_name_works_without_tech_flag(self, tmp_path):
+        paths = export_all(tmp_path, names=["tech_delta_finfet"])
+        payload = _load(paths["tech_delta_finfet"])["data"]
+        assert payload["tech"] == "finfet"
+        assert payload["rows"]
+
+    def test_unknown_name_error_lists_per_tech_names(self, tmp_path):
+        with pytest.raises(ValueError, match="fig15_16_tfet"):
+            export_all(tmp_path, names=["fig99"])
+
+    def test_tech_cmos_is_bit_identical_to_default(self, tmp_path, paper_model):
+        # Cheap subset: the default selection for tech=None vs tech="cmos"
+        # must be the same names backed by the same builders.
+        assert sorted(artifact_builders(paper_model, tech="cmos")) == sorted(
+            artifact_builders(paper_model)
+        )
+        plain = export_artifact("table5", tmp_path / "plain", paper_model)
+        via_tech = export_all(
+            tmp_path / "tech", paper_model, names=["table5"], tech="cmos"
+        )["table5"]
+        assert _load(plain)["data"] == _load(via_tech)["data"]
+
+    def test_tech_selects_the_backend_family(self, tmp_path):
+        paths = export_all(tmp_path, tech="tfet")
+        assert set(paths) == set(tech_artifact_builders("tfet"))
+
+    def test_manifest_records_backend_and_param_hash(self, tmp_path):
+        from repro.tech import get_backend
+
+        paths = export_all(tmp_path, names=["tech_delta_tfet"], tech="tfet")
+        block = _load(paths["tech_delta_tfet"])["manifest"]
+        assert block["config_hashes"]["tech_backend"] == "tfet"
+        assert block["config_hashes"]["tech_params"] == (
+            get_backend("tfet").param_hash()
+        )
+
+    def test_tech_artifacts_carry_golden_numbers(self, tmp_path):
+        from repro.provenance.drift import golden_numbers, is_golden_artifact
+        from repro.provenance.manifest import capture
+
+        assert is_golden_artifact("fig15_16_tfet")
+        assert is_golden_artifact("tech_delta_chiplet")
+        manifest = capture("export", tech="tfet")
+        paths = export_all(
+            tmp_path, names=["fig15_16_tfet"], manifest=manifest
+        )
+        payload = _load(paths["fig15_16_tfet"])["data"]
+        assert manifest.golden
+        assert manifest.golden == golden_numbers({"fig15_16_tfet": payload})
 
 
 class TestProvenanceEnvelope:

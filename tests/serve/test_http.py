@@ -124,6 +124,87 @@ class TestGoldenParity:
         assert payload["data"] == exported["fig15_16"]
 
 
+class TestTechEndpoints:
+    """The technology-backend surface: GET /tech and ?tech= parameters."""
+
+    def test_tech_index_lists_registered_backends(self, client):
+        from repro.tech import backend_names
+
+        status, payload, _ = client.get("/tech")
+        assert status == 200
+        data = payload["data"]
+        assert data["baseline"] == "cmos"
+        listed = [entry["name"] for entry in data["technologies"]]
+        assert listed == backend_names()
+        for entry in data["technologies"]:
+            assert len(entry["param_hash"]) == 64
+            assert entry["source"]
+
+    def test_projections_tech_parity_with_exported_artifact(
+        self, client, tmp_path
+    ):
+        """?tech=tfet serves the exported fig15_16_tfet numbers (drift gate)."""
+        from repro.reporting.export import export_all
+
+        exported = json.loads(
+            export_all(tmp_path, names=["fig15_16_tfet"])[
+                "fig15_16_tfet"
+            ].read_text()
+        )["data"]
+        status, payload, _ = client.get("/wall/projections?tech=tfet")
+        assert status == 200
+        data = payload["data"]
+        assert data["tech"] == "tfet"
+        assert data["baseline"] == "cmos"
+        compared, drifted, added, removed = compare_golden(
+            flatten_scalars(exported, "fig15_16_tfet"),
+            flatten_scalars(data["projections"], "fig15_16_tfet"),
+        )
+        assert compared > 0
+        assert drifted == [] and added == [] and removed == []
+
+    def test_tech_cmos_is_the_default_response(self, client):
+        _, plain, _ = client.get("/wall/projections")
+        _, cmos, _ = client.get("/wall/projections?tech=cmos")
+        assert cmos["data"] == plain["data"]
+
+    def test_unknown_tech_is_a_400_with_valid_names(self, client):
+        from repro.tech import backend_names
+
+        for target in (
+            "/wall/projections?tech=graphene",
+            "/cmos/gains?node=5&tech=graphene",
+            "/csr/video?tech=graphene",
+        ):
+            status, payload, _ = client.get(target)
+            assert status == 400, target
+            assert payload["data"]["valid_technologies"] == backend_names()
+
+    def test_gains_tech_parameter_switches_the_model(self, client):
+        from repro.tech import get_backend
+
+        status, payload, _ = client.get("/cmos/gains?node=5&tdp_w=50&tech=tfet")
+        assert status == 200
+        data = payload["data"]
+        assert data["tech"] == "tfet"
+        gains = get_backend("tfet").model().evaluate(
+            5.0, 1000.0, area_mm2=100.0, tdp_w=50.0
+        )
+        assert data["power_w"] == gains.power_w
+        # The default response keeps its pre-tech shape: no "tech" key.
+        _, plain, _ = client.get("/cmos/gains?node=5&tdp_w=50")
+        assert "tech" not in plain["data"]
+
+    def test_per_tech_artifacts_resolve_via_the_registry(self, client):
+        _, payload, _ = client.get("/artifacts")
+        names = payload["data"]["artifacts"]
+        assert {"fig15_16_tfet", "tech_delta_chiplet", "fig3d"} <= set(names)
+        status, payload, _ = client.get("/artifacts/tech_delta_finfet")
+        assert status == 200
+        assert payload["data"]["tech"] == "finfet"
+        assert payload["data"]["rows"]
+
+
 class TestQueryEndpoints:
     def test_cmos_gains_matches_direct_model(self, client):
         from repro.cmos.model import CmosPotentialModel

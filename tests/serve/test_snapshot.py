@@ -32,6 +32,13 @@ class TestBuild:
         assert set(snapshot.artifacts) == set(SNAPSHOT_ARTIFACTS)
         assert set(snapshot.studies) == {"video", "gpu", "cnn", "bitcoin"}
 
+    def test_carries_every_registered_tech_model(self, snapshot):
+        from repro.tech import backend_names
+
+        assert set(snapshot.tech_models) == set(backend_names())
+        for model in snapshot.tech_models.values():
+            assert model is not None
+
 
 class TestRoundTrip:
     def test_save_load_preserves_artifacts_bit_for_bit(self, snapshot, tmp_path):
@@ -92,6 +99,17 @@ class TestWarmBoot:
                 assert json.dumps(payload, sort_keys=True) == (
                     json.dumps(snapshot.artifacts[name], sort_keys=True)
                 )
+        finally:
+            app.executor.shutdown(wait=False)
+
+    def test_tech_backends_are_primed_from_snapshot(self, snapshot):
+        from repro.tech import backend_names, get_backend
+
+        app = ServeApp(ServeConfig(port=0), snapshot=snapshot)
+        app.startup()
+        try:
+            for name in backend_names():
+                assert get_backend(name).model() is snapshot.tech_models[name]
         finally:
             app.executor.shutdown(wait=False)
 

@@ -1,0 +1,81 @@
+"""Tests for the carbon overlay (embodied + operational gCO2e)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.tech import CarbonParams, backend_carbon, carbon_footprint, get_backend
+
+
+class TestCarbonFootprint:
+    def test_total_is_exactly_the_sum(self):
+        report = carbon_footprint(100.0, 5.0, 50.0)
+        assert report.total_gco2e == report.embodied_gco2e + report.operational_gco2e
+
+    def test_components_non_negative(self):
+        report = carbon_footprint(1.0, 45.0, 0.0)
+        assert report.embodied_gco2e > 0
+        assert report.operational_gco2e == 0.0
+
+    def test_newer_nodes_cost_more_embodied_carbon(self):
+        old = carbon_footprint(100.0, 45.0, 0.0)
+        new = carbon_footprint(100.0, 5.0, 0.0)
+        assert new.embodied_gco2e > old.embodied_gco2e
+
+    def test_operational_scales_linearly_with_power(self):
+        one = carbon_footprint(100.0, 5.0, 1.0)
+        ten = carbon_footprint(100.0, 5.0, 10.0)
+        assert ten.operational_gco2e == pytest.approx(10 * one.operational_gco2e)
+
+    def test_poor_yield_inflates_embodied(self):
+        good = carbon_footprint(100.0, 5.0, 0.0, die_yield=1.0)
+        poor = carbon_footprint(100.0, 5.0, 0.0, die_yield=0.5)
+        assert poor.embodied_gco2e == pytest.approx(2 * good.embodied_gco2e)
+
+    def test_packaging_adder_per_extra_die(self):
+        params = CarbonParams(packaging_overhead_fraction=0.05)
+        mono = carbon_footprint(100.0, 5.0, 0.0, params, die_count=1)
+        quad = carbon_footprint(100.0, 5.0, 0.0, params, die_count=4)
+        assert quad.embodied_gco2e == pytest.approx(1.15 * mono.embodied_gco2e)
+
+    def test_input_validation(self):
+        with pytest.raises(ValidationError):
+            carbon_footprint(-1.0, 5.0, 0.0)
+        with pytest.raises(ValidationError):
+            carbon_footprint(100.0, 5.0, -1.0)
+        with pytest.raises(ValidationError):
+            carbon_footprint(100.0, 5.0, 0.0, die_yield=0.0)
+        with pytest.raises(ValidationError):
+            carbon_footprint(100.0, 5.0, 0.0, die_count=0)
+
+    def test_params_validation(self):
+        with pytest.raises(ValidationError):
+            CarbonParams(utilization=1.5)
+        with pytest.raises(ValidationError):
+            CarbonParams(lifetime_hours=0.0)
+        with pytest.raises(ValidationError):
+            CarbonParams(packaging_overhead_fraction=-0.1)
+
+
+class TestBackendCarbon:
+    def test_monolithic_backend_has_unit_yield(self):
+        report = backend_carbon(get_backend("cmos"), 5.0, 100.0, 50.0)
+        assert report.die_count == 1
+        assert report.die_yield == 1.0
+
+    def test_chiplet_backend_splits_and_amortises_yield(self):
+        from repro.tech.chiplet import RETICLE_LIMIT_MM2, murphy_yield
+
+        area = 2 * RETICLE_LIMIT_MM2
+        report = backend_carbon(get_backend("chiplet"), 5.0, area, 50.0)
+        assert report.die_count == 2
+        assert report.die_yield == murphy_yield(area / 2)
+
+    def test_chiplet_beats_monolithic_embodied_at_reticle_scale(self):
+        # The economic argument for chiplets: two small dies yield far
+        # better than one huge one, beating the packaging adder.
+        from repro.tech.chiplet import RETICLE_LIMIT_MM2, murphy_yield
+
+        area = 2 * RETICLE_LIMIT_MM2
+        split = backend_carbon(get_backend("chiplet"), 5.0, area, 0.0)
+        mono = carbon_footprint(area, 5.0, 0.0, die_yield=murphy_yield(area))
+        assert split.embodied_gco2e < mono.embodied_gco2e

@@ -1,0 +1,129 @@
+"""Tests for the chiplet backend's disaggregation mechanics."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.tech import ChipletPotentialModel, chiplet_backend, get_backend
+from repro.tech.chiplet import (
+    DEFAULT_MAX_CHIPLETS,
+    RETICLE_LIMIT_MM2,
+    murphy_yield,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_backend("chiplet").model()
+
+
+@pytest.fixture(scope="module")
+def base(model):
+    return get_backend("cmos").model()
+
+
+class TestDieCount:
+    def test_under_reticle_is_monolithic(self, model):
+        assert model.die_count(100.0) == 1
+        assert model.die_count(RETICLE_LIMIT_MM2) == 1
+
+    def test_over_reticle_splits(self, model):
+        assert model.die_count(RETICLE_LIMIT_MM2 + 1.0) == 2
+        assert model.die_count(3 * RETICLE_LIMIT_MM2) == 3
+
+    def test_capped_at_max_chiplets(self, model):
+        assert model.die_count(100 * RETICLE_LIMIT_MM2) == DEFAULT_MAX_CHIPLETS
+
+    def test_backend_delegates_to_model(self, model):
+        backend = get_backend("chiplet")
+        assert backend.die_count(2000.0) == model.die_count(2000.0)
+
+
+class TestEvaluate:
+    def test_small_die_delegates_exactly(self, model, base):
+        assert model.evaluate(5.0, 1000.0, area_mm2=600.0) == base.evaluate(
+            5.0, 1000.0, area_mm2=600.0
+        )
+
+    def test_explicit_transistor_count_bypasses_disaggregation(self, model, base):
+        # Historical chips with disclosed counts (the CSR scatter) must
+        # evaluate exactly as under the base technology.
+        kwargs = dict(area_mm2=2000.0, transistors=1e10)
+        assert model.evaluate(5.0, 1000.0, **kwargs) == base.evaluate(
+            5.0, 1000.0, **kwargs
+        )
+
+    def test_disaggregation_is_a_density_win(self, model, base):
+        # n dies of A/n hold n^(1-0.877)x more transistors than one die
+        # of area A under the sublinear Fig 3b law.
+        area = 2 * RETICLE_LIMIT_MM2
+        split = model.evaluate(5.0, 1000.0, area_mm2=area)
+        mono = base.evaluate(5.0, 1000.0, area_mm2=area)
+        assert split.potential_transistors > mono.potential_transistors
+        expected = 2 ** (1.0 - base.density_fit.exponent)
+        assert split.potential_transistors / mono.potential_transistors == (
+            pytest.approx(expected)
+        )
+
+    def test_links_tax_throughput_and_packaging_taxes_power(self, model):
+        area = 2 * RETICLE_LIMIT_MM2
+        taxed = model.evaluate(5.0, 1000.0, area_mm2=area)
+        untaxed = ChipletPotentialModel(
+            get_backend("cmos").model(),
+            comm_efficiency=1.0,
+            packaging_overhead=0.0,
+        ).evaluate(5.0, 1000.0, area_mm2=area)
+        assert taxed.active_transistors < untaxed.active_transistors
+        assert taxed.power_w > untaxed.power_w
+
+    def test_constructor_validation(self):
+        base = get_backend("cmos").model()
+        with pytest.raises(ValidationError):
+            ChipletPotentialModel(base, reticle_limit_mm2=0.0)
+        with pytest.raises(ValidationError):
+            ChipletPotentialModel(base, max_chiplets=0)
+
+
+class TestWallEnvelope:
+    def test_wall_limits_lift_the_die_ceiling(self):
+        from repro.wall.limits import _limits
+
+        backend = get_backend("chiplet")
+        row = _limits()["video_decoding"]
+        lifted = backend.wall_limits(row)
+        assert lifted.max_die_mm2 == row.max_die_mm2 * DEFAULT_MAX_CHIPLETS
+
+    def test_candidates_keep_monolithic_on_the_table(self):
+        from repro.wall.limits import _limits
+
+        backend = get_backend("chiplet")
+        row = _limits()["bitcoin_mining"]
+        candidates = backend.wall_limit_candidates(row)
+        assert row in candidates and backend.wall_limits(row) in candidates
+
+    def test_tdp_bound_walls_never_regress_below_cmos(self):
+        # Disaggregation is an option, not a mandate: taking the best
+        # candidate means the chiplet wall >= the monolithic CMOS wall.
+        from repro.tech.scenarios import wall_reports
+
+        cmos = {(r.domain, r.metric): r for r in wall_reports("cmos")}
+        for report in wall_reports("chiplet"):
+            base = cmos[(report.domain, report.metric)]
+            assert report.physical_limit >= base.physical_limit * (1 - 1e-12)
+
+
+class TestYield:
+    def test_yield_decreases_with_area(self):
+        areas = [10.0, 100.0, 500.0, 858.0]
+        yields = [murphy_yield(a) for a in areas]
+        assert yields == sorted(yields, reverse=True)
+        assert all(0.0 < y <= 1.0 for y in yields)
+
+    def test_yield_rejects_nonpositive_area(self):
+        with pytest.raises(ValidationError):
+            murphy_yield(0.0)
+
+    def test_backend_die_yield_uses_per_die_area(self):
+        backend = chiplet_backend()
+        assert backend.die_yield(100.0) == murphy_yield(100.0)

@@ -96,6 +96,39 @@ class TestCommands:
         written = {p.name for p in out_dir.glob("*.json")}
         assert written == {"table5.json", "fig3a.json"}
 
+    def test_export_tech_selects_backend_family(self, tmp_path, capsys):
+        out_dir = tmp_path / "tfet"
+        assert main(["export", "--out", str(out_dir), "--tech", "tfet"]) == 0
+        capsys.readouterr()
+        written = {p.name for p in out_dir.glob("*.json")}
+        assert written == {
+            "fig15_16_tfet.json", "table5_tfet.json", "csr_tfet.json",
+            "tech_tfet.json", "tech_delta_tfet.json",
+        }
+        block = json.loads((out_dir / "tech_delta_tfet.json").read_text())
+        assert block["manifest"]["config_hashes"]["tech_backend"] == "tfet"
+
+    def test_export_only_per_tech_name_without_tech_flag(self, tmp_path, capsys):
+        out_dir = tmp_path / "mixed"
+        assert main(
+            ["export", "--out", str(out_dir), "--only", "tech_delta_chiplet,table5"]
+        ) == 0
+        capsys.readouterr()
+        written = {p.name for p in out_dir.glob("*.json")}
+        assert written == {"tech_delta_chiplet.json", "table5.json"}
+
+    def test_export_unknown_tech_reports_error(self, tmp_path, capsys):
+        assert main(
+            ["export", "--out", str(tmp_path / "x"), "--tech", "graphene"]
+        ) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "graphene" in err and "cmos" in err
+
+    def test_plot_fig15_tech(self, capsys):
+        assert main(["plot", "fig15", "--tech", "tfet"]) == 0
+        out = capsys.readouterr().out
+        assert "[tfet]" in out
+
 
 class TestObservability:
     """The --profile/--trace-out flags, -v logging, and `stats`."""
@@ -330,6 +363,14 @@ class TestCheckCommand:
         assert "wall/predict-clamp" in out
         assert "FAIL" not in out
         assert "cmos/" not in out  # subset filtering works
+
+    def test_check_tech_subsystem(self, capsys):
+        assert main(["check", "tech", "--tech", "tfet"]) == 0
+        out = capsys.readouterr().out
+        assert "tech/surfaces-monotone" in out
+        assert "tech/cmos-bit-identical" in out
+        assert "tech/wall-shift-finite" in out
+        assert "FAIL" not in out
 
     def test_check_failure_exits_nonzero(self, monkeypatch, capsys):
         from repro import check as check_module
